@@ -1,0 +1,109 @@
+//! Error type shared by the HDC substrate.
+
+use std::fmt;
+
+/// Convenience alias for results produced by this crate.
+pub type Result<T> = std::result::Result<T, HdcError>;
+
+/// Errors raised by hypervector and hypermatrix operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum HdcError {
+    /// Two operands had incompatible dimensions.
+    DimensionMismatch {
+        /// Dimension expected by the operation.
+        expected: usize,
+        /// Dimension actually provided.
+        actual: usize,
+        /// Human-readable description of the operation that failed.
+        context: &'static str,
+    },
+    /// A matrix was constructed from rows of unequal length or with a shape
+    /// that does not match the provided data length.
+    InvalidShape {
+        /// Number of rows requested.
+        rows: usize,
+        /// Number of columns requested.
+        cols: usize,
+        /// Length of the backing data.
+        len: usize,
+    },
+    /// An index was out of bounds.
+    IndexOutOfBounds {
+        /// The offending index.
+        index: usize,
+        /// The container length.
+        len: usize,
+    },
+    /// A perforation descriptor was invalid for the reduction it annotates.
+    InvalidPerforation(String),
+    /// An operation received an empty input where at least one element is required.
+    EmptyInput(&'static str),
+}
+
+impl fmt::Display for HdcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HdcError::DimensionMismatch {
+                expected,
+                actual,
+                context,
+            } => write!(
+                f,
+                "dimension mismatch in {context}: expected {expected}, got {actual}"
+            ),
+            HdcError::InvalidShape { rows, cols, len } => write!(
+                f,
+                "invalid shape: {rows}x{cols} does not match data length {len}"
+            ),
+            HdcError::IndexOutOfBounds { index, len } => {
+                write!(f, "index {index} out of bounds for length {len}")
+            }
+            HdcError::InvalidPerforation(msg) => write!(f, "invalid perforation: {msg}"),
+            HdcError::EmptyInput(context) => write!(f, "empty input in {context}"),
+        }
+    }
+}
+
+impl std::error::Error for HdcError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_dimension_mismatch() {
+        let e = HdcError::DimensionMismatch {
+            expected: 4,
+            actual: 8,
+            context: "matmul",
+        };
+        assert_eq!(
+            e.to_string(),
+            "dimension mismatch in matmul: expected 4, got 8"
+        );
+    }
+
+    #[test]
+    fn display_invalid_shape() {
+        let e = HdcError::InvalidShape {
+            rows: 2,
+            cols: 3,
+            len: 5,
+        };
+        assert!(e.to_string().contains("2x3"));
+        assert!(e.to_string().contains('5'));
+    }
+
+    #[test]
+    fn display_index_out_of_bounds() {
+        let e = HdcError::IndexOutOfBounds { index: 9, len: 3 };
+        assert_eq!(e.to_string(), "index 9 out of bounds for length 3");
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<HdcError>();
+    }
+}

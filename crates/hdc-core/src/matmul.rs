@@ -1,0 +1,216 @@
+//! Matrix multiplication primitives (`matmul`) with perforation support.
+//!
+//! `matmul` is the workhorse of random-projection encoding: a feature vector
+//! of length `F` multiplied by an `D x F` projection matrix yields a
+//! `D`-dimensional encoded hypervector. Following the paper, perforated
+//! matmul results *are* rescaled by the fraction of visited elements
+//! (unlike the similarity metrics), because their absolute magnitude matters
+//! to downstream operations.
+
+use crate::element::Element;
+use crate::error::{HdcError, Result};
+use crate::hypermatrix::HyperMatrix;
+use crate::hypervector::HyperVector;
+use crate::perforation::Perforation;
+use rayon::prelude::*;
+
+fn check(expected: usize, actual: usize, context: &'static str) -> Result<()> {
+    if expected != actual {
+        return Err(HdcError::DimensionMismatch {
+            expected,
+            actual,
+            context,
+        });
+    }
+    Ok(())
+}
+
+/// Multiply a hypervector by the transpose of a projection hypermatrix:
+/// `out[r] = sum_c vector[c] * matrix[r][c]`.
+///
+/// The projection matrix is `out_dim x in_dim` (each row is one output
+/// element's weight vector), matching Listing 1 where a `617`-feature input
+/// and a `2048 x 617` matrix produce a `2048`-dimensional encoding.
+///
+/// When `perforation` restricts the reduction, only the selected input
+/// elements are accumulated and the result is divided by the visited
+/// fraction.
+///
+/// # Errors
+///
+/// Returns a dimension-mismatch error if `vector.dimension() != matrix.cols()`
+/// or an invalid-perforation error for a bad descriptor.
+pub fn matvec<T: Element>(
+    matrix: &HyperMatrix<T>,
+    vector: &HyperVector<T>,
+    perforation: Perforation,
+) -> Result<HyperVector<T>> {
+    check(matrix.cols(), vector.dimension(), "matmul (matrix x vector)")?;
+    perforation.validate(matrix.cols().max(1))?;
+    let scale = 1.0 / perforation.visited_fraction(matrix.cols().max(1));
+    let v = vector.as_slice();
+    let dense = perforation.is_dense_over(matrix.cols());
+    let out: Vec<T> = matrix
+        .iter_rows()
+        .map(|row| {
+            let acc: f64 = if dense {
+                row.iter()
+                    .zip(v.iter())
+                    .map(|(m, x)| m.to_f64() * x.to_f64())
+                    .sum()
+            } else {
+                perforation
+                    .indices(row.len())
+                    .map(|i| row[i].to_f64() * v[i].to_f64())
+                    .sum()
+            };
+            T::from_f64(acc * if dense { 1.0 } else { scale })
+        })
+        .collect();
+    Ok(HyperVector::from_vec(out))
+}
+
+/// Multiply a batch of row vectors by the transpose of a projection matrix:
+/// `out[q][r] = sum_c queries[q][c] * matrix[r][c]`.
+///
+/// This is the batched form used by `encoding_loop`: a `N x F` query matrix
+/// and a `D x F` projection matrix produce an `N x D` encoded matrix.
+///
+/// # Errors
+///
+/// Returns a dimension-mismatch error if `queries.cols() != matrix.cols()`.
+pub fn matmul_batch<T: Element>(
+    queries: &HyperMatrix<T>,
+    matrix: &HyperMatrix<T>,
+    perforation: Perforation,
+) -> Result<HyperMatrix<T>> {
+    check(matrix.cols(), queries.cols(), "matmul (batch)")?;
+    perforation.validate(matrix.cols().max(1))?;
+    let scale = 1.0 / perforation.visited_fraction(matrix.cols().max(1));
+    let dense = perforation.is_dense_over(matrix.cols());
+    let rows: Vec<HyperVector<T>> = queries
+        .iter_rows()
+        .collect::<Vec<_>>()
+        .into_par_iter()
+        .map(|q| {
+            let out: Vec<T> = matrix
+                .iter_rows()
+                .map(|row| {
+                    let acc: f64 = if dense {
+                        row.iter()
+                            .zip(q.iter())
+                            .map(|(m, x)| m.to_f64() * x.to_f64())
+                            .sum()
+                    } else {
+                        perforation
+                            .indices(row.len())
+                            .map(|i| row[i].to_f64() * q[i].to_f64())
+                            .sum()
+                    };
+                    T::from_f64(acc * if dense { 1.0 } else { scale })
+                })
+                .collect();
+            HyperVector::from_vec(out)
+        })
+        .collect();
+    HyperMatrix::from_rows(rows)
+}
+
+/// Perforated L2 norm of a hypervector, rescaled by the visited fraction as
+/// the paper specifies for `l2norm`.
+///
+/// # Errors
+///
+/// Returns an invalid-perforation error for a bad descriptor.
+pub fn l2norm_perforated<T: Element>(
+    vector: &HyperVector<T>,
+    perforation: Perforation,
+) -> Result<f64> {
+    perforation.validate(vector.dimension().max(1))?;
+    if perforation.is_dense_over(vector.dimension()) {
+        return Ok(vector.l2norm());
+    }
+    let scale = 1.0 / perforation.visited_fraction(vector.dimension().max(1));
+    let sum_sq: f64 = perforation
+        .indices(vector.dimension())
+        .map(|i| {
+            let v = vector.as_slice()[i].to_f64();
+            v * v
+        })
+        .sum();
+    Ok((sum_sq * scale).sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matvec_matches_manual() {
+        // 2x3 matrix times length-3 vector
+        let m = HyperMatrix::from_flat(2, 3, vec![1.0f32, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        let v = HyperVector::from_vec(vec![1.0f32, 0.0, -1.0]);
+        let out = matvec(&m, &v, Perforation::NONE).unwrap();
+        assert_eq!(out.as_slice(), &[-2.0, -2.0]);
+    }
+
+    #[test]
+    fn matvec_dimension_mismatch() {
+        let m = HyperMatrix::<f32>::zeros(2, 3);
+        let v = HyperVector::<f32>::zeros(4);
+        assert!(matvec(&m, &v, Perforation::NONE).is_err());
+    }
+
+    #[test]
+    fn matmul_batch_matches_per_row_matvec() {
+        let m = HyperMatrix::<f32>::from_fn(8, 5, |r, c| (r * 5 + c) as f32 * 0.1);
+        let q = HyperMatrix::<f32>::from_fn(3, 5, |r, c| (r + c) as f32);
+        let batch = matmul_batch(&q, &m, Perforation::NONE).unwrap();
+        assert_eq!(batch.rows(), 3);
+        assert_eq!(batch.cols(), 8);
+        for i in 0..3 {
+            let single = matvec(&m, &q.row_vector(i).unwrap(), Perforation::NONE).unwrap();
+            for j in 0..8 {
+                assert!((batch.get(i, j).unwrap() - single.get(j).unwrap()).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn perforated_matmul_is_rescaled() {
+        // Constant vectors: perforated + rescaled result should equal the dense result.
+        let m = HyperMatrix::from_flat(1, 8, vec![2.0f32; 8]).unwrap();
+        let v = HyperVector::from_vec(vec![3.0f32; 8]);
+        let dense = matvec(&m, &v, Perforation::NONE).unwrap();
+        let strided = matvec(&m, &v, Perforation::strided(0, 8, 2)).unwrap();
+        assert_eq!(dense.get(0).unwrap(), 48.0);
+        assert_eq!(strided.get(0).unwrap(), 48.0, "rescaling restores magnitude");
+        let seg = matvec(&m, &v, Perforation::segment(0, 4)).unwrap();
+        assert_eq!(seg.get(0).unwrap(), 48.0);
+    }
+
+    #[test]
+    fn perforated_l2norm_is_rescaled() {
+        let v = HyperVector::from_vec(vec![2.0f32; 16]);
+        let dense = l2norm_perforated(&v, Perforation::NONE).unwrap();
+        let strided = l2norm_perforated(&v, Perforation::strided(0, 16, 4)).unwrap();
+        assert!((dense - 8.0).abs() < 1e-9);
+        assert!((strided - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn integer_matmul_saturates_not_wraps() {
+        let m = HyperMatrix::from_flat(1, 2, vec![100i8, 100]).unwrap();
+        let v = HyperVector::from_vec(vec![100i8, 100]);
+        let out = matvec(&m, &v, Perforation::NONE).unwrap();
+        assert_eq!(out.get(0).unwrap(), i8::MAX);
+    }
+
+    #[test]
+    fn invalid_perforation_rejected() {
+        let m = HyperMatrix::<f32>::zeros(2, 4);
+        let v = HyperVector::<f32>::zeros(4);
+        assert!(matvec(&m, &v, Perforation::new(0, 4, 0)).is_err());
+        assert!(l2norm_perforated(&v, Perforation::new(9, 10, 1)).is_err());
+    }
+}

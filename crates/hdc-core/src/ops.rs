@@ -1,0 +1,239 @@
+//! Free-function forms of the element-wise and reduction HDC primitives.
+//!
+//! Most primitives also exist as methods on [`HyperVector`] /
+//! [`HyperMatrix`]; the free functions here cover the binary element-wise
+//! operators (`add`, `sub`, `mul`, `div`) and the `arg_min` / `arg_max`
+//! reductions of Table 1, which the runtime and back ends call directly.
+
+use crate::element::Element;
+use crate::error::Result;
+use crate::hypermatrix::HyperMatrix;
+use crate::hypervector::HyperVector;
+
+/// Element-wise binary operators shared by hypervectors and hypermatrices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ElementwiseOp {
+    /// Element-wise addition.
+    Add,
+    /// Element-wise subtraction.
+    Sub,
+    /// Element-wise multiplication (binding).
+    Mul,
+    /// Element-wise division.
+    Div,
+}
+
+impl ElementwiseOp {
+    /// Apply the operator to a pair of scalars.
+    pub fn apply<T: Element>(self, a: T, b: T) -> T {
+        match self {
+            ElementwiseOp::Add => a + b,
+            ElementwiseOp::Sub => a - b,
+            ElementwiseOp::Mul => a * b,
+            ElementwiseOp::Div => a / b,
+        }
+    }
+}
+
+impl std::fmt::Display for ElementwiseOp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            ElementwiseOp::Add => "add",
+            ElementwiseOp::Sub => "sub",
+            ElementwiseOp::Mul => "mul",
+            ElementwiseOp::Div => "div",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Element-wise addition of two hypervectors.
+///
+/// # Errors
+///
+/// Returns a dimension-mismatch error if the operands differ in length.
+pub fn add<T: Element>(a: &HyperVector<T>, b: &HyperVector<T>) -> Result<HyperVector<T>> {
+    a.zip_with(b, |x, y| x + y)
+}
+
+/// Element-wise subtraction of two hypervectors.
+///
+/// # Errors
+///
+/// Returns a dimension-mismatch error if the operands differ in length.
+pub fn sub<T: Element>(a: &HyperVector<T>, b: &HyperVector<T>) -> Result<HyperVector<T>> {
+    a.zip_with(b, |x, y| x - y)
+}
+
+/// Element-wise multiplication (binding) of two hypervectors.
+///
+/// # Errors
+///
+/// Returns a dimension-mismatch error if the operands differ in length.
+pub fn mul<T: Element>(a: &HyperVector<T>, b: &HyperVector<T>) -> Result<HyperVector<T>> {
+    a.zip_with(b, |x, y| x * y)
+}
+
+/// Element-wise division of two hypervectors.
+///
+/// # Errors
+///
+/// Returns a dimension-mismatch error if the operands differ in length.
+pub fn div<T: Element>(a: &HyperVector<T>, b: &HyperVector<T>) -> Result<HyperVector<T>> {
+    a.zip_with(b, |x, y| x / y)
+}
+
+/// Apply an [`ElementwiseOp`] to two hypervectors.
+///
+/// # Errors
+///
+/// Returns a dimension-mismatch error if the operands differ in length.
+pub fn elementwise<T: Element>(
+    op: ElementwiseOp,
+    a: &HyperVector<T>,
+    b: &HyperVector<T>,
+) -> Result<HyperVector<T>> {
+    a.zip_with(b, |x, y| op.apply(x, y))
+}
+
+/// Apply an [`ElementwiseOp`] to two hypermatrices.
+///
+/// # Errors
+///
+/// Returns a shape-mismatch error if the operands differ in shape.
+pub fn elementwise_matrix<T: Element>(
+    op: ElementwiseOp,
+    a: &HyperMatrix<T>,
+    b: &HyperMatrix<T>,
+) -> Result<HyperMatrix<T>> {
+    a.zip_with(b, |x, y| op.apply(x, y))
+}
+
+/// Index of the minimum element of a slice (`arg_min`). Ties resolve to the
+/// first occurrence; incomparable values (NaN) are skipped. Returns `None`
+/// for an empty slice or one containing only incomparable values.
+pub fn arg_min<T: PartialOrd + Copy>(values: &[T]) -> Option<usize> {
+    let mut best: Option<(usize, T)> = None;
+    for (i, &v) in values.iter().enumerate() {
+        if v.partial_cmp(&v).is_none() {
+            continue;
+        }
+        match best {
+            None => best = Some((i, v)),
+            Some((_, bv)) => {
+                if v < bv {
+                    best = Some((i, v));
+                }
+            }
+        }
+    }
+    best.map(|(i, _)| i)
+}
+
+/// Index of the maximum element of a slice (`arg_max`). Ties resolve to the
+/// first occurrence; incomparable values (NaN) are skipped. Returns `None`
+/// for an empty slice or one containing only incomparable values.
+pub fn arg_max<T: PartialOrd + Copy>(values: &[T]) -> Option<usize> {
+    let mut best: Option<(usize, T)> = None;
+    for (i, &v) in values.iter().enumerate() {
+        if v.partial_cmp(&v).is_none() {
+            continue;
+        }
+        match best {
+            None => best = Some((i, v)),
+            Some((_, bv)) => {
+                if v > bv {
+                    best = Some((i, v));
+                }
+            }
+        }
+    }
+    best.map(|(i, _)| i)
+}
+
+/// Per-row `arg_min` of a hypermatrix, as used by batched inference.
+pub fn arg_min_rows<T: Element>(matrix: &HyperMatrix<T>) -> Vec<usize> {
+    matrix
+        .iter_rows()
+        .map(|row| arg_min(row).unwrap_or(0))
+        .collect()
+}
+
+/// Per-row `arg_max` of a hypermatrix.
+pub fn arg_max_rows<T: Element>(matrix: &HyperMatrix<T>) -> Vec<usize> {
+    matrix
+        .iter_rows()
+        .map(|row| arg_max(row).unwrap_or(0))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elementwise_binary_ops() {
+        let a = HyperVector::from_vec(vec![4.0f32, 6.0, 8.0]);
+        let b = HyperVector::from_vec(vec![2.0f32, 3.0, 4.0]);
+        assert_eq!(add(&a, &b).unwrap().as_slice(), &[6.0, 9.0, 12.0]);
+        assert_eq!(sub(&a, &b).unwrap().as_slice(), &[2.0, 3.0, 4.0]);
+        assert_eq!(mul(&a, &b).unwrap().as_slice(), &[8.0, 18.0, 32.0]);
+        assert_eq!(div(&a, &b).unwrap().as_slice(), &[2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn elementwise_dispatch_matches_direct() {
+        let a = HyperVector::from_vec(vec![1i32, 2, 3]);
+        let b = HyperVector::from_vec(vec![3i32, 2, 1]);
+        for op in [
+            ElementwiseOp::Add,
+            ElementwiseOp::Sub,
+            ElementwiseOp::Mul,
+        ] {
+            let direct = match op {
+                ElementwiseOp::Add => add(&a, &b),
+                ElementwiseOp::Sub => sub(&a, &b),
+                ElementwiseOp::Mul => mul(&a, &b),
+                ElementwiseOp::Div => unreachable!(),
+            }
+            .unwrap();
+            assert_eq!(elementwise(op, &a, &b).unwrap(), direct, "{op}");
+        }
+    }
+
+    #[test]
+    fn elementwise_matrix_op() {
+        let a = HyperMatrix::from_flat(2, 2, vec![1.0f64, 2.0, 3.0, 4.0]).unwrap();
+        let b = HyperMatrix::from_flat(2, 2, vec![10.0f64, 20.0, 30.0, 40.0]).unwrap();
+        let sum = elementwise_matrix(ElementwiseOp::Add, &a, &b).unwrap();
+        assert_eq!(sum.as_slice(), &[11.0, 22.0, 33.0, 44.0]);
+    }
+
+    #[test]
+    fn arg_min_max_basic() {
+        let v = [3.0f32, 1.0, 2.0, 1.0];
+        assert_eq!(arg_min(&v), Some(1));
+        assert_eq!(arg_max(&v), Some(0));
+        assert_eq!(arg_min::<f32>(&[]), None);
+        assert_eq!(arg_max::<f32>(&[]), None);
+    }
+
+    #[test]
+    fn arg_min_skips_nan() {
+        let v = [f32::NAN, 2.0, 1.0];
+        assert_eq!(arg_min(&v), Some(2));
+    }
+
+    #[test]
+    fn arg_rows() {
+        let m = HyperMatrix::from_flat(2, 3, vec![5.0f32, 1.0, 2.0, 0.0, 9.0, 3.0]).unwrap();
+        assert_eq!(arg_min_rows(&m), vec![1, 0]);
+        assert_eq!(arg_max_rows(&m), vec![0, 1]);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(ElementwiseOp::Add.to_string(), "add");
+        assert_eq!(ElementwiseOp::Div.to_string(), "div");
+    }
+}

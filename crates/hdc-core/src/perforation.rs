@@ -1,0 +1,198 @@
+//! Reduction perforation descriptors (the `red_perf` primitive, paper §4.2).
+//!
+//! A [`Perforation`] describes which elements along the reduction axis of a
+//! hypervector operation are actually visited: a contiguous *segment*
+//! (`begin..end`), a *stride*, or both. Reductions annotated with a
+//! perforation skip the remaining elements, trading accuracy for speed.
+
+use crate::error::{HdcError, Result};
+
+/// Description of a (possibly) perforated reduction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Perforation {
+    /// First element (inclusive) of the reduction range.
+    pub begin: usize,
+    /// Last element (exclusive) of the reduction range. `usize::MAX` means
+    /// "up to the full dimension", so the default descriptor is valid for any
+    /// hypervector length.
+    pub end: usize,
+    /// Stride at which elements in `[begin, end)` are sampled.
+    pub stride: usize,
+}
+
+impl Perforation {
+    /// The identity descriptor: visit every element.
+    pub const NONE: Perforation = Perforation {
+        begin: 0,
+        end: usize::MAX,
+        stride: 1,
+    };
+
+    /// Create a descriptor with an explicit range and stride, mirroring the
+    /// arguments of `__hetero_hdc_red_perf(result, begin, end, stride)`.
+    pub fn new(begin: usize, end: usize, stride: usize) -> Self {
+        Perforation { begin, end, stride }
+    }
+
+    /// Visit only the contiguous sub-range `[begin, end)` (segmented
+    /// reduction).
+    pub fn segment(begin: usize, end: usize) -> Self {
+        Perforation {
+            begin,
+            end,
+            stride: 1,
+        }
+    }
+
+    /// Visit every `stride`-th element of `[begin, end)` (strided reduction).
+    pub fn strided(begin: usize, end: usize, stride: usize) -> Self {
+        Perforation { begin, end, stride }
+    }
+
+    /// Whether this descriptor visits every element of a vector of length
+    /// `dimension`.
+    pub fn is_dense_over(&self, dimension: usize) -> bool {
+        self.begin == 0 && self.stride == 1 && self.end_clamped(dimension) == dimension
+    }
+
+    /// The effective exclusive end of the range for a vector of length
+    /// `dimension`.
+    pub fn end_clamped(&self, dimension: usize) -> usize {
+        self.end.min(dimension)
+    }
+
+    /// Validate the descriptor against a reduction of length `dimension`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HdcError::InvalidPerforation`] if the stride is zero, the
+    /// range is empty, or `begin` lies beyond the dimension.
+    pub fn validate(&self, dimension: usize) -> Result<()> {
+        if self.stride == 0 {
+            return Err(HdcError::InvalidPerforation("stride must be non-zero".into()));
+        }
+        if dimension == 0 {
+            return Ok(());
+        }
+        if self.begin >= dimension {
+            return Err(HdcError::InvalidPerforation(format!(
+                "begin {} is out of range for dimension {}",
+                self.begin, dimension
+            )));
+        }
+        if self.begin >= self.end_clamped(dimension) {
+            return Err(HdcError::InvalidPerforation(format!(
+                "empty range [{}, {})",
+                self.begin,
+                self.end_clamped(dimension)
+            )));
+        }
+        Ok(())
+    }
+
+    /// Iterator over the visited indices for a vector of length `dimension`.
+    pub fn indices(&self, dimension: usize) -> impl Iterator<Item = usize> + '_ {
+        let end = self.end_clamped(dimension);
+        (self.begin..end).step_by(self.stride.max(1))
+    }
+
+    /// Number of elements visited for a vector of length `dimension`.
+    pub fn visited_count(&self, dimension: usize) -> usize {
+        let end = self.end_clamped(dimension);
+        if self.begin >= end || self.stride == 0 {
+            return 0;
+        }
+        (end - self.begin).div_ceil(self.stride)
+    }
+
+    /// Fraction of elements visited, used to rescale `matmul` / `l2norm`
+    /// results (the paper scales those but not similarity metrics).
+    pub fn visited_fraction(&self, dimension: usize) -> f64 {
+        if dimension == 0 {
+            return 1.0;
+        }
+        self.visited_count(dimension) as f64 / dimension as f64
+    }
+}
+
+impl Default for Perforation {
+    fn default() -> Self {
+        Perforation::NONE
+    }
+}
+
+impl std::fmt::Display for Perforation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if *self == Perforation::NONE {
+            write!(f, "none")
+        } else if self.end == usize::MAX {
+            write!(f, "[{}, D) stride {}", self.begin, self.stride)
+        } else {
+            write!(f, "[{}, {}) stride {}", self.begin, self.end, self.stride)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_dense() {
+        assert!(Perforation::NONE.is_dense_over(2048));
+        assert_eq!(Perforation::NONE.visited_count(2048), 2048);
+        assert_eq!(Perforation::NONE.visited_fraction(2048), 1.0);
+    }
+
+    #[test]
+    fn segment_counts() {
+        let p = Perforation::segment(0, 1024);
+        assert_eq!(p.visited_count(2048), 1024);
+        assert_eq!(p.visited_fraction(2048), 0.5);
+        assert!(!p.is_dense_over(2048));
+        assert!(p.is_dense_over(1024));
+    }
+
+    #[test]
+    fn strided_counts() {
+        let p = Perforation::strided(0, 2048, 2);
+        assert_eq!(p.visited_count(2048), 1024);
+        let p4 = Perforation::strided(0, 2048, 4);
+        assert_eq!(p4.visited_count(2048), 512);
+        let both = Perforation::strided(0, 1024, 2);
+        assert_eq!(both.visited_count(2048), 512);
+        assert_eq!(both.visited_fraction(2048), 0.25);
+    }
+
+    #[test]
+    fn odd_lengths_round_up() {
+        let p = Perforation::strided(0, usize::MAX, 2);
+        assert_eq!(p.visited_count(5), 3);
+        assert_eq!(p.indices(5).collect::<Vec<_>>(), vec![0, 2, 4]);
+    }
+
+    #[test]
+    fn validate_rejects_bad_descriptors() {
+        assert!(Perforation::new(0, 10, 0).validate(10).is_err());
+        assert!(Perforation::new(10, 20, 1).validate(10).is_err());
+        assert!(Perforation::new(5, 5, 1).validate(10).is_err());
+        assert!(Perforation::new(0, 10, 1).validate(10).is_ok());
+        assert!(Perforation::NONE.validate(0).is_ok());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Perforation::NONE.to_string(), "none");
+        assert_eq!(Perforation::segment(0, 1024).to_string(), "[0, 1024) stride 1");
+        assert_eq!(
+            Perforation::strided(0, usize::MAX, 2).to_string(),
+            "[0, D) stride 2"
+        );
+    }
+
+    #[test]
+    fn indices_respect_begin() {
+        let p = Perforation::strided(3, 11, 3);
+        assert_eq!(p.indices(16).collect::<Vec<_>>(), vec![3, 6, 9]);
+    }
+}

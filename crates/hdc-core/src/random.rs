@@ -1,0 +1,134 @@
+//! Seeded random generation of hypervectors and hypermatrices.
+//!
+//! All experiments in the repository are deterministic given a seed; the
+//! [`HdcRng`] alias pins the generator so results are reproducible across
+//! runs and platforms.
+
+use crate::element::Element;
+use crate::hypermatrix::HyperMatrix;
+use crate::hypervector::HyperVector;
+use rand::Rng;
+use rand_distr::{Distribution, StandardNormal};
+
+/// The deterministic RNG used throughout the reproduction.
+pub type HdcRng = rand::rngs::StdRng;
+
+/// Create a hypervector of uniformly random values in `[-1, 1]`
+/// (the `random_hypervector` primitive).
+pub fn random_hypervector<T: Element>(dimension: usize, rng: &mut impl Rng) -> HyperVector<T> {
+    HyperVector::from_fn(dimension, |_| T::from_f64(rng.gen_range(-1.0..=1.0)))
+}
+
+/// Create a hypermatrix of uniformly random values in `[-1, 1]`
+/// (the `random_hypermatrix` primitive).
+pub fn random_hypermatrix<T: Element>(
+    rows: usize,
+    cols: usize,
+    rng: &mut impl Rng,
+) -> HyperMatrix<T> {
+    HyperMatrix::from_fn(rows, cols, |_, _| T::from_f64(rng.gen_range(-1.0..=1.0)))
+}
+
+/// Create a hypervector of standard-normal values
+/// (the `gaussian_hypervector` primitive).
+pub fn gaussian_hypervector<T: Element>(dimension: usize, rng: &mut impl Rng) -> HyperVector<T> {
+    HyperVector::from_fn(dimension, |_| {
+        T::from_f64(StandardNormal.sample(rng))
+    })
+}
+
+/// Create a hypermatrix of standard-normal values
+/// (the `gaussian_hypermatrix` primitive).
+pub fn gaussian_hypermatrix<T: Element>(
+    rows: usize,
+    cols: usize,
+    rng: &mut impl Rng,
+) -> HyperMatrix<T> {
+    HyperMatrix::from_fn(rows, cols, |_, _| T::from_f64(StandardNormal.sample(rng)))
+}
+
+/// Create a random bipolar (±1) hypervector.
+pub fn bipolar_hypervector<T: Element>(dimension: usize, rng: &mut impl Rng) -> HyperVector<T> {
+    HyperVector::from_fn(dimension, |_| {
+        if rng.gen_bool(0.5) {
+            T::ONE
+        } else {
+            -T::ONE
+        }
+    })
+}
+
+/// Create a random bipolar (±1) hypermatrix, the usual initial state of a
+/// random-projection encoder.
+pub fn bipolar_hypermatrix<T: Element>(
+    rows: usize,
+    cols: usize,
+    rng: &mut impl Rng,
+) -> HyperMatrix<T> {
+    HyperMatrix::from_fn(rows, cols, |_, _| {
+        if rng.gen_bool(0.5) {
+            T::ONE
+        } else {
+            -T::ONE
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a: HyperVector<f32> = random_hypervector(64, &mut HdcRng::seed_from_u64(1));
+        let b: HyperVector<f32> = random_hypervector(64, &mut HdcRng::seed_from_u64(1));
+        let c: HyperVector<f32> = random_hypervector(64, &mut HdcRng::seed_from_u64(2));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn uniform_range() {
+        let hv: HyperVector<f64> = random_hypervector(1000, &mut HdcRng::seed_from_u64(3));
+        assert!(hv.iter().all(|&x| (-1.0..=1.0).contains(&x)));
+    }
+
+    #[test]
+    fn bipolar_values_only() {
+        let hv: HyperVector<i32> = bipolar_hypervector(256, &mut HdcRng::seed_from_u64(4));
+        assert!(hv.iter().all(|&x| x == 1 || x == -1));
+        let hm: HyperMatrix<f32> = bipolar_hypermatrix(4, 64, &mut HdcRng::seed_from_u64(5));
+        assert!(hm.as_slice().iter().all(|&x| x == 1.0 || x == -1.0));
+    }
+
+    #[test]
+    fn gaussian_statistics_roughly_standard() {
+        let hv: HyperVector<f64> = gaussian_hypervector(20_000, &mut HdcRng::seed_from_u64(6));
+        let mean = hv.sum() / hv.dimension() as f64;
+        let var = hv.iter().map(|&x| (x - mean) * (x - mean)).sum::<f64>() / hv.dimension() as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn random_bipolar_hvs_are_nearly_orthogonal() {
+        // The HDC premise: random hypervectors in high dimensions are
+        // quasi-orthogonal.
+        let mut rng = HdcRng::seed_from_u64(7);
+        let a: HyperVector<f32> = bipolar_hypervector(10_000, &mut rng);
+        let b: HyperVector<f32> = bipolar_hypervector(10_000, &mut rng);
+        let sim =
+            crate::similarity::cosine_similarity(&a, &b, crate::Perforation::NONE).unwrap();
+        assert!(sim.abs() < 0.05, "similarity {sim}");
+    }
+
+    #[test]
+    fn matrix_shapes() {
+        let mut rng = HdcRng::seed_from_u64(8);
+        let m: HyperMatrix<f32> = gaussian_hypermatrix(3, 17, &mut rng);
+        assert_eq!((m.rows(), m.cols()), (3, 17));
+        let u: HyperMatrix<i16> = random_hypermatrix(2, 9, &mut rng);
+        assert_eq!((u.rows(), u.cols()), (2, 9));
+    }
+}

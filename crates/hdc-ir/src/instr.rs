@@ -1,0 +1,153 @@
+//! HDC instructions: an [`HdcOp`] applied to operands, producing a value.
+
+use crate::ops::HdcOp;
+use crate::program::ValueId;
+use hdc_core::Perforation;
+
+/// An operand of an [`HdcInstr`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Operand {
+    /// A reference to a program value slot.
+    Value(ValueId),
+    /// An immediate integer (shift amounts, row indices known at compile
+    /// time, epoch counts).
+    ImmInt(i64),
+}
+
+impl Operand {
+    /// The referenced value, if this operand is a value reference.
+    pub fn as_value(&self) -> Option<ValueId> {
+        match self {
+            Operand::Value(v) => Some(*v),
+            Operand::ImmInt(_) => None,
+        }
+    }
+
+    /// The immediate integer, if this operand is an immediate.
+    pub fn as_imm(&self) -> Option<i64> {
+        match self {
+            Operand::Value(_) => None,
+            Operand::ImmInt(i) => Some(*i),
+        }
+    }
+}
+
+impl From<ValueId> for Operand {
+    fn from(v: ValueId) -> Self {
+        Operand::Value(v)
+    }
+}
+
+impl From<i64> for Operand {
+    fn from(i: i64) -> Self {
+        Operand::ImmInt(i)
+    }
+}
+
+impl std::fmt::Display for Operand {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Operand::Value(v) => write!(f, "%{}", v.index()),
+            Operand::ImmInt(i) => write!(f, "{i}"),
+        }
+    }
+}
+
+/// One HDC intrinsic instruction.
+///
+/// Instructions read their operands, compute the operation, and (for all ops
+/// except `set_matrix_row` / `accumulate_row`, which update their first
+/// operand in place) write the result into `result`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HdcInstr {
+    /// The operation.
+    pub op: HdcOp,
+    /// Operand list; the per-op operand arity is checked by the verifier.
+    pub operands: Vec<Operand>,
+    /// The value slot receiving the result, if any.
+    pub result: Option<ValueId>,
+    /// Optional reduction perforation annotation (`red_perf`, §4.2).
+    pub perforation: Option<Perforation>,
+}
+
+impl HdcInstr {
+    /// Create an instruction with no perforation annotation.
+    pub fn new(op: HdcOp, operands: Vec<Operand>, result: Option<ValueId>) -> Self {
+        HdcInstr {
+            op,
+            operands,
+            result,
+            perforation: None,
+        }
+    }
+
+    /// Attach a perforation annotation, returning the modified instruction.
+    pub fn with_perforation(mut self, perforation: Perforation) -> Self {
+        self.perforation = Some(perforation);
+        self
+    }
+
+    /// Iterate over the value slots read by this instruction.
+    pub fn read_values(&self) -> impl Iterator<Item = ValueId> + '_ {
+        self.operands.iter().filter_map(Operand::as_value)
+    }
+
+    /// The value slots written by this instruction. In-place ops
+    /// (`set_matrix_row`, `accumulate_row`) write their first operand.
+    pub fn written_values(&self) -> Vec<ValueId> {
+        let mut out = Vec::new();
+        if matches!(self.op, HdcOp::SetMatrixRow | HdcOp::AccumulateRow) {
+            if let Some(v) = self.operands.first().and_then(Operand::as_value) {
+                out.push(v);
+            }
+        }
+        if let Some(r) = self.result {
+            out.push(r);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::ValueId;
+
+    #[test]
+    fn operand_conversions() {
+        let v = ValueId::new(3);
+        let ov: Operand = v.into();
+        assert_eq!(ov.as_value(), Some(v));
+        assert_eq!(ov.as_imm(), None);
+        let oi: Operand = 7i64.into();
+        assert_eq!(oi.as_imm(), Some(7));
+        assert_eq!(oi.as_value(), None);
+        assert_eq!(ov.to_string(), "%3");
+        assert_eq!(oi.to_string(), "7");
+    }
+
+    #[test]
+    fn read_written_values() {
+        let a = ValueId::new(0);
+        let b = ValueId::new(1);
+        let r = ValueId::new(2);
+        let instr = HdcInstr::new(HdcOp::MatMul, vec![a.into(), b.into()], Some(r));
+        assert_eq!(instr.read_values().collect::<Vec<_>>(), vec![a, b]);
+        assert_eq!(instr.written_values(), vec![r]);
+
+        let inplace = HdcInstr::new(
+            HdcOp::SetMatrixRow,
+            vec![a.into(), b.into(), Operand::ImmInt(0)],
+            None,
+        );
+        assert_eq!(inplace.written_values(), vec![a]);
+    }
+
+    #[test]
+    fn perforation_attachment() {
+        let instr = HdcInstr::new(HdcOp::HammingDistance, vec![], None)
+            .with_perforation(hdc_core::Perforation::strided(0, 2048, 2));
+        assert!(instr.perforation.is_some());
+        assert_eq!(instr.perforation.unwrap().stride, 2);
+    }
+}

@@ -1,0 +1,269 @@
+//! The HDC intrinsic operations of the paper's Table 1.
+
+use hdc_core::element::ElementKind;
+use hdc_core::ops::ElementwiseOp;
+
+/// An HDC intrinsic operation.
+///
+/// These correspond one-to-one to the `__hetero_hdc_*` primitives of HDC++
+/// (Table 1), minus the three stage loops (`encoding_loop`, `training_loop`,
+/// `inference_loop`), which are represented structurally as
+/// [`crate::StageNode`]s, and `red_perf`, which is represented as a
+/// [`hdc_core::Perforation`] annotation on the instruction it applies to.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum HdcOp {
+    /// `hypervector()` / `hypermatrix()`: produce a zero-initialised tensor.
+    Zero,
+    /// `random_hypervector()` / `random_hypermatrix()`: uniform random in
+    /// `[-1, 1]`. The seed makes program execution deterministic.
+    Random {
+        /// RNG seed for reproducibility.
+        seed: u64,
+    },
+    /// `gaussian_hypervector()` / `gaussian_hypermatrix()`: standard normal.
+    Gaussian {
+        /// RNG seed for reproducibility.
+        seed: u64,
+    },
+    /// `random_hypervector()` restricted to bipolar ±1 values, the usual
+    /// initial state of random-projection matrices.
+    RandomBipolar {
+        /// RNG seed for reproducibility.
+        seed: u64,
+    },
+    /// `wrap_shift(input, amount)`: rotate elements with wrap-around.
+    WrapShift,
+    /// `sign(input)`: map each element to ±1.
+    Sign,
+    /// `sign_flip(input)`: negate each element.
+    SignFlip,
+    /// `absolute_value(input)`.
+    AbsoluteValue,
+    /// Element-wise `cosine(input)`.
+    CosineElementwise,
+    /// `add`/`sub`/`mul`/`div` element-wise binary operators.
+    Elementwise(ElementwiseOp),
+    /// `l2norm(input)`: L2 norm of a hypervector (scalar result) or of each
+    /// row of a hypermatrix (vector result).
+    L2Norm,
+    /// `get_element(tensor, row [, col])`.
+    GetElement,
+    /// `type_cast(input, ty)`: cast elements to the given kind.
+    TypeCast {
+        /// Destination element kind.
+        to: ElementKind,
+    },
+    /// `arg_min(input)`: index of the minimum (per row for matrices).
+    ArgMin,
+    /// `arg_max(input)`: index of the maximum (per row for matrices).
+    ArgMax,
+    /// `set_matrix_row(matrix, new_row, row_idx)`.
+    SetMatrixRow,
+    /// `get_matrix_row(matrix, row_idx)`.
+    GetMatrixRow,
+    /// `matrix_transpose(input)`.
+    MatrixTranspose,
+    /// `cossim(lhs, rhs)`: cosine similarity (vector×vector → scalar,
+    /// vector×matrix → vector, matrix×matrix → matrix).
+    CosineSimilarity,
+    /// `hamming_distance(lhs, rhs)`: Hamming distance with the same shape
+    /// rules as [`HdcOp::CosineSimilarity`].
+    HammingDistance,
+    /// `matmul(lhs, rhs)`: hypervector/hypermatrix multiplication by a
+    /// projection hypermatrix.
+    MatMul,
+    /// Accumulate (bundle) a hypervector into a row of a hypermatrix:
+    /// `matrix[row] += vector`. Used by training and clustering updates;
+    /// expressible with `get_matrix_row`/`add`/`set_matrix_row` but provided
+    /// as a fused intrinsic because the accelerators implement it natively.
+    AccumulateRow,
+}
+
+/// Categories of HDC operations, used by the optimization passes to decide
+/// how binarization taint propagates and where perforation is legal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpCategory {
+    /// Creation ops with no tensor inputs.
+    Creation,
+    /// Element-wise ops (unary or binary) whose inputs and outputs share a
+    /// shape.
+    Elementwise,
+    /// Reducing ops that collapse the hypervector dimension
+    /// (`matmul`, `cossim`, `hamming_distance`, `l2norm`).
+    Reduction,
+    /// Data-movement / indexing ops (`get_matrix_row`, `set_matrix_row`,
+    /// `get_element`, `transpose`, `wrap_shift`, `accumulate_row`).
+    DataMovement,
+    /// Arg-min / arg-max selection.
+    Selection,
+}
+
+impl HdcOp {
+    /// The category this operation belongs to.
+    pub fn category(&self) -> OpCategory {
+        match self {
+            HdcOp::Zero | HdcOp::Random { .. } | HdcOp::Gaussian { .. } | HdcOp::RandomBipolar { .. } => {
+                OpCategory::Creation
+            }
+            HdcOp::Sign
+            | HdcOp::SignFlip
+            | HdcOp::AbsoluteValue
+            | HdcOp::CosineElementwise
+            | HdcOp::Elementwise(_)
+            | HdcOp::TypeCast { .. } => OpCategory::Elementwise,
+            HdcOp::L2Norm | HdcOp::CosineSimilarity | HdcOp::HammingDistance | HdcOp::MatMul => {
+                OpCategory::Reduction
+            }
+            HdcOp::WrapShift
+            | HdcOp::GetElement
+            | HdcOp::SetMatrixRow
+            | HdcOp::GetMatrixRow
+            | HdcOp::MatrixTranspose
+            | HdcOp::AccumulateRow => OpCategory::DataMovement,
+            HdcOp::ArgMin | HdcOp::ArgMax => OpCategory::Selection,
+        }
+    }
+
+    /// Whether this is a reducing operation in the sense of Algorithm 1
+    /// (`IsHDCReduceOp`): the hypervector dimension is collapsed, so
+    /// binarization of the *output* does not require binarizing the inputs.
+    pub fn is_reduce_op(&self) -> bool {
+        self.category() == OpCategory::Reduction
+    }
+
+    /// Whether reduction perforation (`red_perf`) may legally annotate this
+    /// operation. The paper allows it on `hamming_distance`, `cossim`,
+    /// `matmul` and `l2norm`.
+    pub fn supports_perforation(&self) -> bool {
+        matches!(
+            self,
+            HdcOp::HammingDistance | HdcOp::CosineSimilarity | HdcOp::MatMul | HdcOp::L2Norm
+        )
+    }
+
+    /// Whether the perforated result must be rescaled by the visited
+    /// fraction. Similarity metrics are not rescaled (only relative order
+    /// matters); `matmul` and `l2norm` are (§4.2).
+    pub fn perforation_rescales(&self) -> bool {
+        matches!(self, HdcOp::MatMul | HdcOp::L2Norm)
+    }
+
+    /// Short mnemonic used by the IR printer.
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            HdcOp::Zero => "hdc.zero",
+            HdcOp::Random { .. } => "hdc.random",
+            HdcOp::Gaussian { .. } => "hdc.gaussian",
+            HdcOp::RandomBipolar { .. } => "hdc.random_bipolar",
+            HdcOp::WrapShift => "hdc.wrap_shift",
+            HdcOp::Sign => "hdc.sign",
+            HdcOp::SignFlip => "hdc.sign_flip",
+            HdcOp::AbsoluteValue => "hdc.abs",
+            HdcOp::CosineElementwise => "hdc.cos",
+            HdcOp::Elementwise(ElementwiseOp::Add) => "hdc.add",
+            HdcOp::Elementwise(ElementwiseOp::Sub) => "hdc.sub",
+            HdcOp::Elementwise(ElementwiseOp::Mul) => "hdc.mul",
+            HdcOp::Elementwise(ElementwiseOp::Div) => "hdc.div",
+            HdcOp::L2Norm => "hdc.l2norm",
+            HdcOp::GetElement => "hdc.get_element",
+            HdcOp::TypeCast { .. } => "hdc.type_cast",
+            HdcOp::ArgMin => "hdc.arg_min",
+            HdcOp::ArgMax => "hdc.arg_max",
+            HdcOp::SetMatrixRow => "hdc.set_matrix_row",
+            HdcOp::GetMatrixRow => "hdc.get_matrix_row",
+            HdcOp::MatrixTranspose => "hdc.transpose",
+            HdcOp::CosineSimilarity => "hdc.cossim",
+            HdcOp::HammingDistance => "hdc.hamming_distance",
+            HdcOp::MatMul => "hdc.matmul",
+            HdcOp::AccumulateRow => "hdc.accumulate_row",
+        }
+    }
+
+    /// The number of distinct HDC++ primitives represented by this IR
+    /// (Table 1 lists 24: 21 granular primitives represented by [`HdcOp`] /
+    /// perforation annotations plus the 3 stage loops).
+    pub const TABLE1_PRIMITIVE_COUNT: usize = 24;
+}
+
+impl std::fmt::Display for HdcOp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn categories() {
+        assert_eq!(HdcOp::MatMul.category(), OpCategory::Reduction);
+        assert_eq!(HdcOp::Sign.category(), OpCategory::Elementwise);
+        assert_eq!(HdcOp::Zero.category(), OpCategory::Creation);
+        assert_eq!(HdcOp::GetMatrixRow.category(), OpCategory::DataMovement);
+        assert_eq!(HdcOp::ArgMin.category(), OpCategory::Selection);
+        assert_eq!(
+            HdcOp::Elementwise(ElementwiseOp::Add).category(),
+            OpCategory::Elementwise
+        );
+    }
+
+    #[test]
+    fn reduce_ops_match_algorithm1() {
+        assert!(HdcOp::MatMul.is_reduce_op());
+        assert!(HdcOp::CosineSimilarity.is_reduce_op());
+        assert!(HdcOp::HammingDistance.is_reduce_op());
+        assert!(HdcOp::L2Norm.is_reduce_op());
+        assert!(!HdcOp::Sign.is_reduce_op());
+        assert!(!HdcOp::AccumulateRow.is_reduce_op());
+    }
+
+    #[test]
+    fn perforation_legality_and_scaling() {
+        assert!(HdcOp::HammingDistance.supports_perforation());
+        assert!(HdcOp::CosineSimilarity.supports_perforation());
+        assert!(HdcOp::MatMul.supports_perforation());
+        assert!(HdcOp::L2Norm.supports_perforation());
+        assert!(!HdcOp::Sign.supports_perforation());
+        // similarity metrics are not rescaled, matmul / l2norm are
+        assert!(!HdcOp::HammingDistance.perforation_rescales());
+        assert!(!HdcOp::CosineSimilarity.perforation_rescales());
+        assert!(HdcOp::MatMul.perforation_rescales());
+        assert!(HdcOp::L2Norm.perforation_rescales());
+    }
+
+    #[test]
+    fn mnemonics_are_distinct() {
+        let ops = [
+            HdcOp::Zero,
+            HdcOp::Random { seed: 0 },
+            HdcOp::Gaussian { seed: 0 },
+            HdcOp::RandomBipolar { seed: 0 },
+            HdcOp::WrapShift,
+            HdcOp::Sign,
+            HdcOp::SignFlip,
+            HdcOp::AbsoluteValue,
+            HdcOp::CosineElementwise,
+            HdcOp::Elementwise(ElementwiseOp::Add),
+            HdcOp::Elementwise(ElementwiseOp::Sub),
+            HdcOp::Elementwise(ElementwiseOp::Mul),
+            HdcOp::Elementwise(ElementwiseOp::Div),
+            HdcOp::L2Norm,
+            HdcOp::GetElement,
+            HdcOp::TypeCast {
+                to: ElementKind::Bit,
+            },
+            HdcOp::ArgMin,
+            HdcOp::ArgMax,
+            HdcOp::SetMatrixRow,
+            HdcOp::GetMatrixRow,
+            HdcOp::MatrixTranspose,
+            HdcOp::CosineSimilarity,
+            HdcOp::HammingDistance,
+            HdcOp::MatMul,
+            HdcOp::AccumulateRow,
+        ];
+        let names: std::collections::HashSet<&str> = ops.iter().map(|o| o.mnemonic()).collect();
+        assert_eq!(names.len(), ops.len());
+    }
+}

@@ -1,0 +1,206 @@
+//! High-level algorithmic stage nodes (`encoding_loop`, `training_loop`,
+//! `inference_loop`, paper §3.1).
+//!
+//! Stage nodes carry two pieces of information:
+//!
+//! 1. A *coarse-grain semantic descriptor* ([`StageKind`], [`StageInterface`],
+//!    [`ScorePolarity`]) that the accelerator back ends map directly onto
+//!    their functional interface (program the class memory once, then stream
+//!    samples through `execute_retrain` / `execute_inference`).
+//! 2. An *implementation body*: a per-sample sequence of granular
+//!    [`HdcInstr`]s used when the stage runs on a CPU or GPU, where the
+//!    concrete encoding / similarity algorithm is up to the application
+//!    developer.
+//!
+//! This mirrors the paper's design: the stage primitives take an
+//! "implementation function" argument that is executed on CPUs/GPUs, while
+//! accelerators use their built-in coarse-grain operations.
+
+use crate::instr::HdcInstr;
+use crate::program::ValueId;
+
+/// Which algorithmic stage a [`StageNode`] represents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StageKind {
+    /// `encoding_loop`: encode every row of the query matrix.
+    Encoding,
+    /// `training_loop`: iterate over labelled samples for `epochs` epochs,
+    /// updating the class hypermatrix on mispredictions.
+    Training {
+        /// Number of passes over the training set.
+        epochs: usize,
+    },
+    /// `inference_loop`: classify every row of the query matrix.
+    Inference,
+}
+
+impl StageKind {
+    /// Short name used by the printer and profiles.
+    pub fn name(&self) -> &'static str {
+        match self {
+            StageKind::Encoding => "encoding_loop",
+            StageKind::Training { .. } => "training_loop",
+            StageKind::Inference => "inference_loop",
+        }
+    }
+}
+
+impl std::fmt::Display for StageKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StageKind::Training { epochs } => write!(f, "training_loop(epochs={epochs})"),
+            other => f.write_str(other.name()),
+        }
+    }
+}
+
+/// Whether the per-sample score produced by a stage body is a similarity
+/// (higher is better, use arg-max) or a dissimilarity/distance (lower is
+/// better, use arg-min).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScorePolarity {
+    /// Scores are similarities; the predicted class is the arg-max.
+    Similarity,
+    /// Scores are distances; the predicted class is the arg-min.
+    Distance,
+}
+
+impl ScorePolarity {
+    /// Select the winning index from a score slice according to the polarity.
+    pub fn select(&self, scores: &[f64]) -> Option<usize> {
+        match self {
+            ScorePolarity::Similarity => hdc_core::ops::arg_max(scores),
+            ScorePolarity::Distance => hdc_core::ops::arg_min(scores),
+        }
+    }
+}
+
+/// The program-level values a stage node reads and writes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageInterface {
+    /// The query hypermatrix: raw features for `encoding_loop`, encoded
+    /// hypervectors for `training_loop` / `inference_loop`. One row per
+    /// sample.
+    pub queries: ValueId,
+    /// The class hypermatrix (`None` for `encoding_loop`).
+    pub classes: Option<ValueId>,
+    /// Ground-truth labels (index vector), required by `training_loop`.
+    pub labels: Option<ValueId>,
+    /// The stage output: the encoded hypermatrix for `encoding_loop`, the
+    /// predicted-label index vector for `inference_loop`, and the updated
+    /// class hypermatrix (aliasing `classes`) for `training_loop`.
+    pub output: ValueId,
+}
+
+/// A coarse-grain algorithmic stage node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageNode {
+    /// Which stage this is.
+    pub kind: StageKind,
+    /// Program-level inputs and outputs.
+    pub interface: StageInterface,
+    /// Whether body scores are similarities or distances.
+    pub polarity: ScorePolarity,
+    /// Per-sample implementation body used on CPU / GPU targets.
+    pub body: Vec<HdcInstr>,
+    /// Value slot the executor writes the current sample (one row of
+    /// `interface.queries`) into before running the body.
+    pub body_query: ValueId,
+    /// Value slot the body leaves its per-sample result in: the encoded
+    /// hypervector for `encoding_loop`, the score vector (one entry per
+    /// class) for `training_loop` / `inference_loop`.
+    pub body_result: ValueId,
+    /// Values that stay resident on the device across loop iterations
+    /// (class hypermatrix, projection matrix). Populated by the
+    /// data-movement pass; an empty list means every iteration re-transfers
+    /// its inputs, which is what the unoptimized accelerator code would do.
+    pub persistent_values: Vec<ValueId>,
+}
+
+impl StageNode {
+    /// Iterate over every value the stage reads (interface plus body reads).
+    pub fn read_values(&self) -> Vec<ValueId> {
+        let mut out = vec![self.interface.queries];
+        if let Some(c) = self.interface.classes {
+            out.push(c);
+        }
+        if let Some(l) = self.interface.labels {
+            out.push(l);
+        }
+        for instr in &self.body {
+            out.extend(instr.read_values());
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Values written by the stage (its output plus body writes).
+    pub fn written_values(&self) -> Vec<ValueId> {
+        let mut out = vec![self.interface.output];
+        for instr in &self.body {
+            out.extend(instr.written_values());
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::HdcOp;
+
+    #[test]
+    fn stage_kind_names() {
+        assert_eq!(StageKind::Encoding.name(), "encoding_loop");
+        assert_eq!(StageKind::Inference.to_string(), "inference_loop");
+        assert_eq!(
+            StageKind::Training { epochs: 5 }.to_string(),
+            "training_loop(epochs=5)"
+        );
+    }
+
+    #[test]
+    fn polarity_selection() {
+        let scores = [0.1, 0.9, 0.4];
+        assert_eq!(ScorePolarity::Similarity.select(&scores), Some(1));
+        assert_eq!(ScorePolarity::Distance.select(&scores), Some(0));
+        assert_eq!(ScorePolarity::Similarity.select(&[]), None);
+    }
+
+    #[test]
+    fn read_written_values_include_interface_and_body() {
+        let queries = ValueId::new(0);
+        let classes = ValueId::new(1);
+        let output = ValueId::new(2);
+        let body_query = ValueId::new(3);
+        let body_result = ValueId::new(4);
+        let stage = StageNode {
+            kind: StageKind::Inference,
+            interface: StageInterface {
+                queries,
+                classes: Some(classes),
+                labels: None,
+                output,
+            },
+            polarity: ScorePolarity::Distance,
+            body: vec![HdcInstr::new(
+                HdcOp::HammingDistance,
+                vec![body_query.into(), classes.into()],
+                Some(body_result),
+            )],
+            body_query,
+            body_result,
+            persistent_values: vec![],
+        };
+        let reads = stage.read_values();
+        assert!(reads.contains(&queries));
+        assert!(reads.contains(&classes));
+        assert!(reads.contains(&body_query));
+        let writes = stage.written_values();
+        assert!(writes.contains(&output));
+        assert!(writes.contains(&body_result));
+    }
+}

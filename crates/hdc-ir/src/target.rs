@@ -1,0 +1,102 @@
+//! Hardware targets that IR nodes may be compiled to.
+
+/// A hardware target supported by the HPVM-HDC back ends.
+///
+/// Each node of a [`crate::Program`] is annotated with one target; different
+/// nodes of the same program may be lowered to different targets (Figure 4
+/// of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Target {
+    /// Sequential CPU execution (HPVM's CPU back end).
+    Cpu,
+    /// Multi-threaded CPU execution (data-parallel leaf nodes).
+    CpuParallel,
+    /// Server-class discrete GPU (the paper's RTX 2080 Ti).
+    Gpu,
+    /// Edge-class GPU (the paper's NVIDIA Jetson AGX Orin), used as the
+    /// comparison point for the HDC accelerators in Figure 6.
+    JetsonGpu,
+    /// The taped-out 40 nm digital HDC ASIC of Yang et al.
+    DigitalAsic,
+    /// The ReRAM processing-in-memory HDC accelerator of Xu et al.
+    ReRamAccelerator,
+}
+
+impl Target {
+    /// All targets, in the order used by reports.
+    pub const ALL: [Target; 6] = [
+        Target::Cpu,
+        Target::CpuParallel,
+        Target::Gpu,
+        Target::JetsonGpu,
+        Target::DigitalAsic,
+        Target::ReRamAccelerator,
+    ];
+
+    /// Whether the target is one of the two HDC accelerators, which only
+    /// accept the coarse-grain stage nodes and do not support the
+    /// software-level approximation optimizations (§4.2).
+    pub fn is_hdc_accelerator(self) -> bool {
+        matches!(self, Target::DigitalAsic | Target::ReRamAccelerator)
+    }
+
+    /// Whether the target is a GPU (server or edge class).
+    pub fn is_gpu(self) -> bool {
+        matches!(self, Target::Gpu | Target::JetsonGpu)
+    }
+
+    /// Whether the target executes on the host CPU.
+    pub fn is_cpu(self) -> bool {
+        matches!(self, Target::Cpu | Target::CpuParallel)
+    }
+
+    /// Whether the approximation optimizations (automatic binarization,
+    /// reduction perforation) may be applied to nodes mapped to this target.
+    pub fn supports_approximations(self) -> bool {
+        !self.is_hdc_accelerator()
+    }
+}
+
+impl std::fmt::Display for Target {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Target::Cpu => "cpu",
+            Target::CpuParallel => "cpu-parallel",
+            Target::Gpu => "gpu",
+            Target::JetsonGpu => "jetson-gpu",
+            Target::DigitalAsic => "hdc-digital-asic",
+            Target::ReRamAccelerator => "hdc-reram",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accelerator_classification() {
+        assert!(Target::DigitalAsic.is_hdc_accelerator());
+        assert!(Target::ReRamAccelerator.is_hdc_accelerator());
+        assert!(!Target::Gpu.is_hdc_accelerator());
+        assert!(Target::Gpu.is_gpu());
+        assert!(Target::JetsonGpu.is_gpu());
+        assert!(Target::Cpu.is_cpu());
+        assert!(Target::CpuParallel.is_cpu());
+    }
+
+    #[test]
+    fn approximations_not_supported_on_accelerators() {
+        for t in Target::ALL {
+            assert_eq!(t.supports_approximations(), !t.is_hdc_accelerator());
+        }
+    }
+
+    #[test]
+    fn display_names_are_distinct() {
+        let names: std::collections::HashSet<String> =
+            Target::ALL.iter().map(|t| t.to_string()).collect();
+        assert_eq!(names.len(), Target::ALL.len());
+    }
+}

@@ -1,0 +1,190 @@
+//! The IR type system.
+
+use hdc_core::element::ElementKind;
+
+/// Type of a value slot in an HDC program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ValueType {
+    /// A scalar of the given element kind (loop indices, similarity scores,
+    /// labels read out of `arg_min`/`arg_max`, …).
+    Scalar(ElementKind),
+    /// A hypervector of `dim` elements.
+    HyperVector {
+        /// Element kind.
+        elem: ElementKind,
+        /// Number of elements.
+        dim: usize,
+    },
+    /// A hypermatrix of `rows x cols` elements.
+    HyperMatrix {
+        /// Element kind.
+        elem: ElementKind,
+        /// Number of rows.
+        rows: usize,
+        /// Number of columns.
+        cols: usize,
+    },
+    /// A vector of `len` indices (class labels, cluster assignments).
+    IndexVector {
+        /// Number of indices.
+        len: usize,
+    },
+}
+
+impl ValueType {
+    /// The element kind for scalar/vector/matrix types, `None` for index
+    /// vectors.
+    pub fn element_kind(&self) -> Option<ElementKind> {
+        match self {
+            ValueType::Scalar(e) => Some(*e),
+            ValueType::HyperVector { elem, .. } => Some(*elem),
+            ValueType::HyperMatrix { elem, .. } => Some(*elem),
+            ValueType::IndexVector { .. } => None,
+        }
+    }
+
+    /// Return a copy of this type with the element kind replaced (used by
+    /// automatic binarization and `type_cast`). Index vectors are returned
+    /// unchanged.
+    pub fn with_element_kind(&self, elem: ElementKind) -> ValueType {
+        match *self {
+            ValueType::Scalar(_) => ValueType::Scalar(elem),
+            ValueType::HyperVector { dim, .. } => ValueType::HyperVector { elem, dim },
+            ValueType::HyperMatrix { rows, cols, .. } => ValueType::HyperMatrix { elem, rows, cols },
+            ValueType::IndexVector { len } => ValueType::IndexVector { len },
+        }
+    }
+
+    /// Whether this is a hypervector or hypermatrix type.
+    pub fn is_tensor(&self) -> bool {
+        matches!(
+            self,
+            ValueType::HyperVector { .. } | ValueType::HyperMatrix { .. }
+        )
+    }
+
+    /// The reduction dimension of the type: the vector length, or the matrix
+    /// column count.
+    pub fn reduction_dim(&self) -> Option<usize> {
+        match self {
+            ValueType::HyperVector { dim, .. } => Some(*dim),
+            ValueType::HyperMatrix { cols, .. } => Some(*cols),
+            _ => None,
+        }
+    }
+
+    /// Storage footprint in bytes, accounting for bit-packing of binarized
+    /// tensors. Index vectors are stored as 32-bit indices; scalars as their
+    /// element width.
+    pub fn storage_bytes(&self) -> usize {
+        match self {
+            ValueType::Scalar(e) => e.bit_width().div_ceil(8),
+            ValueType::HyperVector { elem, dim } => elem.storage_bytes(*dim),
+            ValueType::HyperMatrix { elem, rows, cols } => rows * elem.storage_bytes(*cols),
+            ValueType::IndexVector { len } => len * 4,
+        }
+    }
+
+    /// Total number of logical elements.
+    pub fn element_count(&self) -> usize {
+        match self {
+            ValueType::Scalar(_) => 1,
+            ValueType::HyperVector { dim, .. } => *dim,
+            ValueType::HyperMatrix { rows, cols, .. } => rows * cols,
+            ValueType::IndexVector { len } => *len,
+        }
+    }
+}
+
+impl std::fmt::Display for ValueType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ValueType::Scalar(e) => write!(f, "{e}"),
+            ValueType::HyperVector { elem, dim } => write!(f, "hypervector<{elem}, {dim}>"),
+            ValueType::HyperMatrix { elem, rows, cols } => {
+                write!(f, "hypermatrix<{elem}, {rows}x{cols}>")
+            }
+            ValueType::IndexVector { len } => write!(f, "indices<{len}>"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn element_kind_accessors() {
+        let v = ValueType::HyperVector {
+            elem: ElementKind::F32,
+            dim: 2048,
+        };
+        assert_eq!(v.element_kind(), Some(ElementKind::F32));
+        assert_eq!(v.reduction_dim(), Some(2048));
+        assert!(v.is_tensor());
+        let i = ValueType::IndexVector { len: 10 };
+        assert_eq!(i.element_kind(), None);
+        assert!(!i.is_tensor());
+    }
+
+    #[test]
+    fn with_element_kind_rewrites() {
+        let m = ValueType::HyperMatrix {
+            elem: ElementKind::F32,
+            rows: 26,
+            cols: 2048,
+        };
+        let b = m.with_element_kind(ElementKind::Bit);
+        assert_eq!(
+            b,
+            ValueType::HyperMatrix {
+                elem: ElementKind::Bit,
+                rows: 26,
+                cols: 2048
+            }
+        );
+        let idx = ValueType::IndexVector { len: 3 };
+        assert_eq!(idx.with_element_kind(ElementKind::Bit), idx);
+    }
+
+    #[test]
+    fn storage_bytes_binarization_shrinks() {
+        let dense = ValueType::HyperMatrix {
+            elem: ElementKind::F32,
+            rows: 26,
+            cols: 10240,
+        };
+        let binary = dense.with_element_kind(ElementKind::Bit);
+        assert_eq!(dense.storage_bytes(), 26 * 10240 * 4);
+        assert_eq!(binary.storage_bytes(), 26 * 10240 / 8);
+        assert_eq!(dense.storage_bytes() / binary.storage_bytes(), 32);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(
+            ValueType::HyperVector {
+                elem: ElementKind::Bit,
+                dim: 2048
+            }
+            .to_string(),
+            "hypervector<bit, 2048>"
+        );
+        assert_eq!(ValueType::Scalar(ElementKind::F64).to_string(), "f64");
+        assert_eq!(ValueType::IndexVector { len: 5 }.to_string(), "indices<5>");
+    }
+
+    #[test]
+    fn element_counts() {
+        assert_eq!(
+            ValueType::HyperMatrix {
+                elem: ElementKind::I8,
+                rows: 3,
+                cols: 7
+            }
+            .element_count(),
+            21
+        );
+        assert_eq!(ValueType::Scalar(ElementKind::F32).element_count(), 1);
+    }
+}

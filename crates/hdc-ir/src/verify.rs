@@ -1,0 +1,551 @@
+//! The IR verifier: def-before-use, shape compatibility, perforation
+//! legality and stage-interface consistency checks.
+
+use crate::instr::{HdcInstr, Operand};
+use crate::ops::HdcOp;
+use crate::program::{NodeBody, Program, ValueId};
+use crate::stage::{StageKind, StageNode};
+use crate::types::ValueType;
+use std::fmt;
+
+/// A collection of verification failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyErrors {
+    /// Human-readable messages, one per failure.
+    pub messages: Vec<String>,
+}
+
+impl fmt::Display for VerifyErrors {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "IR verification failed ({} errors):", self.messages.len())?;
+        for m in &self.messages {
+            writeln!(f, "  - {m}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for VerifyErrors {}
+
+struct Checker<'a> {
+    program: &'a Program,
+    errors: Vec<String>,
+}
+
+impl<'a> Checker<'a> {
+    fn err(&mut self, node: &str, msg: String) {
+        self.errors.push(format!("[{node}] {msg}"));
+    }
+
+    fn value_ty(&self, v: ValueId) -> Option<ValueType> {
+        if v.index() < self.program.values().len() {
+            Some(self.program.value(v).ty)
+        } else {
+            None
+        }
+    }
+
+    fn check_instr(&mut self, node: &str, instr: &HdcInstr) {
+        // operand value ids must exist
+        for op in &instr.operands {
+            if let Operand::Value(v) = op {
+                if self.value_ty(*v).is_none() {
+                    self.err(node, format!("{}: operand {} out of range", instr.op, v.index()));
+                    return;
+                }
+            }
+        }
+        if let Some(r) = instr.result {
+            if self.value_ty(r).is_none() {
+                self.err(node, format!("{}: result value out of range", instr.op));
+                return;
+            }
+        }
+        self.check_arity_and_shapes(node, instr);
+        self.check_perforation(node, instr);
+    }
+
+    fn operand_value_ty(&self, instr: &HdcInstr, idx: usize) -> Option<ValueType> {
+        instr
+            .operands
+            .get(idx)
+            .and_then(Operand::as_value)
+            .and_then(|v| self.value_ty(v))
+    }
+
+    fn check_arity_and_shapes(&mut self, node: &str, instr: &HdcInstr) {
+        let op = &instr.op;
+        let n = instr.operands.len();
+        let expect = |checker: &mut Self, cond: bool, msg: String| {
+            if !cond {
+                checker.err(node, msg);
+            }
+        };
+        match op {
+            HdcOp::Zero | HdcOp::Random { .. } | HdcOp::Gaussian { .. } | HdcOp::RandomBipolar { .. } => {
+                expect(self, n == 0, format!("{op}: expected 0 operands, got {n}"));
+                expect(self, instr.result.is_some(), format!("{op}: missing result"));
+            }
+            HdcOp::Sign
+            | HdcOp::SignFlip
+            | HdcOp::AbsoluteValue
+            | HdcOp::CosineElementwise
+            | HdcOp::TypeCast { .. }
+            | HdcOp::L2Norm
+            | HdcOp::ArgMin
+            | HdcOp::ArgMax
+            | HdcOp::MatrixTranspose => {
+                expect(self, n == 1, format!("{op}: expected 1 operand, got {n}"));
+            }
+            HdcOp::WrapShift | HdcOp::GetMatrixRow => {
+                expect(self, n == 2, format!("{op}: expected 2 operands, got {n}"));
+            }
+            HdcOp::GetElement => {
+                expect(self, n == 2 || n == 3, format!("{op}: expected 2-3 operands, got {n}"));
+            }
+            HdcOp::SetMatrixRow | HdcOp::AccumulateRow => {
+                expect(self, n == 3, format!("{op}: expected 3 operands, got {n}"));
+                if let (Some(m), Some(v)) = (self.operand_value_ty(instr, 0), self.operand_value_ty(instr, 1)) {
+                    if let (
+                        ValueType::HyperMatrix { cols, .. },
+                        ValueType::HyperVector { dim, .. },
+                    ) = (m, v)
+                    {
+                        if cols != dim {
+                            self.err(
+                                node,
+                                format!("{op}: row length {dim} does not match matrix columns {cols}"),
+                            );
+                        }
+                    }
+                }
+            }
+            HdcOp::Elementwise(_) => {
+                expect(self, n == 2, format!("{op}: expected 2 operands, got {n}"));
+                if let (Some(a), Some(b)) = (self.operand_value_ty(instr, 0), self.operand_value_ty(instr, 1)) {
+                    let dims_match = match (a, b) {
+                        (ValueType::HyperVector { dim: da, .. }, ValueType::HyperVector { dim: db, .. }) => da == db,
+                        (
+                            ValueType::HyperMatrix { rows: ra, cols: ca, .. },
+                            ValueType::HyperMatrix { rows: rb, cols: cb, .. },
+                        ) => ra == rb && ca == cb,
+                        (ValueType::Scalar(_), ValueType::Scalar(_)) => true,
+                        _ => false,
+                    };
+                    if !dims_match {
+                        self.err(node, format!("{op}: operand shapes {a} and {b} are incompatible"));
+                    }
+                }
+            }
+            HdcOp::CosineSimilarity | HdcOp::HammingDistance => {
+                expect(self, n == 2, format!("{op}: expected 2 operands, got {n}"));
+                if let (Some(a), Some(b)) = (self.operand_value_ty(instr, 0), self.operand_value_ty(instr, 1)) {
+                    let (da, db) = (a.reduction_dim(), b.reduction_dim());
+                    if let (Some(da), Some(db)) = (da, db) {
+                        if da != db {
+                            self.err(
+                                node,
+                                format!("{op}: reduction dimensions {da} and {db} differ"),
+                            );
+                        }
+                    } else {
+                        self.err(node, format!("{op}: operands must be hypervectors or hypermatrices"));
+                    }
+                }
+            }
+            HdcOp::MatMul => {
+                expect(self, n == 2, format!("{op}: expected 2 operands, got {n}"));
+                if let (Some(a), Some(b)) = (self.operand_value_ty(instr, 0), self.operand_value_ty(instr, 1)) {
+                    let in_dim = match a {
+                        ValueType::HyperVector { dim, .. } => Some(dim),
+                        ValueType::HyperMatrix { cols, .. } => Some(cols),
+                        _ => None,
+                    };
+                    let proj_cols = match b {
+                        ValueType::HyperMatrix { cols, .. } => Some(cols),
+                        _ => None,
+                    };
+                    match (in_dim, proj_cols) {
+                        (Some(i), Some(p)) if i != p => {
+                            self.err(node, format!("matmul: input dimension {i} does not match projection columns {p}"));
+                        }
+                        (None, _) | (_, None) => {
+                            self.err(node, "matmul: operands must be (vector|matrix, matrix)".to_string());
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+    }
+
+    fn check_perforation(&mut self, node: &str, instr: &HdcInstr) {
+        if let Some(perf) = instr.perforation {
+            if !instr.op.supports_perforation() {
+                self.err(
+                    node,
+                    format!("{} carries a red_perf annotation but is not a perforable reduction", instr.op),
+                );
+                return;
+            }
+            if let Some(ty) = self.operand_value_ty(instr, 0) {
+                if let Some(dim) = ty.reduction_dim() {
+                    if let Err(e) = perf.validate(dim) {
+                        self.err(node, format!("{}: {e}", instr.op));
+                    }
+                }
+            }
+        }
+    }
+
+    fn check_stage(&mut self, node: &str, stage: &StageNode) {
+        let queries_ty = self.value_ty(stage.interface.queries);
+        let (q_rows, q_cols) = match queries_ty {
+            Some(ValueType::HyperMatrix { rows, cols, .. }) => (rows, cols),
+            _ => {
+                self.err(node, "stage queries must be a hypermatrix".to_string());
+                return;
+            }
+        };
+        match self.value_ty(stage.body_query) {
+            Some(ValueType::HyperVector { dim, .. }) => {
+                if dim != q_cols {
+                    self.err(
+                        node,
+                        format!("stage body query dimension {dim} does not match queries columns {q_cols}"),
+                    );
+                }
+            }
+            _ => self.err(node, "stage body query must be a hypervector".to_string()),
+        }
+        if stage.body.is_empty() {
+            self.err(node, "stage has an empty implementation body".to_string());
+        }
+        if !stage
+            .body
+            .iter()
+            .any(|i| i.written_values().contains(&stage.body_result))
+        {
+            self.err(node, "stage body never writes its result value".to_string());
+        }
+        match stage.kind {
+            StageKind::Encoding => match self.value_ty(stage.interface.output) {
+                Some(ValueType::HyperMatrix { rows, .. }) => {
+                    if rows != q_rows {
+                        self.err(
+                            node,
+                            format!("encoding output rows {rows} do not match query rows {q_rows}"),
+                        );
+                    }
+                }
+                _ => self.err(node, "encoding_loop output must be a hypermatrix".to_string()),
+            },
+            StageKind::Inference => {
+                match self.value_ty(stage.interface.output) {
+                    Some(ValueType::IndexVector { len }) => {
+                        if len != q_rows {
+                            self.err(
+                                node,
+                                format!("inference output length {len} does not match query rows {q_rows}"),
+                            );
+                        }
+                    }
+                    _ => self.err(node, "inference_loop output must be an index vector".to_string()),
+                }
+                if stage.interface.classes.is_none() {
+                    self.err(node, "inference_loop requires a class hypermatrix".to_string());
+                }
+            }
+            StageKind::Training { epochs } => {
+                if epochs == 0 {
+                    self.err(node, "training_loop with zero epochs".to_string());
+                }
+                if stage.interface.classes.is_none() {
+                    self.err(node, "training_loop requires a class hypermatrix".to_string());
+                }
+                match stage.interface.labels.and_then(|l| self.value_ty(l)) {
+                    Some(ValueType::IndexVector { len }) => {
+                        if len != q_rows {
+                            self.err(
+                                node,
+                                format!("training labels length {len} does not match query rows {q_rows}"),
+                            );
+                        }
+                    }
+                    _ => self.err(node, "training_loop requires index-vector labels".to_string()),
+                }
+            }
+        }
+    }
+}
+
+/// Verify a program, returning all failures at once.
+///
+/// # Errors
+///
+/// Returns [`VerifyErrors`] describing every problem found: out-of-range
+/// value references, arity or shape mismatches, illegal perforation
+/// annotations, malformed stage interfaces, and accelerator-targeted nodes
+/// that are not coarse-grain stages.
+pub fn verify(program: &Program) -> Result<(), VerifyErrors> {
+    let mut checker = Checker {
+        program,
+        errors: Vec::new(),
+    };
+    for node in program.nodes() {
+        match &node.body {
+            NodeBody::Leaf { instrs } => {
+                for instr in instrs {
+                    checker.check_instr(&node.name, instr);
+                }
+            }
+            NodeBody::ParallelFor { index, body, count } => {
+                if *count == 0 {
+                    checker.err(&node.name, "parallel_for with zero iterations".to_string());
+                }
+                match checker.value_ty(*index) {
+                    Some(ValueType::Scalar(_)) => {}
+                    _ => checker.err(&node.name, "parallel_for index must be a scalar value".to_string()),
+                }
+                for instr in body {
+                    checker.check_instr(&node.name, instr);
+                }
+            }
+            NodeBody::Stage(stage) => {
+                for instr in &stage.body {
+                    checker.check_instr(&node.name, instr);
+                }
+                checker.check_stage(&node.name, stage);
+            }
+        }
+        if node.target.is_hdc_accelerator() && !matches!(node.body, NodeBody::Stage(_)) {
+            checker.err(
+                &node.name,
+                format!(
+                    "node targets {} but is not a coarse-grain stage; accelerators only accept encoding/training/inference loops",
+                    node.target
+                ),
+            );
+        }
+        if node.target.is_hdc_accelerator() {
+            let has_perforation = node.instrs().iter().any(|i| i.perforation.is_some());
+            if has_perforation {
+                checker.err(
+                    &node.name,
+                    format!("red_perf annotations are not supported on {}", node.target),
+                );
+            }
+        }
+    }
+    if checker.errors.is_empty() {
+        Ok(())
+    } else {
+        Err(VerifyErrors {
+            messages: checker.errors,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::program::{Node, NodeBody, ValueInfo, ValueRole};
+    use crate::stage::{ScorePolarity, StageInterface};
+    use crate::target::Target;
+    use hdc_core::element::ElementKind;
+    use hdc_core::Perforation;
+
+    #[test]
+    fn valid_program_passes() {
+        let mut b = ProgramBuilder::new("ok");
+        let a = b.input_vector("a", ElementKind::F32, 64);
+        let m = b.input_matrix("m", ElementKind::F32, 4, 64);
+        let d = b.hamming_distance(a, m);
+        let l = b.arg_min(d);
+        b.mark_output(l);
+        verify(&b.finish()).unwrap();
+    }
+
+    #[test]
+    fn shape_mismatch_detected() {
+        let mut p = Program::new("bad");
+        let a = p.add_value(ValueInfo {
+            name: "a".into(),
+            ty: ValueType::HyperVector {
+                elem: ElementKind::F32,
+                dim: 64,
+            },
+            role: ValueRole::Input,
+        });
+        let m = p.add_value(ValueInfo {
+            name: "m".into(),
+            ty: ValueType::HyperMatrix {
+                elem: ElementKind::F32,
+                rows: 4,
+                cols: 128,
+            },
+            role: ValueRole::Input,
+        });
+        let r = p.add_value(ValueInfo {
+            name: "r".into(),
+            ty: ValueType::HyperVector {
+                elem: ElementKind::F32,
+                dim: 4,
+            },
+            role: ValueRole::Output,
+        });
+        p.add_node(Node {
+            name: "n".into(),
+            target: Target::Cpu,
+            body: NodeBody::Leaf {
+                instrs: vec![HdcInstr::new(
+                    HdcOp::HammingDistance,
+                    vec![a.into(), m.into()],
+                    Some(r),
+                )],
+            },
+        });
+        let err = verify(&p).unwrap_err();
+        assert!(err.to_string().contains("reduction dimensions"));
+    }
+
+    #[test]
+    fn matmul_dimension_check() {
+        let mut b = ProgramBuilder::new("mm");
+        let x = b.input_vector("x", ElementKind::F32, 100);
+        let w = b.input_matrix("w", ElementKind::F32, 2048, 617);
+        let e = b.matmul(x, w);
+        b.mark_output(e);
+        let err = verify(&b.finish()).unwrap_err();
+        assert!(err.to_string().contains("matmul"));
+    }
+
+    #[test]
+    fn perforation_on_non_reduction_detected() {
+        let mut p = Program::new("perf");
+        let a = p.add_value(ValueInfo {
+            name: "a".into(),
+            ty: ValueType::HyperVector {
+                elem: ElementKind::F32,
+                dim: 64,
+            },
+            role: ValueRole::Input,
+        });
+        let r = p.add_value(ValueInfo {
+            name: "r".into(),
+            ty: ValueType::HyperVector {
+                elem: ElementKind::F32,
+                dim: 64,
+            },
+            role: ValueRole::Output,
+        });
+        p.add_node(Node {
+            name: "n".into(),
+            target: Target::Cpu,
+            body: NodeBody::Leaf {
+                instrs: vec![HdcInstr::new(HdcOp::Sign, vec![a.into()], Some(r))
+                    .with_perforation(Perforation::strided(0, 64, 2))],
+            },
+        });
+        let err = verify(&p).unwrap_err();
+        assert!(err.to_string().contains("red_perf"));
+    }
+
+    #[test]
+    fn accelerator_nodes_must_be_stages() {
+        let mut b = ProgramBuilder::new("acc");
+        b.set_default_target(Target::DigitalAsic);
+        let a = b.input_vector("a", ElementKind::F32, 64);
+        let s = b.sign(a);
+        b.mark_output(s);
+        let err = verify(&b.finish()).unwrap_err();
+        assert!(err.to_string().contains("coarse-grain stage"));
+    }
+
+    #[test]
+    fn stage_interface_errors_detected() {
+        // hand-construct an inference stage whose output has the wrong length
+        let mut p = Program::new("stage");
+        let queries = p.add_value(ValueInfo {
+            name: "q".into(),
+            ty: ValueType::HyperMatrix {
+                elem: ElementKind::F32,
+                rows: 10,
+                cols: 64,
+            },
+            role: ValueRole::Input,
+        });
+        let classes = p.add_value(ValueInfo {
+            name: "c".into(),
+            ty: ValueType::HyperMatrix {
+                elem: ElementKind::F32,
+                rows: 4,
+                cols: 64,
+            },
+            role: ValueRole::Input,
+        });
+        let out = p.add_value(ValueInfo {
+            name: "out".into(),
+            ty: ValueType::IndexVector { len: 5 },
+            role: ValueRole::Output,
+        });
+        let body_query = p.add_value(ValueInfo {
+            name: "bq".into(),
+            ty: ValueType::HyperVector {
+                elem: ElementKind::F32,
+                dim: 64,
+            },
+            role: ValueRole::Temp,
+        });
+        let scores = p.add_value(ValueInfo {
+            name: "scores".into(),
+            ty: ValueType::HyperVector {
+                elem: ElementKind::F32,
+                dim: 4,
+            },
+            role: ValueRole::Temp,
+        });
+        p.add_node(Node {
+            name: "infer".into(),
+            target: Target::Cpu,
+            body: NodeBody::Stage(StageNode {
+                kind: StageKind::Inference,
+                interface: StageInterface {
+                    queries,
+                    classes: Some(classes),
+                    labels: None,
+                    output: out,
+                },
+                polarity: ScorePolarity::Distance,
+                body: vec![HdcInstr::new(
+                    HdcOp::HammingDistance,
+                    vec![body_query.into(), classes.into()],
+                    Some(scores),
+                )],
+                body_query,
+                body_result: scores,
+                persistent_values: vec![],
+            }),
+        });
+        let err = verify(&p).unwrap_err();
+        assert!(err.to_string().contains("inference output length"));
+    }
+
+    #[test]
+    fn out_of_range_value_detected() {
+        let mut p = Program::new("oob");
+        p.add_node(Node {
+            name: "n".into(),
+            target: Target::Cpu,
+            body: NodeBody::Leaf {
+                instrs: vec![HdcInstr::new(
+                    HdcOp::Sign,
+                    vec![ValueId::new(42).into()],
+                    None,
+                )],
+            },
+        });
+        assert!(verify(&p).is_err());
+    }
+}

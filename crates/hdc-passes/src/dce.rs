@@ -1,0 +1,136 @@
+//! Dead code elimination for leaf nodes.
+//!
+//! Removes instructions whose results are never read (transitively) and
+//! that have no side effects. Stage bodies and parallel-for bodies are left
+//! alone: their liveness is governed by the stage semantics.
+
+use hdc_ir::ops::HdcOp;
+use hdc_ir::program::{NodeBody, Program, ValueId, ValueRole};
+use std::collections::HashSet;
+
+/// Statistics reported by [`eliminate_dead_code`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DceReport {
+    /// Number of instructions removed.
+    pub removed_instrs: usize,
+}
+
+fn has_side_effect(op: &HdcOp) -> bool {
+    matches!(op, HdcOp::SetMatrixRow | HdcOp::AccumulateRow)
+}
+
+/// Remove dead instructions from leaf nodes, iterating to a fixpoint.
+pub fn eliminate_dead_code(program: &mut Program) -> DceReport {
+    let mut report = DceReport::default();
+    loop {
+        // Live set: program outputs plus everything read anywhere.
+        let mut live: HashSet<ValueId> = program
+            .values_with_role(ValueRole::Output)
+            .into_iter()
+            .collect();
+        for node in program.nodes() {
+            for v in node.read_values() {
+                live.insert(v);
+            }
+        }
+        // Also keep everything stage/parallel bodies write (their outputs
+        // feed the stage semantics even when not read by later instructions).
+        for node in program.nodes() {
+            if !matches!(node.body, NodeBody::Leaf { .. }) {
+                for v in node.written_values() {
+                    live.insert(v);
+                }
+            }
+        }
+        let mut removed_this_round = 0;
+        for node in program.nodes_mut() {
+            if let NodeBody::Leaf { instrs } = &mut node.body {
+                let before = instrs.len();
+                instrs.retain(|i| {
+                    if has_side_effect(&i.op) {
+                        return true;
+                    }
+                    match i.result {
+                        Some(r) => live.contains(&r),
+                        None => true,
+                    }
+                });
+                removed_this_round += before - instrs.len();
+            }
+        }
+        report.removed_instrs += removed_this_round;
+        if removed_this_round == 0 {
+            break;
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdc_core::element::ElementKind;
+    use hdc_ir::builder::ProgramBuilder;
+    use hdc_ir::verify::verify;
+
+    #[test]
+    fn unused_chain_is_removed() {
+        let mut b = ProgramBuilder::new("dce");
+        let a = b.input_vector("a", ElementKind::F32, 64);
+        let used = b.sign(a);
+        let dead1 = b.sign_flip(a);
+        let _dead2 = b.absolute_value(dead1);
+        b.mark_output(used);
+        let mut p = b.finish();
+        assert_eq!(p.instr_count(), 3);
+        let report = eliminate_dead_code(&mut p);
+        assert_eq!(report.removed_instrs, 2);
+        assert_eq!(p.instr_count(), 1);
+        verify(&p).unwrap();
+    }
+
+    #[test]
+    fn side_effects_are_preserved() {
+        let mut b = ProgramBuilder::new("side");
+        let m = b.input_matrix("m", ElementKind::F32, 4, 64);
+        let v = b.input_vector("v", ElementKind::F32, 64);
+        b.set_matrix_row(m, v, 2);
+        b.mark_output(m);
+        let mut p = b.finish();
+        let report = eliminate_dead_code(&mut p);
+        assert_eq!(report.removed_instrs, 0);
+        assert_eq!(p.instr_count(), 1);
+    }
+
+    #[test]
+    fn live_code_untouched() {
+        let mut b = ProgramBuilder::new("live");
+        let a = b.input_vector("a", ElementKind::F32, 64);
+        let m = b.input_matrix("m", ElementKind::F32, 4, 64);
+        let s = b.sign(a);
+        let d = b.hamming_distance(s, m);
+        let l = b.arg_min(d);
+        b.mark_output(l);
+        let mut p = b.finish();
+        let before = p.clone();
+        let report = eliminate_dead_code(&mut p);
+        assert_eq!(report.removed_instrs, 0);
+        assert_eq!(p, before);
+    }
+
+    #[test]
+    fn transitively_dead_values_removed_across_rounds() {
+        let mut b = ProgramBuilder::new("transitive");
+        let a = b.input_vector("a", ElementKind::F32, 64);
+        let x = b.sign(a);
+        let y = b.sign_flip(x);
+        let z = b.absolute_value(y);
+        let _w = b.cosine(z);
+        let keep = b.sign(a);
+        b.mark_output(keep);
+        let mut p = b.finish();
+        let report = eliminate_dead_code(&mut p);
+        assert_eq!(report.removed_instrs, 4);
+        assert_eq!(p.instr_count(), 1);
+    }
+}

@@ -1,0 +1,40 @@
+//! # hdc-passes
+//!
+//! Compiler transformations over HPVM-HDC IR (paper §4.2 / §4.3):
+//!
+//! * [`binarize`] — automatic binarization propagation (Algorithm 1): a
+//!   taint analysis seeded at `sign` operations that rewrites tainted
+//!   hypervectors and hypermatrices to a 1-bit element representation.
+//! * [`perforation`] — reduction perforation: attach `red_perf` descriptors
+//!   to similarity / matmul / l2norm reductions from a compile-time
+//!   configuration, without touching application source.
+//! * [`lowering`] — lowering of HDC intrinsics into explicit parallel loop
+//!   nests (the representation HPVM's generic back ends consume), used by
+//!   the CPU/GPU back ends' cost models and for IR inspection.
+//! * [`data_movement`] — hoisting of loop-invariant device transfers out of
+//!   the coarse-grain stage loops (the Listing 6 optimization).
+//! * [`target_assign`] — mapping of dataflow-graph nodes onto hardware
+//!   targets with legality checks (accelerators only accept stage nodes and
+//!   reject the approximation optimizations).
+//! * [`dce`] — dead code elimination for leaf nodes.
+//! * [`pipeline`] — a small pass manager that sequences the above and
+//!   re-verifies the IR after every step.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod binarize;
+pub mod data_movement;
+pub mod dce;
+pub mod lowering;
+pub mod perforation;
+pub mod pipeline;
+pub mod target_assign;
+
+pub use binarize::{binarize, BinarizeOptions, BinarizeReport};
+pub use data_movement::{hoist_data_movement, DataMovementReport};
+pub use dce::{eliminate_dead_code, DceReport};
+pub use lowering::{lower_instr, LoopDim, LoopNest};
+pub use perforation::{apply_perforation, PerforationConfig, PerforationReport, PerforationSite};
+pub use pipeline::{compile, CompileOptions, CompileReport};
+pub use target_assign::{assign_targets, TargetConfig};

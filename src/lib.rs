@@ -1,0 +1,33 @@
+//! # hpvm-hdc
+//!
+//! Facade crate for the HPVM-HDC reproduction: a heterogeneous programming
+//! system for hyperdimensional computing (ISCA 2025).
+//!
+//! This crate simply re-exports the workspace crates under one roof so that
+//! examples, integration tests and downstream users can depend on a single
+//! package:
+//!
+//! * [`core`] — hypervector/hypermatrix math, encodings, similarity metrics.
+//! * [`ir`] — the HPVM-HDC IR and the HDC++ builder DSL.
+//! * [`passes`] — automatic binarization, reduction perforation, lowering,
+//!   data-movement hoisting and target assignment.
+//! * [`runtime`] — the program executor, memory/transfer manager and the CPU
+//!   back end.
+//! * [`accel`] — the GPU performance models and the digital-ASIC / ReRAM
+//!   accelerator simulators.
+//! * [`datasets`] — synthetic stand-ins for the paper's datasets.
+//! * [`apps`] — the five evaluated applications (HD-Classification,
+//!   HD-Clustering, HyperOMS, RelHD, HD-Hashtable).
+//!
+//! See `README.md` for a quickstart and `EXPERIMENTS.md` for the
+//! paper-versus-measured comparison of every table and figure.
+
+#![forbid(unsafe_code)]
+
+pub use hdc_accel as accel;
+pub use hdc_apps as apps;
+pub use hdc_core as core;
+pub use hdc_datasets as datasets;
+pub use hdc_ir as ir;
+pub use hdc_passes as passes;
+pub use hdc_runtime as runtime;
