@@ -1,0 +1,180 @@
+//! Offline, API-compatible subset of the `criterion` benchmark harness.
+//!
+//! Benchmarks in `hdc-bench` are written against the standard Criterion
+//! surface (`Criterion::bench_function`, `Bencher::iter`, `black_box`,
+//! `criterion_group!` / `criterion_main!`). This crate implements that
+//! surface with a simple warm-up + timed-sampling loop so the benches run
+//! without network access to crates.io. Swapping back to upstream Criterion
+//! is a one-line Cargo.toml change; no bench source needs to be touched.
+//!
+//! Measurement model: each benchmark is warmed up for a short period, then
+//! sampled in batches; the reported figure is the median per-iteration time
+//! across samples with min/max bounds.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver, mirroring `criterion::Criterion`.
+#[derive(Debug)]
+pub struct Criterion {
+    warm_up: Duration,
+    measurement: Duration,
+    samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warm_up: Duration::from_millis(80),
+            measurement: Duration::from_millis(240),
+            samples: 24,
+        }
+    }
+}
+
+impl Criterion {
+    /// Override the measurement time budget (builder style).
+    pub fn measurement_time(mut self, duration: Duration) -> Self {
+        self.measurement = duration;
+        self
+    }
+
+    /// Override the number of samples taken (builder style).
+    pub fn sample_size(mut self, samples: usize) -> Self {
+        self.samples = samples.max(2);
+        self
+    }
+
+    /// Run one benchmark under `id`.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            samples: self.samples,
+            result: None,
+        };
+        f(&mut bencher);
+        match bencher.result {
+            Some(ref r) => println!(
+                "{id:<48} time: [{} {} {}]",
+                format_ns(r.min_ns),
+                format_ns(r.median_ns),
+                format_ns(r.max_ns)
+            ),
+            None => println!("{id:<48} time: [no measurement taken]"),
+        }
+        self
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Measurement {
+    min_ns: f64,
+    median_ns: f64,
+    max_ns: f64,
+}
+
+/// Per-benchmark timing helper, mirroring `criterion::Bencher`.
+#[derive(Debug)]
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    samples: usize,
+    result: Option<Measurement>,
+}
+
+impl Bencher {
+    /// Measure the closure, calling it repeatedly.
+    pub fn iter<O, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> O,
+    {
+        // Warm-up, and estimate the per-call cost to size batches.
+        let warm_start = Instant::now();
+        let mut warm_calls: u64 = 0;
+        while warm_start.elapsed() < self.warm_up {
+            black_box(routine());
+            warm_calls += 1;
+        }
+        let per_call = warm_start.elapsed().as_secs_f64() / warm_calls.max(1) as f64;
+
+        let per_sample = self.measurement.as_secs_f64() / self.samples as f64;
+        let batch = ((per_sample / per_call.max(1e-9)) as u64).clamp(1, 1 << 24);
+
+        let mut sample_ns: Vec<f64> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            sample_ns.push(start.elapsed().as_nanos() as f64 / batch as f64);
+        }
+        sample_ns.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+        self.result = Some(Measurement {
+            min_ns: sample_ns[0],
+            median_ns: sample_ns[sample_ns.len() / 2],
+            max_ns: sample_ns[sample_ns.len() - 1],
+        });
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.2} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.2} s", ns / 1e9)
+    }
+}
+
+/// Define a benchmark group function, mirroring `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Define the benchmark entry point, mirroring `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default()
+            .measurement_time(Duration::from_millis(10))
+            .sample_size(4);
+        // Should not panic and should print one line.
+        c.bench_function("smoke", |b| b.iter(|| black_box(3u64).wrapping_mul(7)));
+    }
+
+    #[test]
+    fn format_ns_scales() {
+        assert_eq!(format_ns(12.0), "12.00 ns");
+        assert_eq!(format_ns(12_000.0), "12.00 µs");
+        assert_eq!(format_ns(12_000_000.0), "12.00 ms");
+    }
+}

@@ -1,0 +1,77 @@
+//! Offline, API-compatible subset of the `rand_distr` crate.
+//!
+//! Provides the [`Distribution`] trait and [`StandardNormal`], the only
+//! pieces the workspace uses (Gaussian hypervector / hypermatrix creation in
+//! `hdc-core`). Sampling uses the Marsaglia polar method, which needs no
+//! per-generator state and matches the statistical contract the hdc-core
+//! tests check (mean ≈ 0, variance ≈ 1).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::Rng;
+
+/// Types that can sample values of `T` from an RNG.
+pub trait Distribution<T> {
+    /// Draw one sample.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The standard normal distribution `N(0, 1)`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StandardNormal;
+
+impl Distribution<f64> for StandardNormal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Marsaglia polar method; the second variate is discarded so the
+        // distribution needs no interior mutability.
+        loop {
+            let u = unit(rng) * 2.0 - 1.0;
+            let v = unit(rng) * 2.0 - 1.0;
+            let s = u * u + v * v;
+            if s > 0.0 && s < 1.0 {
+                return u * (-2.0 * s.ln() / s).sqrt();
+            }
+        }
+    }
+}
+
+impl Distribution<f32> for StandardNormal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f32 {
+        let x: f64 = Distribution::<f64>::sample(self, rng);
+        x as f32
+    }
+}
+
+fn unit<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn moments_are_roughly_standard() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let samples: Vec<f64> = (0..50_000)
+            .map(|_| StandardNormal.sample(&mut rng))
+            .collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let var =
+            samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / samples.len() as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = StdRng::seed_from_u64(5);
+        let mut b = StdRng::seed_from_u64(5);
+        let xs: Vec<f64> = (0..16).map(|_| StandardNormal.sample(&mut a)).collect();
+        let ys: Vec<f64> = (0..16).map(|_| StandardNormal.sample(&mut b)).collect();
+        assert_eq!(xs, ys);
+    }
+}

@@ -1,0 +1,122 @@
+//! Offline, API-compatible subset of the `rayon` crate.
+//!
+//! The workspace uses rayon for one pattern — `vec.into_par_iter().map(f)
+//! .collect()` on the batched matmul hot path — so that is what this crate
+//! provides. Work is split into one chunk per available core and executed on
+//! scoped `std::thread`s; order is preserved. Unlike upstream rayon the
+//! `map` adapter is **eager** (it runs when called, not at `collect`), which
+//! is observationally identical for the map-then-collect pattern.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Glob-import surface mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::IntoParallelIterator;
+}
+
+/// Conversion into a parallel iterator, mirroring
+/// `rayon::iter::IntoParallelIterator`.
+pub trait IntoParallelIterator {
+    /// Element type.
+    type Item: Send;
+
+    /// Convert `self` into a parallel iterator over its elements.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+/// A parallel iterator over an owned sequence of items.
+#[derive(Debug)]
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Apply `f` to every element in parallel, preserving order.
+    pub fn map<U, F>(self, f: F) -> ParIter<U>
+    where
+        U: Send,
+        F: Fn(T) -> U + Sync,
+    {
+        ParIter {
+            items: parallel_map(self.items, &f),
+        }
+    }
+
+    /// Collect the elements, mirroring `ParallelIterator::collect`.
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+}
+
+fn parallel_map<T, U, F>(items: Vec<T>, f: &F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    if threads <= 1 || items.len() <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk_len = items.len().div_ceil(threads);
+    let mut chunks: Vec<Vec<T>> = Vec::new();
+    let mut rest = items;
+    while rest.len() > chunk_len {
+        let tail = rest.split_off(chunk_len);
+        chunks.push(std::mem::replace(&mut rest, tail));
+    }
+    chunks.push(rest);
+    let mut out: Vec<U> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<U>>()))
+            .collect();
+        for handle in handles {
+            out.extend(handle.join().expect("parallel map worker panicked"));
+        }
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let xs: Vec<i64> = (0..10_000).collect();
+        let doubled: Vec<i64> = xs.clone().into_par_iter().map(|x| x * 2).collect();
+        let expected: Vec<i64> = xs.iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, expected);
+    }
+
+    #[test]
+    fn borrows_in_closures_work() {
+        let offset = 7i64;
+        let xs: Vec<i64> = (0..100).collect();
+        let shifted: Vec<i64> = xs.into_par_iter().map(|x| x + offset).collect();
+        assert_eq!(shifted[0], 7);
+        assert_eq!(shifted[99], 106);
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let empty: Vec<i32> = Vec::new();
+        let out: Vec<i32> = empty.into_par_iter().map(|x| x).collect();
+        assert!(out.is_empty());
+        let one: Vec<i32> = vec![41].into_par_iter().map(|x| x + 1).collect();
+        assert_eq!(one, vec![42]);
+    }
+}

@@ -1,1 +1,73 @@
-fn main() {}
+//! Benchmarks for accelerator-bound stage workloads: the coarse-grain
+//! inference loop executed through `hdc-runtime`, dense versus binarized.
+//! (The GPU/ASIC/ReRAM performance-model crates are not in the workspace
+//! yet; these benches measure the reference execution of the stage shapes
+//! those back ends will accelerate.)
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use hdc_bench::{CLASSES, DIM};
+use hdc_core::prelude::*;
+use hdc_ir::prelude::*;
+use hdc_passes::{compile, CompileOptions};
+use hdc_runtime::{Executor, Value};
+
+const SAMPLES: usize = 16;
+
+fn inference_program(binarize: bool) -> (hdc_ir::Program, ValueId) {
+    let mut b = ProgramBuilder::new("stage-inference");
+    let queries = b.input_matrix("queries", ElementKind::F32, SAMPLES, DIM);
+    let classes = b.input_matrix("classes", ElementKind::F32, CLASSES, DIM);
+    let classes_b = b.sign(classes);
+    b.seal_node("prep");
+    let preds = b.inference_loop(
+        "infer",
+        queries,
+        classes_b,
+        ScorePolarity::Distance,
+        |b, q| {
+            let qb = b.sign(q);
+            b.hamming_distance(qb, classes_b)
+        },
+    );
+    b.mark_output(preds);
+    let mut p = b.finish();
+    let options = if binarize {
+        CompileOptions::default()
+    } else {
+        CompileOptions::baseline()
+    };
+    compile(&mut p, &options).unwrap();
+    (p, preds)
+}
+
+fn run_inference(p: &hdc_ir::Program, preds: ValueId) -> usize {
+    let mut rng = HdcRng::seed_from_u64(1);
+    let queries: HyperMatrix<f64> = hdc_core::random::random_hypermatrix(SAMPLES, DIM, &mut rng);
+    let classes: HyperMatrix<f64> = hdc_core::random::bipolar_hypermatrix(CLASSES, DIM, &mut rng);
+    let mut exec = Executor::new(p).unwrap();
+    exec.bind("queries", Value::Matrix(queries)).unwrap();
+    exec.bind("classes", Value::Matrix(classes)).unwrap();
+    let out = exec.run().unwrap();
+    out.indices(preds).unwrap().len()
+}
+
+fn bench_stage_inference_dense(c: &mut Criterion) {
+    let (p, preds) = inference_program(false);
+    c.bench_function("accelerators/stage-inference16/dense", |bench| {
+        bench.iter(|| run_inference(black_box(&p), preds))
+    });
+}
+
+fn bench_stage_inference_binarized(c: &mut Criterion) {
+    let (p, preds) = inference_program(true);
+    c.bench_function("accelerators/stage-inference16/binarized", |bench| {
+        bench.iter(|| run_inference(black_box(&p), preds))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_stage_inference_dense,
+    bench_stage_inference_binarized
+);
+criterion_main!(benches);

@@ -1,1 +1,66 @@
-fn main() {}
+//! End-to-end application benchmark: the paper's Listing 1
+//! (HD-Classification inference for one sample) through the full spine —
+//! builder DSL → pass pipeline → runtime execution — plus the compile step
+//! on its own.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use hdc_bench::{CLASSES, DIM, FEATURES};
+use hdc_core::prelude::*;
+use hdc_ir::prelude::*;
+use hdc_passes::{compile, CompileOptions};
+use hdc_runtime::{Executor, Value};
+
+fn listing1() -> (hdc_ir::Program, ValueId) {
+    let mut b = ProgramBuilder::new("listing1");
+    let features = b.input_vector("features", ElementKind::F32, FEATURES);
+    let rp = b.input_matrix("rp", ElementKind::F32, DIM, FEATURES);
+    let classes = b.input_matrix("classes", ElementKind::F32, CLASSES, DIM);
+    let encoded = b.matmul(features, rp);
+    let encoded_b = b.sign(encoded);
+    let classes_b = b.sign(classes);
+    let dists = b.hamming_distance(encoded_b, classes_b);
+    let label = b.arg_min(dists);
+    b.mark_output(label);
+    (b.finish(), label)
+}
+
+fn bench_compile(c: &mut Criterion) {
+    c.bench_function("apps/listing1/compile-binarized", |bench| {
+        bench.iter(|| {
+            let (mut p, _) = listing1();
+            compile(&mut p, &CompileOptions::default()).unwrap();
+            p
+        })
+    });
+}
+
+fn bench_execute(c: &mut Criterion) {
+    let mut rng = HdcRng::seed_from_u64(2);
+    let proj = RandomProjection::<f64>::bipolar(DIM, FEATURES, &mut rng);
+    let x: HyperVector<f64> = hdc_core::random::gaussian_hypervector(FEATURES, &mut rng);
+    let classes: HyperMatrix<f64> = hdc_core::random::bipolar_hypermatrix(CLASSES, DIM, &mut rng);
+
+    let mut run_with = |name: &str, options: &CompileOptions| {
+        let (mut p, label) = listing1();
+        compile(&mut p, options).unwrap();
+        c.bench_function(name, |bench| {
+            bench.iter(|| {
+                let mut exec = Executor::new(black_box(&p)).unwrap();
+                exec.bind("features", Value::Vector(x.clone())).unwrap();
+                exec.bind("rp", Value::Matrix(proj.matrix().clone()))
+                    .unwrap();
+                exec.bind("classes", Value::Matrix(classes.clone()))
+                    .unwrap();
+                exec.run().unwrap().scalar(label).unwrap()
+            })
+        });
+    };
+    run_with("apps/listing1/execute-dense", &CompileOptions::baseline());
+    run_with(
+        "apps/listing1/execute-binarized",
+        &CompileOptions::default(),
+    );
+}
+
+criterion_group!(benches, bench_compile, bench_execute);
+criterion_main!(benches);

@@ -1,1 +1,50 @@
-fn main() {}
+//! Benchmarks for the encoding schemes: random-projection (single and
+//! batched) and the level-ID encoder.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use hdc_bench::{DIM, FEATURES};
+use hdc_core::prelude::*;
+
+fn bench_random_projection(c: &mut Criterion) {
+    let mut rng = HdcRng::seed_from_u64(1);
+    let rp = RandomProjection::<f32>::bipolar(DIM, FEATURES, &mut rng);
+    let features = hdc_core::random::random_hypervector::<f32>(FEATURES, &mut rng);
+    c.bench_function("encoding/random-projection/single-617to2048", |bench| {
+        bench.iter(|| black_box(&rp).encode(black_box(&features)))
+    });
+
+    let batch = hdc_core::random::random_hypermatrix::<f32>(16, FEATURES, &mut rng);
+    c.bench_function("encoding/random-projection/batch16-617to2048", |bench| {
+        bench.iter(|| {
+            black_box(&rp)
+                .encode_batch(black_box(&batch), Perforation::NONE)
+                .unwrap()
+        })
+    });
+}
+
+fn bench_cyclic_projection(c: &mut Criterion) {
+    let mut rng = HdcRng::seed_from_u64(2);
+    let rp = RandomProjection::<f32>::cyclic(DIM, FEATURES, &mut rng);
+    let features = hdc_core::random::random_hypervector::<f32>(FEATURES, &mut rng);
+    c.bench_function("encoding/cyclic-projection/single-617to2048", |bench| {
+        bench.iter(|| black_box(&rp).encode(black_box(&features)))
+    });
+}
+
+fn bench_level_id(c: &mut Criterion) {
+    let mut rng = HdcRng::seed_from_u64(3);
+    let enc = LevelIdEncoder::<f32>::new(DIM, 64, 16, 0.0, 1.0, &mut rng);
+    let sparse: Vec<(usize, f64)> = (0..32).map(|i| (i, i as f64 / 32.0)).collect();
+    c.bench_function("encoding/level-id/sparse32-2048", |bench| {
+        bench.iter(|| black_box(&enc).encode_sparse(black_box(&sparse)).unwrap())
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_random_projection,
+    bench_cyclic_projection,
+    bench_level_id
+);
+criterion_main!(benches);

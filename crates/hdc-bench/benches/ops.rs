@@ -1,1 +1,44 @@
-fn main() {}
+//! Benchmarks for the core HDC operations: bind (element-wise multiply),
+//! bundle (element-wise add), and sign, in dense and bit-packed forms.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use hdc_bench::{bipolar_vector, bit_vector, dense_vector, DIM};
+
+fn bench_bind(c: &mut Criterion) {
+    let a = bipolar_vector(1, DIM);
+    let b = bipolar_vector(2, DIM);
+    c.bench_function("ops/bind/dense-2048", |bench| {
+        bench.iter(|| black_box(&a).zip_with(black_box(&b), |x, y| x * y).unwrap())
+    });
+    let pa = bit_vector(1, DIM);
+    let pb = bit_vector(2, DIM);
+    c.bench_function("ops/bind/bit-2048", |bench| {
+        bench.iter(|| black_box(&pa).bind(black_box(&pb)).unwrap())
+    });
+}
+
+fn bench_bundle(c: &mut Criterion) {
+    let a = dense_vector(3, DIM);
+    let b = dense_vector(4, DIM);
+    c.bench_function("ops/bundle/dense-2048", |bench| {
+        bench.iter(|| hdc_core::ops::add(black_box(&a), black_box(&b)).unwrap())
+    });
+    let big_a = dense_vector(5, 10_240);
+    let big_b = dense_vector(6, 10_240);
+    c.bench_function("ops/bundle/dense-10240", |bench| {
+        bench.iter(|| hdc_core::ops::add(black_box(&big_a), black_box(&big_b)).unwrap())
+    });
+}
+
+fn bench_sign(c: &mut Criterion) {
+    let a = dense_vector(7, DIM);
+    c.bench_function("ops/sign/dense-2048", |bench| {
+        bench.iter(|| black_box(&a).sign())
+    });
+    c.bench_function("ops/sign+pack/dense-2048", |bench| {
+        bench.iter(|| hdc_core::BitVector::from_dense(black_box(&a)))
+    });
+}
+
+criterion_group!(benches, bench_bind, bench_bundle, bench_sign);
+criterion_main!(benches);

@@ -1,1 +1,63 @@
-fn main() {}
+//! Benchmarks for reduction perforation: how Hamming distance and matmul
+//! scale with the perforation stride (paper §4.2, Figure 7 configurations).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use hdc_bench::{bipolar_matrix, bipolar_vector, CLASSES, DIM, FEATURES};
+use hdc_core::prelude::*;
+
+fn bench_perforated_hamming(c: &mut Criterion) {
+    let q = bipolar_vector(1, DIM);
+    let m = bipolar_matrix(2, CLASSES, DIM);
+    for stride in [1usize, 2, 4, 8] {
+        let perf = if stride == 1 {
+            Perforation::NONE
+        } else {
+            Perforation::strided(0, DIM, stride)
+        };
+        c.bench_function(
+            &format!("perforation/hamming-26class/stride{stride}"),
+            |bench| {
+                bench.iter(|| hamming_distance_matrix(black_box(&q), black_box(&m), perf).unwrap())
+            },
+        );
+    }
+}
+
+fn bench_perforated_matvec(c: &mut Criterion) {
+    let mut rng = HdcRng::seed_from_u64(3);
+    let proj = hdc_core::random::bipolar_hypermatrix::<f32>(DIM, FEATURES, &mut rng);
+    let x = hdc_core::random::random_hypervector::<f32>(FEATURES, &mut rng);
+    for stride in [1usize, 2, 4] {
+        let perf = if stride == 1 {
+            Perforation::NONE
+        } else {
+            Perforation::strided(0, FEATURES, stride)
+        };
+        c.bench_function(
+            &format!("perforation/matvec-617to2048/stride{stride}"),
+            |bench| {
+                bench.iter(|| {
+                    hdc_core::matmul::matvec(black_box(&proj), black_box(&x), perf).unwrap()
+                })
+            },
+        );
+    }
+}
+
+fn bench_segmented_hamming(c: &mut Criterion) {
+    // Configuration VIII: first-half segment.
+    let q = bipolar_vector(4, DIM);
+    let m = bipolar_matrix(5, CLASSES, DIM);
+    let perf = Perforation::segment(0, DIM / 2);
+    c.bench_function("perforation/hamming-26class/first-half", |bench| {
+        bench.iter(|| hamming_distance_matrix(black_box(&q), black_box(&m), perf).unwrap())
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_perforated_hamming,
+    bench_perforated_matvec,
+    bench_segmented_hamming
+);
+criterion_main!(benches);

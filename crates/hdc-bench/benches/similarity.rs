@@ -1,1 +1,67 @@
-fn main() {}
+//! Benchmarks for the similarity metrics: Hamming distance and cosine
+//! similarity, dense versus bit-packed, vector×vector and vector×matrix
+//! (the inner loop of HDC inference).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use hdc_bench::{bipolar_matrix, bipolar_vector, bit_matrix, bit_vector, CLASSES, DIM};
+use hdc_core::prelude::*;
+
+fn bench_hamming(c: &mut Criterion) {
+    let a = bipolar_vector(1, DIM);
+    let b = bipolar_vector(2, DIM);
+    c.bench_function("similarity/hamming/dense-2048", |bench| {
+        bench.iter(|| hamming_distance(black_box(&a), black_box(&b), Perforation::NONE).unwrap())
+    });
+    let pa = bit_vector(1, DIM);
+    let pb = bit_vector(2, DIM);
+    c.bench_function("similarity/hamming/bit-2048", |bench| {
+        bench.iter(|| {
+            black_box(&pa)
+                .hamming_distance(black_box(&pb), Perforation::NONE)
+                .unwrap()
+        })
+    });
+}
+
+fn bench_hamming_inference(c: &mut Criterion) {
+    // A 26-class inference scoring step: query vs every class row.
+    let q = bipolar_vector(3, DIM);
+    let m = bipolar_matrix(4, CLASSES, DIM);
+    c.bench_function("similarity/hamming-26class/dense-2048", |bench| {
+        bench.iter(|| {
+            hamming_distance_matrix(black_box(&q), black_box(&m), Perforation::NONE).unwrap()
+        })
+    });
+    let pq = bit_vector(3, DIM);
+    let pm = bit_matrix(4, CLASSES, DIM);
+    c.bench_function("similarity/hamming-26class/bit-2048", |bench| {
+        bench.iter(|| {
+            black_box(&pm)
+                .hamming_distances(black_box(&pq), Perforation::NONE)
+                .unwrap()
+        })
+    });
+}
+
+fn bench_cosine(c: &mut Criterion) {
+    let a = bipolar_vector(5, DIM);
+    let b = bipolar_vector(6, DIM);
+    c.bench_function("similarity/cosine/dense-2048", |bench| {
+        bench.iter(|| cosine_similarity(black_box(&a), black_box(&b), Perforation::NONE).unwrap())
+    });
+    let q = bipolar_vector(7, DIM);
+    let m = bipolar_matrix(8, CLASSES, DIM);
+    c.bench_function("similarity/cosine-26class/dense-2048", |bench| {
+        bench.iter(|| {
+            cosine_similarity_matrix(black_box(&q), black_box(&m), Perforation::NONE).unwrap()
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_hamming,
+    bench_hamming_inference,
+    bench_cosine
+);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Shared fixtures for the `hdc-bench` benchmark suite.
+//!
+//! The benchmarks measure the same shapes the paper evaluates: 2048- and
+//! 10240-dimensional hypervectors, 26-class ISOLET-style classification, and
+//! 617-feature random-projection encoding.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use hdc_core::prelude::*;
+
+/// Hypervector dimension used by most benchmarks (the paper's default).
+pub const DIM: usize = 2048;
+
+/// Number of classes (ISOLET letters).
+pub const CLASSES: usize = 26;
+
+/// Number of raw input features (ISOLET).
+pub const FEATURES: usize = 617;
+
+/// A deterministic dense bipolar hypervector.
+pub fn bipolar_vector(seed: u64, dim: usize) -> HyperVector<f32> {
+    let mut rng = HdcRng::seed_from_u64(seed);
+    hdc_core::random::bipolar_hypervector(dim, &mut rng)
+}
+
+/// A deterministic dense bipolar hypermatrix.
+pub fn bipolar_matrix(seed: u64, rows: usize, cols: usize) -> HyperMatrix<f32> {
+    let mut rng = HdcRng::seed_from_u64(seed);
+    hdc_core::random::bipolar_hypermatrix(rows, cols, &mut rng)
+}
+
+/// A deterministic dense uniform hypervector in `[-1, 1]`.
+pub fn dense_vector(seed: u64, dim: usize) -> HyperVector<f32> {
+    let mut rng = HdcRng::seed_from_u64(seed);
+    hdc_core::random::random_hypervector(dim, &mut rng)
+}
+
+/// The bit-packed form of [`bipolar_vector`].
+pub fn bit_vector(seed: u64, dim: usize) -> BitVector {
+    BitVector::from_dense(&bipolar_vector(seed, dim))
+}
+
+/// The bit-packed form of [`bipolar_matrix`].
+pub fn bit_matrix(seed: u64, rows: usize, cols: usize) -> BitMatrix {
+    BitMatrix::from_dense(&bipolar_matrix(seed, rows, cols))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_are_deterministic() {
+        assert_eq!(bipolar_vector(1, 64), bipolar_vector(1, 64));
+        assert_eq!(bit_matrix(2, 4, 64), bit_matrix(2, 4, 64));
+        assert_eq!(dense_vector(3, 32), dense_vector(3, 32));
+    }
+
+    #[test]
+    fn bit_fixtures_match_dense() {
+        let dense = bipolar_vector(7, 128);
+        let bits = bit_vector(7, 128);
+        let back: HyperVector<f32> = bits.to_dense();
+        assert_eq!(back, dense);
+    }
+}

@@ -213,7 +213,7 @@ impl BitVector {
         for i in perforation.indices(self.dimension) {
             let wa = (self.words[i / WORD_BITS] >> (i % WORD_BITS)) & 1;
             let wb = (other.words[i / WORD_BITS] >> (i % WORD_BITS)) & 1;
-            count += (wa ^ wb) as u64;
+            count += wa ^ wb;
         }
         Ok(count as f64)
     }
@@ -416,7 +416,10 @@ mod tests {
         let bv = BitVector::zeros(10);
         let flipped = bv.sign_flip();
         assert_eq!(flipped.as_words()[0].count_ones(), 10);
-        assert_eq!(flipped.hamming_distance(&bv, Perforation::NONE).unwrap(), 10.0);
+        assert_eq!(
+            flipped.hamming_distance(&bv, Perforation::NONE).unwrap(),
+            10.0
+        );
     }
 
     #[test]

@@ -319,7 +319,8 @@ impl<T: Element> GraphNeighborEncoder<T> {
             }
         }
         let scale = self.neighbor_weight / neighbors.len() as f64;
-        let bundle_hv = HyperVector::<T>::from_fn(self.dimension(), |i| T::from_f64(bundle[i] * scale));
+        let bundle_hv =
+            HyperVector::<T>::from_fn(self.dimension(), |i| T::from_f64(bundle[i] * scale));
         let shifted = bundle_hv.wrap_shift(1);
         own.zip_with(&shifted, |a, b| a + b)
     }
@@ -452,7 +453,10 @@ mod tests {
         let c = crate::random::gaussian_hypervector::<f32>(64, &mut rng);
         let sim_ab = cosine_similarity(&rp.encode(&a), &rp.encode(&b), Perforation::NONE).unwrap();
         let sim_ac = cosine_similarity(&rp.encode(&a), &rp.encode(&c), Perforation::NONE).unwrap();
-        assert!(sim_ab > 0.95, "similar inputs should stay similar: {sim_ab}");
+        assert!(
+            sim_ab > 0.95,
+            "similar inputs should stay similar: {sim_ab}"
+        );
         assert!(sim_ab > sim_ac, "ordering preserved: {sim_ab} vs {sim_ac}");
     }
 

@@ -45,7 +45,11 @@ pub fn matvec<T: Element>(
     vector: &HyperVector<T>,
     perforation: Perforation,
 ) -> Result<HyperVector<T>> {
-    check(matrix.cols(), vector.dimension(), "matmul (matrix x vector)")?;
+    check(
+        matrix.cols(),
+        vector.dimension(),
+        "matmul (matrix x vector)",
+    )?;
     perforation.validate(matrix.cols().max(1))?;
     let scale = 1.0 / perforation.visited_fraction(matrix.cols().max(1));
     let v = vector.as_slice();
@@ -184,7 +188,11 @@ mod tests {
         let dense = matvec(&m, &v, Perforation::NONE).unwrap();
         let strided = matvec(&m, &v, Perforation::strided(0, 8, 2)).unwrap();
         assert_eq!(dense.get(0).unwrap(), 48.0);
-        assert_eq!(strided.get(0).unwrap(), 48.0, "rescaling restores magnitude");
+        assert_eq!(
+            strided.get(0).unwrap(),
+            48.0,
+            "rescaling restores magnitude"
+        );
         let seg = matvec(&m, &v, Perforation::segment(0, 4)).unwrap();
         assert_eq!(seg.get(0).unwrap(), 48.0);
     }

@@ -185,11 +185,7 @@ mod tests {
     fn elementwise_dispatch_matches_direct() {
         let a = HyperVector::from_vec(vec![1i32, 2, 3]);
         let b = HyperVector::from_vec(vec![3i32, 2, 1]);
-        for op in [
-            ElementwiseOp::Add,
-            ElementwiseOp::Sub,
-            ElementwiseOp::Mul,
-        ] {
+        for op in [ElementwiseOp::Add, ElementwiseOp::Sub, ElementwiseOp::Mul] {
             let direct = match op {
                 ElementwiseOp::Add => add(&a, &b),
                 ElementwiseOp::Sub => sub(&a, &b),

@@ -69,7 +69,9 @@ impl Perforation {
     /// range is empty, or `begin` lies beyond the dimension.
     pub fn validate(&self, dimension: usize) -> Result<()> {
         if self.stride == 0 {
-            return Err(HdcError::InvalidPerforation("stride must be non-zero".into()));
+            return Err(HdcError::InvalidPerforation(
+                "stride must be non-zero".into(),
+            ));
         }
         if dimension == 0 {
             return Ok(());
@@ -183,7 +185,10 @@ mod tests {
     #[test]
     fn display_forms() {
         assert_eq!(Perforation::NONE.to_string(), "none");
-        assert_eq!(Perforation::segment(0, 1024).to_string(), "[0, 1024) stride 1");
+        assert_eq!(
+            Perforation::segment(0, 1024).to_string(),
+            "[0, 1024) stride 1"
+        );
         assert_eq!(
             Perforation::strided(0, usize::MAX, 2).to_string(),
             "[0, D) stride 2"

@@ -32,9 +32,7 @@ pub fn random_hypermatrix<T: Element>(
 /// Create a hypervector of standard-normal values
 /// (the `gaussian_hypervector` primitive).
 pub fn gaussian_hypervector<T: Element>(dimension: usize, rng: &mut impl Rng) -> HyperVector<T> {
-    HyperVector::from_fn(dimension, |_| {
-        T::from_f64(StandardNormal.sample(rng))
-    })
+    HyperVector::from_fn(dimension, |_| T::from_f64(StandardNormal.sample(rng)))
 }
 
 /// Create a hypermatrix of standard-normal values
@@ -49,13 +47,16 @@ pub fn gaussian_hypermatrix<T: Element>(
 
 /// Create a random bipolar (±1) hypervector.
 pub fn bipolar_hypervector<T: Element>(dimension: usize, rng: &mut impl Rng) -> HyperVector<T> {
-    HyperVector::from_fn(dimension, |_| {
-        if rng.gen_bool(0.5) {
-            T::ONE
-        } else {
-            -T::ONE
-        }
-    })
+    HyperVector::from_fn(
+        dimension,
+        |_| {
+            if rng.gen_bool(0.5) {
+                T::ONE
+            } else {
+                -T::ONE
+            }
+        },
+    )
 }
 
 /// Create a random bipolar (±1) hypermatrix, the usual initial state of a
@@ -65,13 +66,17 @@ pub fn bipolar_hypermatrix<T: Element>(
     cols: usize,
     rng: &mut impl Rng,
 ) -> HyperMatrix<T> {
-    HyperMatrix::from_fn(rows, cols, |_, _| {
-        if rng.gen_bool(0.5) {
-            T::ONE
-        } else {
-            -T::ONE
-        }
-    })
+    HyperMatrix::from_fn(
+        rows,
+        cols,
+        |_, _| {
+            if rng.gen_bool(0.5) {
+                T::ONE
+            } else {
+                -T::ONE
+            }
+        },
+    )
 }
 
 #[cfg(test)]
@@ -118,8 +123,7 @@ mod tests {
         let mut rng = HdcRng::seed_from_u64(7);
         let a: HyperVector<f32> = bipolar_hypervector(10_000, &mut rng);
         let b: HyperVector<f32> = bipolar_hypervector(10_000, &mut rng);
-        let sim =
-            crate::similarity::cosine_similarity(&a, &b, crate::Perforation::NONE).unwrap();
+        let sim = crate::similarity::cosine_similarity(&a, &b, crate::Perforation::NONE).unwrap();
         assert!(sim.abs() < 0.05, "similarity {sim}");
     }
 

@@ -63,7 +63,10 @@ impl ProgramBuilder {
     }
 
     fn next_seed(&mut self) -> u64 {
-        self.seed_counter = self.seed_counter.wrapping_mul(6364136223846793005).wrapping_add(1);
+        self.seed_counter = self
+            .seed_counter
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1);
         self.seed_counter
     }
 
@@ -77,7 +80,13 @@ impl ProgramBuilder {
     }
 
     /// Declare a hypermatrix program input.
-    pub fn input_matrix(&mut self, name: &str, elem: ElementKind, rows: usize, cols: usize) -> ValueId {
+    pub fn input_matrix(
+        &mut self,
+        name: &str,
+        elem: ElementKind,
+        rows: usize,
+        cols: usize,
+    ) -> ValueId {
         self.add_value(
             name.to_string(),
             ValueType::HyperMatrix { elem, rows, cols },
@@ -162,12 +171,21 @@ impl ProgramBuilder {
     pub fn gaussian_matrix(&mut self, elem: ElementKind, rows: usize, cols: usize) -> ValueId {
         let seed = self.next_seed();
         let result = self.temp(ValueType::HyperMatrix { elem, rows, cols });
-        self.emit(HdcInstr::new(HdcOp::Gaussian { seed }, vec![], Some(result)));
+        self.emit(HdcInstr::new(
+            HdcOp::Gaussian { seed },
+            vec![],
+            Some(result),
+        ));
         result
     }
 
     /// A random bipolar (±1) hypermatrix, the usual random-projection seed.
-    pub fn random_bipolar_matrix(&mut self, elem: ElementKind, rows: usize, cols: usize) -> ValueId {
+    pub fn random_bipolar_matrix(
+        &mut self,
+        elem: ElementKind,
+        rows: usize,
+        cols: usize,
+    ) -> ValueId {
         let seed = self.next_seed();
         let result = self.temp(ValueType::HyperMatrix { elem, rows, cols });
         self.emit(HdcInstr::new(
@@ -182,7 +200,11 @@ impl ProgramBuilder {
     pub fn gaussian_vector(&mut self, elem: ElementKind, dim: usize) -> ValueId {
         let seed = self.next_seed();
         let result = self.temp(ValueType::HyperVector { elem, dim });
-        self.emit(HdcInstr::new(HdcOp::Gaussian { seed }, vec![], Some(result)));
+        self.emit(HdcInstr::new(
+            HdcOp::Gaussian { seed },
+            vec![],
+            Some(result),
+        ));
         result
     }
 
@@ -341,7 +363,12 @@ impl ProgramBuilder {
     }
 
     /// `set_matrix_row` with a dynamic row index.
-    pub fn set_matrix_row_dyn(&mut self, matrix: ValueId, new_row: ValueId, row: impl Into<Operand>) {
+    pub fn set_matrix_row_dyn(
+        &mut self,
+        matrix: ValueId,
+        new_row: ValueId,
+        row: impl Into<Operand>,
+    ) {
         self.emit(HdcInstr::new(
             HdcOp::SetMatrixRow,
             vec![matrix.into(), new_row.into(), row.into()],
@@ -461,7 +488,9 @@ impl ProgramBuilder {
             .iter_mut()
             .rev()
             .find(|i| i.result == Some(value))
-            .unwrap_or_else(|| panic!("red_perf: no producing instruction for value in current node"));
+            .unwrap_or_else(|| {
+                panic!("red_perf: no producing instruction for value in current node")
+            });
         assert!(
             instr.op.supports_perforation(),
             "red_perf: {} does not support reduction perforation",
@@ -514,6 +543,7 @@ impl ProgramBuilder {
         });
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn stage_common(
         &mut self,
         name: &str,
@@ -755,9 +785,13 @@ mod tests {
             ScorePolarity::Similarity,
             |b, q| b.cossim(q, classes),
         );
-        let preds = b.inference_loop("infer", encoded, classes, ScorePolarity::Distance, |b, q| {
-            b.hamming_distance(q, classes)
-        });
+        let preds = b.inference_loop(
+            "infer",
+            encoded,
+            classes,
+            ScorePolarity::Distance,
+            |b, q| b.hamming_distance(q, classes),
+        );
         b.mark_output(preds);
         let p = b.finish();
         verify(&p).unwrap();

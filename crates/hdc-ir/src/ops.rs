@@ -102,9 +102,10 @@ impl HdcOp {
     /// The category this operation belongs to.
     pub fn category(&self) -> OpCategory {
         match self {
-            HdcOp::Zero | HdcOp::Random { .. } | HdcOp::Gaussian { .. } | HdcOp::RandomBipolar { .. } => {
-                OpCategory::Creation
-            }
+            HdcOp::Zero
+            | HdcOp::Random { .. }
+            | HdcOp::Gaussian { .. }
+            | HdcOp::RandomBipolar { .. } => OpCategory::Creation,
             HdcOp::Sign
             | HdcOp::SignFlip
             | HdcOp::AbsoluteValue

@@ -50,7 +50,9 @@ impl ValueType {
         match *self {
             ValueType::Scalar(_) => ValueType::Scalar(elem),
             ValueType::HyperVector { dim, .. } => ValueType::HyperVector { elem, dim },
-            ValueType::HyperMatrix { rows, cols, .. } => ValueType::HyperMatrix { elem, rows, cols },
+            ValueType::HyperMatrix { rows, cols, .. } => {
+                ValueType::HyperMatrix { elem, rows, cols }
+            }
             ValueType::IndexVector { len } => ValueType::IndexVector { len },
         }
     }

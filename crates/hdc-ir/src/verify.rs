@@ -17,7 +17,11 @@ pub struct VerifyErrors {
 
 impl fmt::Display for VerifyErrors {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "IR verification failed ({} errors):", self.messages.len())?;
+        writeln!(
+            f,
+            "IR verification failed ({} errors):",
+            self.messages.len()
+        )?;
         for m in &self.messages {
             writeln!(f, "  - {m}")?;
         }
@@ -50,7 +54,10 @@ impl<'a> Checker<'a> {
         for op in &instr.operands {
             if let Operand::Value(v) = op {
                 if self.value_ty(*v).is_none() {
-                    self.err(node, format!("{}: operand {} out of range", instr.op, v.index()));
+                    self.err(
+                        node,
+                        format!("{}: operand {} out of range", instr.op, v.index()),
+                    );
                     return;
                 }
             }
@@ -82,9 +89,16 @@ impl<'a> Checker<'a> {
             }
         };
         match op {
-            HdcOp::Zero | HdcOp::Random { .. } | HdcOp::Gaussian { .. } | HdcOp::RandomBipolar { .. } => {
+            HdcOp::Zero
+            | HdcOp::Random { .. }
+            | HdcOp::Gaussian { .. }
+            | HdcOp::RandomBipolar { .. } => {
                 expect(self, n == 0, format!("{op}: expected 0 operands, got {n}"));
-                expect(self, instr.result.is_some(), format!("{op}: missing result"));
+                expect(
+                    self,
+                    instr.result.is_some(),
+                    format!("{op}: missing result"),
+                );
             }
             HdcOp::Sign
             | HdcOp::SignFlip
@@ -101,11 +115,30 @@ impl<'a> Checker<'a> {
                 expect(self, n == 2, format!("{op}: expected 2 operands, got {n}"));
             }
             HdcOp::GetElement => {
-                expect(self, n == 2 || n == 3, format!("{op}: expected 2-3 operands, got {n}"));
+                expect(
+                    self,
+                    n == 2 || n == 3,
+                    format!("{op}: expected 2-3 operands, got {n}"),
+                );
             }
             HdcOp::SetMatrixRow | HdcOp::AccumulateRow => {
                 expect(self, n == 3, format!("{op}: expected 3 operands, got {n}"));
-                if let (Some(m), Some(v)) = (self.operand_value_ty(instr, 0), self.operand_value_ty(instr, 1)) {
+                // The executor updates operand 0 in place and reads operand 1;
+                // both must be value references, not immediates.
+                expect(
+                    self,
+                    instr.operands.first().and_then(Operand::as_value).is_some(),
+                    format!("{op}: first operand must be a matrix value reference"),
+                );
+                expect(
+                    self,
+                    instr.operands.get(1).and_then(Operand::as_value).is_some(),
+                    format!("{op}: second operand must be a hypervector value reference"),
+                );
+                if let (Some(m), Some(v)) = (
+                    self.operand_value_ty(instr, 0),
+                    self.operand_value_ty(instr, 1),
+                ) {
                     if let (
                         ValueType::HyperMatrix { cols, .. },
                         ValueType::HyperVector { dim, .. },
@@ -114,7 +147,9 @@ impl<'a> Checker<'a> {
                         if cols != dim {
                             self.err(
                                 node,
-                                format!("{op}: row length {dim} does not match matrix columns {cols}"),
+                                format!(
+                                    "{op}: row length {dim} does not match matrix columns {cols}"
+                                ),
                             );
                         }
                     }
@@ -122,24 +157,40 @@ impl<'a> Checker<'a> {
             }
             HdcOp::Elementwise(_) => {
                 expect(self, n == 2, format!("{op}: expected 2 operands, got {n}"));
-                if let (Some(a), Some(b)) = (self.operand_value_ty(instr, 0), self.operand_value_ty(instr, 1)) {
+                if let (Some(a), Some(b)) = (
+                    self.operand_value_ty(instr, 0),
+                    self.operand_value_ty(instr, 1),
+                ) {
                     let dims_match = match (a, b) {
-                        (ValueType::HyperVector { dim: da, .. }, ValueType::HyperVector { dim: db, .. }) => da == db,
                         (
-                            ValueType::HyperMatrix { rows: ra, cols: ca, .. },
-                            ValueType::HyperMatrix { rows: rb, cols: cb, .. },
+                            ValueType::HyperVector { dim: da, .. },
+                            ValueType::HyperVector { dim: db, .. },
+                        ) => da == db,
+                        (
+                            ValueType::HyperMatrix {
+                                rows: ra, cols: ca, ..
+                            },
+                            ValueType::HyperMatrix {
+                                rows: rb, cols: cb, ..
+                            },
                         ) => ra == rb && ca == cb,
                         (ValueType::Scalar(_), ValueType::Scalar(_)) => true,
                         _ => false,
                     };
                     if !dims_match {
-                        self.err(node, format!("{op}: operand shapes {a} and {b} are incompatible"));
+                        self.err(
+                            node,
+                            format!("{op}: operand shapes {a} and {b} are incompatible"),
+                        );
                     }
                 }
             }
             HdcOp::CosineSimilarity | HdcOp::HammingDistance => {
                 expect(self, n == 2, format!("{op}: expected 2 operands, got {n}"));
-                if let (Some(a), Some(b)) = (self.operand_value_ty(instr, 0), self.operand_value_ty(instr, 1)) {
+                if let (Some(a), Some(b)) = (
+                    self.operand_value_ty(instr, 0),
+                    self.operand_value_ty(instr, 1),
+                ) {
                     let (da, db) = (a.reduction_dim(), b.reduction_dim());
                     if let (Some(da), Some(db)) = (da, db) {
                         if da != db {
@@ -149,13 +200,19 @@ impl<'a> Checker<'a> {
                             );
                         }
                     } else {
-                        self.err(node, format!("{op}: operands must be hypervectors or hypermatrices"));
+                        self.err(
+                            node,
+                            format!("{op}: operands must be hypervectors or hypermatrices"),
+                        );
                     }
                 }
             }
             HdcOp::MatMul => {
                 expect(self, n == 2, format!("{op}: expected 2 operands, got {n}"));
-                if let (Some(a), Some(b)) = (self.operand_value_ty(instr, 0), self.operand_value_ty(instr, 1)) {
+                if let (Some(a), Some(b)) = (
+                    self.operand_value_ty(instr, 0),
+                    self.operand_value_ty(instr, 1),
+                ) {
                     let in_dim = match a {
                         ValueType::HyperVector { dim, .. } => Some(dim),
                         ValueType::HyperMatrix { cols, .. } => Some(cols),
@@ -170,7 +227,10 @@ impl<'a> Checker<'a> {
                             self.err(node, format!("matmul: input dimension {i} does not match projection columns {p}"));
                         }
                         (None, _) | (_, None) => {
-                            self.err(node, "matmul: operands must be (vector|matrix, matrix)".to_string());
+                            self.err(
+                                node,
+                                "matmul: operands must be (vector|matrix, matrix)".to_string(),
+                            );
                         }
                         _ => {}
                     }
@@ -184,7 +244,10 @@ impl<'a> Checker<'a> {
             if !instr.op.supports_perforation() {
                 self.err(
                     node,
-                    format!("{} carries a red_perf annotation but is not a perforable reduction", instr.op),
+                    format!(
+                        "{} carries a red_perf annotation but is not a perforable reduction",
+                        instr.op
+                    ),
                 );
                 return;
             }
@@ -238,7 +301,10 @@ impl<'a> Checker<'a> {
                         );
                     }
                 }
-                _ => self.err(node, "encoding_loop output must be a hypermatrix".to_string()),
+                _ => self.err(
+                    node,
+                    "encoding_loop output must be a hypermatrix".to_string(),
+                ),
             },
             StageKind::Inference => {
                 match self.value_ty(stage.interface.output) {
@@ -250,10 +316,16 @@ impl<'a> Checker<'a> {
                             );
                         }
                     }
-                    _ => self.err(node, "inference_loop output must be an index vector".to_string()),
+                    _ => self.err(
+                        node,
+                        "inference_loop output must be an index vector".to_string(),
+                    ),
                 }
                 if stage.interface.classes.is_none() {
-                    self.err(node, "inference_loop requires a class hypermatrix".to_string());
+                    self.err(
+                        node,
+                        "inference_loop requires a class hypermatrix".to_string(),
+                    );
                 }
             }
             StageKind::Training { epochs } => {
@@ -261,7 +333,10 @@ impl<'a> Checker<'a> {
                     self.err(node, "training_loop with zero epochs".to_string());
                 }
                 if stage.interface.classes.is_none() {
-                    self.err(node, "training_loop requires a class hypermatrix".to_string());
+                    self.err(
+                        node,
+                        "training_loop requires a class hypermatrix".to_string(),
+                    );
                 }
                 match stage.interface.labels.and_then(|l| self.value_ty(l)) {
                     Some(ValueType::IndexVector { len }) => {
@@ -272,7 +347,10 @@ impl<'a> Checker<'a> {
                             );
                         }
                     }
-                    _ => self.err(node, "training_loop requires index-vector labels".to_string()),
+                    _ => self.err(
+                        node,
+                        "training_loop requires index-vector labels".to_string(),
+                    ),
                 }
             }
         }
@@ -305,7 +383,10 @@ pub fn verify(program: &Program) -> Result<(), VerifyErrors> {
                 }
                 match checker.value_ty(*index) {
                     Some(ValueType::Scalar(_)) => {}
-                    _ => checker.err(&node.name, "parallel_for index must be a scalar value".to_string()),
+                    _ => checker.err(
+                        &node.name,
+                        "parallel_for index must be a scalar value".to_string(),
+                    ),
                 }
                 for instr in body {
                     checker.check_instr(&node.name, instr);
@@ -530,6 +611,66 @@ mod tests {
         });
         let err = verify(&p).unwrap_err();
         assert!(err.to_string().contains("inference output length"));
+    }
+
+    #[test]
+    fn in_place_ops_require_value_operands() {
+        let mut p = Program::new("imm");
+        let m = p.add_value(ValueInfo {
+            name: "m".into(),
+            ty: ValueType::HyperMatrix {
+                elem: ElementKind::F32,
+                rows: 2,
+                cols: 4,
+            },
+            role: ValueRole::Input,
+        });
+        let v = p.add_value(ValueInfo {
+            name: "v".into(),
+            ty: ValueType::HyperVector {
+                elem: ElementKind::F32,
+                dim: 4,
+            },
+            role: ValueRole::Output,
+        });
+        // Immediate in the matrix position: must be rejected, not executed.
+        p.add_node(Node {
+            name: "n".into(),
+            target: Target::Cpu,
+            body: NodeBody::Leaf {
+                instrs: vec![HdcInstr::new(
+                    HdcOp::SetMatrixRow,
+                    vec![Operand::ImmInt(0), v.into(), Operand::ImmInt(0)],
+                    None,
+                )],
+            },
+        });
+        let err = verify(&p).unwrap_err();
+        assert!(err
+            .to_string()
+            .contains("first operand must be a matrix value"));
+
+        let mut p2 = Program::new("imm2");
+        let m2 = p2.add_value(ValueInfo {
+            name: "m".into(),
+            ty: p.value(m).ty,
+            role: ValueRole::Output,
+        });
+        p2.add_node(Node {
+            name: "n".into(),
+            target: Target::Cpu,
+            body: NodeBody::Leaf {
+                instrs: vec![HdcInstr::new(
+                    HdcOp::AccumulateRow,
+                    vec![m2.into(), Operand::ImmInt(1), Operand::ImmInt(0)],
+                    None,
+                )],
+            },
+        });
+        let err = verify(&p2).unwrap_err();
+        assert!(err
+            .to_string()
+            .contains("second operand must be a hypervector value"));
     }
 
     #[test]

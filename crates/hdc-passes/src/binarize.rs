@@ -143,7 +143,7 @@ pub fn binarize(program: &mut Program, options: &BinarizeOptions) -> BinarizeRep
         .iter_instrs()
         .filter(|i| {
             i.read_values()
-                .chain(i.written_values().into_iter())
+                .chain(i.written_values())
                 .any(|v| tainted.contains(&v))
         })
         .count();
@@ -156,11 +156,34 @@ pub fn binarize(program: &mut Program, options: &BinarizeOptions) -> BinarizeRep
     }
 }
 
+/// [`Pass`](crate::pipeline::Pass) wrapper around [`binarize`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BinarizePass {
+    /// Options forwarded to [`binarize`].
+    pub options: BinarizeOptions,
+}
+
+impl BinarizePass {
+    /// Create the pass from options.
+    pub fn new(options: BinarizeOptions) -> Self {
+        BinarizePass { options }
+    }
+}
+
+impl crate::pipeline::Pass for BinarizePass {
+    fn name(&self) -> &'static str {
+        "binarize"
+    }
+
+    fn run(&mut self, program: &mut Program) -> crate::pipeline::PassReport {
+        crate::pipeline::PassReport::Binarize(binarize(program, &self.options))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use hdc_ir::builder::ProgramBuilder;
-    use hdc_ir::types::ValueType;
     use hdc_ir::verify::verify;
 
     /// Build the classification-inference pattern of Table 3 config III:

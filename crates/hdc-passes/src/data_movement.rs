@@ -29,15 +29,16 @@ pub struct DataMovementReport {
 pub fn hoist_data_movement(program: &mut Program) -> DataMovementReport {
     let mut report = DataMovementReport::default();
     // Collect the byte sizes first to avoid borrowing issues while mutating.
-    let value_bytes: Vec<usize> = program.values().iter().map(|v| v.ty.storage_bytes()).collect();
+    let value_bytes: Vec<usize> = program
+        .values()
+        .iter()
+        .map(|v| v.ty.storage_bytes())
+        .collect();
     for node in program.nodes_mut() {
         if let NodeBody::Stage(stage) = &mut node.body {
             report.stages += 1;
-            let written: Vec<ValueId> = stage
-                .body
-                .iter()
-                .flat_map(|i| i.written_values())
-                .collect();
+            let written: Vec<ValueId> =
+                stage.body.iter().flat_map(|i| i.written_values()).collect();
             let mut persistent: Vec<ValueId> = Vec::new();
             // Candidates: everything the body reads plus the class matrix,
             // minus anything written per sample and minus the per-sample
@@ -69,6 +70,25 @@ pub fn hoist_data_movement(program: &mut Program) -> DataMovementReport {
     report
 }
 
+/// [`Pass`](crate::pipeline::Pass) wrapper around [`hoist_data_movement`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DataMovementPass;
+
+impl crate::pipeline::Pass for DataMovementPass {
+    fn name(&self) -> &'static str {
+        "data-movement"
+    }
+
+    /// The hoisted-bytes accounting must reflect binarized storage sizes.
+    fn run_after(&self) -> &'static [&'static str] {
+        &["binarize"]
+    }
+
+    fn run(&mut self, program: &mut Program) -> crate::pipeline::PassReport {
+        crate::pipeline::PassReport::DataMovement(hoist_data_movement(program))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -92,9 +112,13 @@ mod tests {
             ScorePolarity::Distance,
             |b, q| b.hamming_distance(q, classes),
         );
-        let preds = b.inference_loop("infer", encoded, classes, ScorePolarity::Distance, |b, q| {
-            b.hamming_distance(q, classes)
-        });
+        let preds = b.inference_loop(
+            "infer",
+            encoded,
+            classes,
+            ScorePolarity::Distance,
+            |b, q| b.hamming_distance(q, classes),
+        );
         b.mark_output(preds);
         b.finish()
     }
@@ -104,7 +128,10 @@ mod tests {
         let mut p = classification_stages();
         let report = hoist_data_movement(&mut p);
         assert_eq!(report.stages, 3);
-        assert!(report.hoisted_values >= 3, "rp + classes (x2 stages) at least");
+        assert!(
+            report.hoisted_values >= 3,
+            "rp + classes (x2 stages) at least"
+        );
         assert!(report.hoisted_bytes_per_iteration > 0);
         for node in p.nodes() {
             if let NodeBody::Stage(stage) = &node.body {

@@ -31,10 +31,17 @@ pub mod perforation;
 pub mod pipeline;
 pub mod target_assign;
 
-pub use binarize::{binarize, BinarizeOptions, BinarizeReport};
-pub use data_movement::{hoist_data_movement, DataMovementReport};
-pub use dce::{eliminate_dead_code, DceReport};
-pub use lowering::{lower_instr, LoopDim, LoopNest};
-pub use perforation::{apply_perforation, PerforationConfig, PerforationReport, PerforationSite};
-pub use pipeline::{compile, CompileOptions, CompileReport};
-pub use target_assign::{assign_targets, TargetConfig};
+pub use binarize::{binarize, BinarizeOptions, BinarizePass, BinarizeReport};
+pub use data_movement::{hoist_data_movement, DataMovementPass, DataMovementReport};
+pub use dce::{eliminate_dead_code, DcePass, DceReport};
+pub use lowering::{lower_instr, lower_program, LoopDim, LoopNest};
+pub use perforation::{
+    apply_perforation, PerforationConfig, PerforationPass, PerforationReport, PerforationSite,
+};
+pub use pipeline::{
+    compile, CompileOptions, CompileReport, Pass, PassManager, PassOutcome, PassReport,
+    PipelineError, PipelineReport,
+};
+pub use target_assign::{
+    accelerator_supports, assign_targets, TargetAssignPass, TargetAssignReport, TargetConfig,
+};

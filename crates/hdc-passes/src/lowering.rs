@@ -119,9 +119,18 @@ pub fn lower_instr(program: &Program, instr: &HdcInstr) -> LoopNest {
             LoopNest {
                 op: instr.op,
                 loops: vec![
-                    LoopDim { extent: q_rows, parallel: true },
-                    LoopDim { extent: out_dim, parallel: true },
-                    LoopDim { extent: reduce_extent(in_dim), parallel: false },
+                    LoopDim {
+                        extent: q_rows,
+                        parallel: true,
+                    },
+                    LoopDim {
+                        extent: out_dim,
+                        parallel: true,
+                    },
+                    LoopDim {
+                        extent: reduce_extent(in_dim),
+                        parallel: false,
+                    },
                 ],
                 flops_per_iter: 2.0,
                 bytes_per_iter: bytes0 + bytes1,
@@ -143,9 +152,18 @@ pub fn lower_instr(program: &Program, instr: &HdcInstr) -> LoopNest {
             LoopNest {
                 op: instr.op,
                 loops: vec![
-                    LoopDim { extent: l_rows, parallel: true },
-                    LoopDim { extent: r_rows, parallel: true },
-                    LoopDim { extent: reduce_extent(dim), parallel: false },
+                    LoopDim {
+                        extent: l_rows,
+                        parallel: true,
+                    },
+                    LoopDim {
+                        extent: r_rows,
+                        parallel: true,
+                    },
+                    LoopDim {
+                        extent: reduce_extent(dim),
+                        parallel: false,
+                    },
                 ],
                 flops_per_iter: flops,
                 bytes_per_iter: bytes0 + bytes1,
@@ -157,8 +175,14 @@ pub fn lower_instr(program: &Program, instr: &HdcInstr) -> LoopNest {
             LoopNest {
                 op: instr.op,
                 loops: vec![
-                    LoopDim { extent: rows, parallel: true },
-                    LoopDim { extent: reduce_extent(dim), parallel: false },
+                    LoopDim {
+                        extent: rows,
+                        parallel: true,
+                    },
+                    LoopDim {
+                        extent: reduce_extent(dim),
+                        parallel: false,
+                    },
                 ],
                 flops_per_iter: 2.0,
                 bytes_per_iter: bytes0,
@@ -170,8 +194,14 @@ pub fn lower_instr(program: &Program, instr: &HdcInstr) -> LoopNest {
             LoopNest {
                 op: instr.op,
                 loops: vec![
-                    LoopDim { extent: rows, parallel: true },
-                    LoopDim { extent: dim, parallel: false },
+                    LoopDim {
+                        extent: rows,
+                        parallel: true,
+                    },
+                    LoopDim {
+                        extent: dim,
+                        parallel: false,
+                    },
                 ],
                 flops_per_iter: 1.0,
                 bytes_per_iter: bytes0,
@@ -183,8 +213,14 @@ pub fn lower_instr(program: &Program, instr: &HdcInstr) -> LoopNest {
             LoopNest {
                 op: instr.op,
                 loops: vec![
-                    LoopDim { extent: rows, parallel: true },
-                    LoopDim { extent: cols, parallel: true },
+                    LoopDim {
+                        extent: rows,
+                        parallel: true,
+                    },
+                    LoopDim {
+                        extent: cols,
+                        parallel: true,
+                    },
                 ],
                 flops_per_iter: 0.0,
                 bytes_per_iter: 2.0 * bytes0,
@@ -200,15 +236,25 @@ pub fn lower_instr(program: &Program, instr: &HdcInstr) -> LoopNest {
             let (_, cols) = tensor_dims(ty.unwrap_or(ValueType::Scalar(ElementKind::F32)));
             LoopNest {
                 op: instr.op,
-                loops: vec![LoopDim { extent: cols, parallel: true }],
-                flops_per_iter: if matches!(instr.op, HdcOp::AccumulateRow) { 1.0 } else { 0.0 },
+                loops: vec![LoopDim {
+                    extent: cols,
+                    parallel: true,
+                }],
+                flops_per_iter: if matches!(instr.op, HdcOp::AccumulateRow) {
+                    1.0
+                } else {
+                    0.0
+                },
                 bytes_per_iter: 2.0 * bytes0,
                 has_reduction: false,
             }
         }
         HdcOp::GetElement => LoopNest {
             op: instr.op,
-            loops: vec![LoopDim { extent: 1, parallel: false }],
+            loops: vec![LoopDim {
+                extent: 1,
+                parallel: false,
+            }],
             flops_per_iter: 0.0,
             bytes_per_iter: bytes0,
             has_reduction: false,
@@ -216,18 +262,29 @@ pub fn lower_instr(program: &Program, instr: &HdcInstr) -> LoopNest {
         // Creation and element-wise operations: one (parallel) loop over all
         // elements of the result (or input for in-place style ops).
         _ => {
-            let ty = result_ty.or(in0).unwrap_or(ValueType::Scalar(ElementKind::F32));
+            let ty = result_ty
+                .or(in0)
+                .unwrap_or(ValueType::Scalar(ElementKind::F32));
             let (rows, cols) = tensor_dims(ty);
             let flops = match instr.op {
                 HdcOp::CosineElementwise => 8.0,
-                HdcOp::Zero | HdcOp::Random { .. } | HdcOp::Gaussian { .. } | HdcOp::RandomBipolar { .. } => 1.0,
+                HdcOp::Zero
+                | HdcOp::Random { .. }
+                | HdcOp::Gaussian { .. }
+                | HdcOp::RandomBipolar { .. } => 1.0,
                 _ => 1.0,
             };
             LoopNest {
                 op: instr.op,
                 loops: vec![
-                    LoopDim { extent: rows, parallel: true },
-                    LoopDim { extent: cols, parallel: true },
+                    LoopDim {
+                        extent: rows,
+                        parallel: true,
+                    },
+                    LoopDim {
+                        extent: cols,
+                        parallel: true,
+                    },
                 ],
                 flops_per_iter: flops,
                 bytes_per_iter: bytes0 + elem_bytes(result_ty.and_then(|t| t.element_kind())),

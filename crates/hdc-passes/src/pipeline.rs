@@ -1,0 +1,515 @@
+//! The pass manager: a unified [`Pass`] abstraction, ordering constraints,
+//! per-pass reports, and re-verification of the IR after every step.
+//!
+//! The original HPVM-HDC compiler sequences its transformations inside the
+//! LLVM pass pipeline; this module reproduces that structure for the Rust
+//! reproduction. Every transformation implements [`Pass`]; a [`PassManager`]
+//! runs a configured sequence, checks each pass's declared ordering
+//! constraints against the actual sequence, and runs the IR verifier after
+//! every step so that a transformation bug is caught at the step that
+//! introduced it rather than at execution time.
+//!
+//! [`compile`] assembles the paper's standard pipeline (automatic
+//! binarization → reduction perforation → data-movement hoisting → target
+//! assignment → DCE) from a [`CompileOptions`].
+
+use crate::binarize::{BinarizeOptions, BinarizePass, BinarizeReport};
+use crate::data_movement::{DataMovementPass, DataMovementReport};
+use crate::dce::{DcePass, DceReport};
+use crate::perforation::{PerforationConfig, PerforationPass, PerforationReport};
+use crate::target_assign::{TargetAssignPass, TargetAssignReport, TargetConfig};
+use hdc_ir::program::Program;
+use hdc_ir::verify::{verify, VerifyErrors};
+use std::fmt;
+
+/// The report produced by one pass execution.
+///
+/// Every built-in pass has a typed variant so callers can inspect its
+/// statistics without downcasting; passes defined outside this crate use
+/// [`PassReport::Message`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum PassReport {
+    /// Report of the automatic-binarization pass.
+    Binarize(BinarizeReport),
+    /// Report of the reduction-perforation pass.
+    Perforation(PerforationReport),
+    /// Report of the data-movement hoisting pass.
+    DataMovement(DataMovementReport),
+    /// Report of the target-assignment pass.
+    TargetAssign(TargetAssignReport),
+    /// Report of the dead-code-elimination pass.
+    Dce(DceReport),
+    /// Free-form report for passes defined outside this crate.
+    Message(String),
+}
+
+impl PassReport {
+    /// One-line human-readable summary of the report.
+    pub fn summary(&self) -> String {
+        match self {
+            PassReport::Binarize(r) => format!(
+                "binarized {} values ({} instrs affected), {}B -> {}B ({:.1}x)",
+                r.binarized_values,
+                r.affected_instrs,
+                r.bytes_before,
+                r.bytes_after,
+                r.reduction_factor()
+            ),
+            PassReport::Perforation(r) => format!(
+                "annotated {} reductions ({} skipped on accelerators)",
+                r.annotated_instrs, r.skipped_on_accelerators
+            ),
+            PassReport::DataMovement(r) => format!(
+                "hoisted {} values across {} stages ({}B per iteration)",
+                r.hoisted_values, r.stages, r.hoisted_bytes_per_iteration
+            ),
+            PassReport::TargetAssign(r) => format!(
+                "assigned {} nodes ({} stages demoted to fallback)",
+                r.assigned_nodes, r.demoted_stages
+            ),
+            PassReport::Dce(r) => format!("removed {} dead instructions", r.removed_instrs),
+            PassReport::Message(m) => m.clone(),
+        }
+    }
+}
+
+/// A compiler transformation over HPVM-HDC IR.
+///
+/// Passes mutate the program in place and return a [`PassReport`]. A pass may
+/// declare ordering constraints via [`Pass::run_after`]; the [`PassManager`]
+/// rejects pipelines that violate them (constraints only apply between passes
+/// that are both present in the pipeline).
+pub trait Pass {
+    /// Stable name used in reports and ordering constraints.
+    fn name(&self) -> &'static str;
+
+    /// Names of passes that, when present in the same pipeline, must run
+    /// before this one.
+    fn run_after(&self) -> &'static [&'static str] {
+        &[]
+    }
+
+    /// Execute the pass.
+    fn run(&mut self, program: &mut Program) -> PassReport;
+}
+
+/// The outcome of one pipeline step.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PassOutcome {
+    /// The pass that ran.
+    pub pass: &'static str,
+    /// Its report.
+    pub report: PassReport,
+}
+
+/// The outcome of a whole pipeline run.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PipelineReport {
+    /// One outcome per executed pass, in execution order.
+    pub outcomes: Vec<PassOutcome>,
+}
+
+impl PipelineReport {
+    /// Look up the report of a pass by name.
+    pub fn report_for(&self, pass: &str) -> Option<&PassReport> {
+        self.outcomes
+            .iter()
+            .find(|o| o.pass == pass)
+            .map(|o| &o.report)
+    }
+
+    /// The binarization report, if the pipeline ran that pass.
+    pub fn binarize(&self) -> Option<&BinarizeReport> {
+        self.outcomes.iter().find_map(|o| match &o.report {
+            PassReport::Binarize(r) => Some(r),
+            _ => None,
+        })
+    }
+
+    /// The target-assignment report, if the pipeline ran that pass.
+    pub fn target_assign(&self) -> Option<&TargetAssignReport> {
+        self.outcomes.iter().find_map(|o| match &o.report {
+            PassReport::TargetAssign(r) => Some(r),
+            _ => None,
+        })
+    }
+}
+
+impl fmt::Display for PipelineReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for o in &self.outcomes {
+            writeln!(f, "{:<16} {}", o.pass, o.report.summary())?;
+        }
+        Ok(())
+    }
+}
+
+/// Failures raised by [`PassManager::run`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum PipelineError {
+    /// The configured sequence violates a pass's ordering constraint.
+    OrderingViolation {
+        /// The pass whose constraint was violated.
+        pass: &'static str,
+        /// The pass that must run earlier but was scheduled later (or after
+        /// `pass` in the sequence).
+        must_follow: &'static str,
+    },
+    /// The IR verifier failed after a pass ran.
+    VerificationFailed {
+        /// The pass after which verification failed (`"<input>"` when the
+        /// program was invalid before any pass ran).
+        pass: String,
+        /// The verifier's failures.
+        errors: VerifyErrors,
+    },
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::OrderingViolation { pass, must_follow } => write!(
+                f,
+                "pipeline ordering violation: pass `{pass}` must run after `{must_follow}`"
+            ),
+            PipelineError::VerificationFailed { pass, errors } => {
+                write!(f, "IR invalid after pass `{pass}`: {errors}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+/// Runs a sequence of passes with ordering validation and per-step
+/// re-verification.
+#[derive(Default)]
+pub struct PassManager {
+    passes: Vec<Box<dyn Pass>>,
+    verify_each_step: bool,
+}
+
+impl fmt::Debug for PassManager {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PassManager")
+            .field(
+                "passes",
+                &self.passes.iter().map(|p| p.name()).collect::<Vec<_>>(),
+            )
+            .field("verify_each_step", &self.verify_each_step)
+            .finish()
+    }
+}
+
+impl PassManager {
+    /// An empty manager that re-verifies the IR after every pass.
+    pub fn new() -> Self {
+        PassManager {
+            passes: Vec::new(),
+            verify_each_step: true,
+        }
+    }
+
+    /// Enable or disable per-step re-verification (enabled by default). The
+    /// program is always verified once before the first pass and once after
+    /// the last.
+    pub fn verify_each_step(mut self, on: bool) -> Self {
+        self.verify_each_step = on;
+        self
+    }
+
+    /// Append a pass (builder style).
+    pub fn with_pass(mut self, pass: impl Pass + 'static) -> Self {
+        self.passes.push(Box::new(pass));
+        self
+    }
+
+    /// Append a pass.
+    pub fn add_pass(&mut self, pass: impl Pass + 'static) -> &mut Self {
+        self.passes.push(Box::new(pass));
+        self
+    }
+
+    /// Names of the scheduled passes, in order.
+    pub fn pass_names(&self) -> Vec<&'static str> {
+        self.passes.iter().map(|p| p.name()).collect()
+    }
+
+    /// Validate ordering constraints without running anything.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::OrderingViolation`] for the first constraint
+    /// the configured sequence breaks.
+    pub fn check_ordering(&self) -> Result<(), PipelineError> {
+        let names = self.pass_names();
+        for (i, pass) in self.passes.iter().enumerate() {
+            for &dep in pass.run_after() {
+                if let Some(pos) = names.iter().position(|&n| n == dep) {
+                    if pos > i {
+                        return Err(PipelineError::OrderingViolation {
+                            pass: pass.name(),
+                            must_follow: dep,
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Run all passes over `program`.
+    ///
+    /// The sequence is first checked against the passes' ordering
+    /// constraints, the input program is verified, and then each pass runs
+    /// followed (when enabled) by re-verification.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::OrderingViolation`] for a misordered
+    /// pipeline and [`PipelineError::VerificationFailed`] naming the
+    /// offending pass when a step leaves the IR invalid.
+    pub fn run(&mut self, program: &mut Program) -> Result<PipelineReport, PipelineError> {
+        self.check_ordering()?;
+        verify(program).map_err(|errors| PipelineError::VerificationFailed {
+            pass: "<input>".to_string(),
+            errors,
+        })?;
+        let mut outcomes = Vec::with_capacity(self.passes.len());
+        let last = self.passes.len().saturating_sub(1);
+        for (i, pass) in self.passes.iter_mut().enumerate() {
+            let report = pass.run(program);
+            if self.verify_each_step || i == last {
+                verify(program).map_err(|errors| PipelineError::VerificationFailed {
+                    pass: pass.name().to_string(),
+                    errors,
+                })?;
+            }
+            outcomes.push(PassOutcome {
+                pass: pass.name(),
+                report,
+            });
+        }
+        Ok(PipelineReport { outcomes })
+    }
+}
+
+/// Options for the standard compilation pipeline assembled by [`compile`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompileOptions {
+    /// Automatic binarization; `None` disables the pass (Table 3 configs
+    /// I–II).
+    pub binarize: Option<BinarizeOptions>,
+    /// Reduction-perforation rules; an empty config leaves reductions dense.
+    pub perforation: PerforationConfig,
+    /// Whether to hoist loop-invariant stage transfers.
+    pub hoist_data_movement: bool,
+    /// Target-assignment configuration.
+    pub targets: TargetConfig,
+    /// Whether to run dead-code elimination at the end.
+    pub dce: bool,
+}
+
+impl Default for CompileOptions {
+    fn default() -> Self {
+        CompileOptions {
+            binarize: Some(BinarizeOptions::default()),
+            perforation: PerforationConfig::none(),
+            hoist_data_movement: true,
+            targets: TargetConfig::default(),
+            dce: true,
+        }
+    }
+}
+
+impl CompileOptions {
+    /// The paper's baseline configuration: no approximations, CPU targets.
+    pub fn baseline() -> Self {
+        CompileOptions {
+            binarize: None,
+            perforation: PerforationConfig::none(),
+            ..CompileOptions::default()
+        }
+    }
+}
+
+/// The report of a [`compile`] invocation.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CompileReport {
+    /// Per-pass outcomes.
+    pub pipeline: PipelineReport,
+}
+
+impl CompileReport {
+    /// The binarization report, when binarization was enabled.
+    pub fn binarize(&self) -> Option<&BinarizeReport> {
+        self.pipeline.binarize()
+    }
+
+    /// The target-assignment report.
+    pub fn target_assign(&self) -> Option<&TargetAssignReport> {
+        self.pipeline.target_assign()
+    }
+}
+
+/// Compile a program with the standard pipeline:
+/// binarize → perforate → hoist data movement → assign targets → DCE.
+///
+/// # Errors
+///
+/// Propagates [`PipelineError`] from the underlying [`PassManager::run`].
+pub fn compile(
+    program: &mut Program,
+    options: &CompileOptions,
+) -> Result<CompileReport, PipelineError> {
+    let mut manager = PassManager::new();
+    if let Some(binarize_options) = options.binarize {
+        manager.add_pass(BinarizePass::new(binarize_options));
+    }
+    if !options.perforation.rules.is_empty() {
+        manager.add_pass(PerforationPass::new(options.perforation.clone()));
+    }
+    if options.hoist_data_movement {
+        manager.add_pass(DataMovementPass);
+    }
+    manager.add_pass(TargetAssignPass::new(options.targets.clone()));
+    if options.dce {
+        manager.add_pass(DcePass);
+    }
+    Ok(CompileReport {
+        pipeline: manager.run(program)?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdc_core::element::ElementKind;
+    use hdc_ir::builder::ProgramBuilder;
+    use hdc_ir::program::ValueId;
+
+    fn listing1() -> (Program, ValueId, ValueId) {
+        let mut b = ProgramBuilder::new("listing1");
+        let features = b.input_vector("features", ElementKind::F32, 617);
+        let rp = b.input_matrix("rp", ElementKind::F32, 2048, 617);
+        let classes = b.input_matrix("classes", ElementKind::F32, 26, 2048);
+        let encoded = b.matmul(features, rp);
+        let encoded_b = b.sign(encoded);
+        let classes_b = b.sign(classes);
+        let dists = b.hamming_distance(encoded_b, classes_b);
+        let label = b.arg_min(dists);
+        b.mark_output(label);
+        (b.finish(), encoded_b, classes_b)
+    }
+
+    #[test]
+    fn default_compile_runs_full_pipeline() {
+        let (mut p, encoded_b, _) = listing1();
+        let report = compile(&mut p, &CompileOptions::default()).unwrap();
+        let names: Vec<&str> = report.pipeline.outcomes.iter().map(|o| o.pass).collect();
+        assert_eq!(
+            names,
+            vec!["binarize", "data-movement", "target-assign", "dce"]
+        );
+        assert!(report.binarize().unwrap().binarized_values >= 2);
+        assert_eq!(p.value(encoded_b).ty.element_kind(), Some(ElementKind::Bit));
+    }
+
+    #[test]
+    fn baseline_compile_skips_approximations() {
+        let (mut p, encoded_b, _) = listing1();
+        let report = compile(&mut p, &CompileOptions::baseline()).unwrap();
+        assert!(report.binarize().is_none());
+        assert_eq!(p.value(encoded_b).ty.element_kind(), Some(ElementKind::F32));
+    }
+
+    #[test]
+    fn ordering_violation_is_rejected_before_running() {
+        let (mut p, ..) = listing1();
+        let before = p.clone();
+        // target-assign declares it must follow binarize.
+        let mut manager = PassManager::new()
+            .with_pass(TargetAssignPass::new(TargetConfig::default()))
+            .with_pass(BinarizePass::new(BinarizeOptions::default()));
+        let err = manager.run(&mut p).unwrap_err();
+        assert!(matches!(
+            err,
+            PipelineError::OrderingViolation {
+                pass: "target-assign",
+                must_follow: "binarize"
+            }
+        ));
+        assert_eq!(p, before, "a rejected pipeline must not mutate the program");
+    }
+
+    #[test]
+    fn constraints_only_bind_when_both_passes_present() {
+        let (mut p, ..) = listing1();
+        let mut manager =
+            PassManager::new().with_pass(TargetAssignPass::new(TargetConfig::default()));
+        manager.run(&mut p).unwrap();
+    }
+
+    #[test]
+    fn invalid_input_program_is_reported_as_input() {
+        use hdc_ir::instr::HdcInstr;
+        use hdc_ir::ops::HdcOp;
+        use hdc_ir::program::{Node, NodeBody};
+        use hdc_ir::Target;
+        let mut p = Program::new("bad");
+        p.add_node(Node {
+            name: "n".into(),
+            target: Target::Cpu,
+            body: NodeBody::Leaf {
+                instrs: vec![HdcInstr::new(
+                    HdcOp::Sign,
+                    vec![ValueId::new(9).into()],
+                    None,
+                )],
+            },
+        });
+        let err = compile(&mut p, &CompileOptions::default()).unwrap_err();
+        assert!(matches!(
+            err,
+            PipelineError::VerificationFailed { ref pass, .. } if pass == "<input>"
+        ));
+    }
+
+    #[test]
+    fn broken_pass_is_caught_by_reverification() {
+        struct BreakTypes;
+        impl Pass for BreakTypes {
+            fn name(&self) -> &'static str {
+                "break-types"
+            }
+            fn run(&mut self, program: &mut Program) -> PassReport {
+                // Shrink a matrix input so downstream shapes mismatch.
+                let id = ValueId::new(1);
+                program.value_mut(id).ty = hdc_ir::types::ValueType::HyperMatrix {
+                    elem: ElementKind::F32,
+                    rows: 2048,
+                    cols: 1,
+                };
+                PassReport::Message("broke the rp matrix".into())
+            }
+        }
+        let (mut p, ..) = listing1();
+        let mut manager = PassManager::new().with_pass(BreakTypes);
+        let err = manager.run(&mut p).unwrap_err();
+        assert!(matches!(
+            err,
+            PipelineError::VerificationFailed { ref pass, .. } if pass == "break-types"
+        ));
+    }
+
+    #[test]
+    fn report_display_and_lookup() {
+        let (mut p, ..) = listing1();
+        let report = compile(&mut p, &CompileOptions::default()).unwrap();
+        let text = report.pipeline.to_string();
+        assert!(text.contains("binarize"));
+        assert!(text.contains("target-assign"));
+        assert!(report.pipeline.report_for("dce").is_some());
+        assert!(report.pipeline.report_for("nonexistent").is_none());
+    }
+}

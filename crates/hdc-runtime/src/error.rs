@@ -1,0 +1,135 @@
+//! Error type for program execution.
+
+use hdc_core::HdcError;
+use hdc_ir::verify::VerifyErrors;
+use std::fmt;
+
+/// Convenience alias for results produced by this crate.
+pub type Result<T> = std::result::Result<T, RuntimeError>;
+
+/// Errors raised while preparing or executing a program.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum RuntimeError {
+    /// The program failed IR verification before execution.
+    InvalidProgram(VerifyErrors),
+    /// An input value slot was never bound by the host.
+    UnboundInput {
+        /// Index of the unbound slot.
+        value: usize,
+        /// Its declared name.
+        name: String,
+    },
+    /// `bind` was called with a name that is not a host-visible (input or
+    /// output) slot of the program.
+    UnknownBinding {
+        /// The name that was looked up.
+        name: String,
+    },
+    /// A value did not have the runtime kind an operation required.
+    TypeMismatch {
+        /// What was being evaluated.
+        context: String,
+        /// What the operation expected.
+        expected: &'static str,
+        /// What it found.
+        found: &'static str,
+    },
+    /// A bound value's shape disagreed with the slot's declared type.
+    ShapeMismatch {
+        /// The slot's name.
+        name: String,
+        /// The declared type, printed.
+        declared: String,
+        /// Description of the provided value.
+        provided: String,
+    },
+    /// A value slot was read before anything wrote it.
+    UseBeforeDef {
+        /// Index of the slot.
+        value: usize,
+        /// Its declared name.
+        name: String,
+    },
+    /// An index operand was negative or out of range.
+    BadIndex {
+        /// What was being evaluated.
+        context: String,
+        /// The offending index.
+        index: i64,
+    },
+    /// An error propagated from an hdc-core kernel.
+    Core(HdcError),
+    /// A requested output slot does not exist in the outputs.
+    MissingOutput {
+        /// Index of the slot.
+        value: usize,
+    },
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::InvalidProgram(e) => write!(f, "program failed verification: {e}"),
+            RuntimeError::UnboundInput { value, name } => {
+                write!(f, "input %{value} \"{name}\" was never bound")
+            }
+            RuntimeError::UnknownBinding { name } => {
+                write!(f, "\"{name}\" is not a bindable input/output slot")
+            }
+            RuntimeError::TypeMismatch {
+                context,
+                expected,
+                found,
+            } => write!(f, "{context}: expected {expected}, found {found}"),
+            RuntimeError::ShapeMismatch {
+                name,
+                declared,
+                provided,
+            } => write!(
+                f,
+                "value \"{name}\" declared as {declared} but bound with {provided}"
+            ),
+            RuntimeError::UseBeforeDef { value, name } => {
+                write!(f, "value %{value} \"{name}\" read before definition")
+            }
+            RuntimeError::BadIndex { context, index } => {
+                write!(f, "{context}: bad index {index}")
+            }
+            RuntimeError::Core(e) => write!(f, "kernel error: {e}"),
+            RuntimeError::MissingOutput { value } => {
+                write!(f, "value %{value} is not a program output")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+impl From<HdcError> for RuntimeError {
+    fn from(e: HdcError) -> Self {
+        RuntimeError::Core(e)
+    }
+}
+
+impl From<VerifyErrors> for RuntimeError {
+    fn from(e: VerifyErrors) -> Self {
+        RuntimeError::InvalidProgram(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        let e = RuntimeError::UnboundInput {
+            value: 3,
+            name: "features".into(),
+        };
+        assert_eq!(e.to_string(), "input %3 \"features\" was never bound");
+        let e = RuntimeError::Core(HdcError::EmptyInput("scores"));
+        assert!(e.to_string().contains("scores"));
+    }
+}

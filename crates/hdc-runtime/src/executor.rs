@@ -1,0 +1,954 @@
+//! The program executor: a reference interpreter for HPVM-HDC programs.
+//!
+//! [`Executor`] walks a verified [`Program`] node by node, evaluating every
+//! HDC intrinsic against the `hdc-core` kernels. Values live in a store
+//! keyed by [`ValueId`]; slots binarized by the compiler (element kind
+//! `Bit`) hold bit-packed payloads, and the executor dispatches the
+//! XOR/popcount kernels whenever both operands of a Hamming-distance or
+//! cosine-similarity reduction are packed — the same specialization the
+//! paper's CPU/GPU back ends perform after automatic binarization.
+//! `red_perf` annotations are honored by forwarding the [`Perforation`]
+//! descriptor into the kernels.
+//!
+//! Execution semantics worth calling out:
+//!
+//! * The interpreter computes in `f64` and conforms results to each slot's
+//!   declared element kind on store (packing for `Bit`, round-and-saturate
+//!   for integer kinds). This makes it a *reference* semantics: back ends
+//!   must match its outputs, not its performance.
+//! * `ParallelFor` nodes execute their instances sequentially — iterations
+//!   are independent by construction, so any parallel schedule must agree
+//!   with the sequential one.
+//! * `training_loop` implements perceptron-style HDC retraining: on a
+//!   misprediction the sample is added to the true class row and subtracted
+//!   from the predicted row. A binarized class matrix is unpacked for the
+//!   duration of the stage and re-binarized by sign at stage exit.
+
+use crate::error::{Result, RuntimeError};
+use crate::value::Value;
+use hdc_core::ops::ElementwiseOp;
+use hdc_core::similarity::{
+    cosine_similarity, cosine_similarity_all_pairs, cosine_similarity_matrix, hamming_distance,
+    hamming_distance_all_pairs, hamming_distance_matrix,
+};
+use hdc_core::{BitMatrix, BitVector, HdcRng, HyperMatrix, HyperVector, Perforation};
+use hdc_ir::instr::{HdcInstr, Operand};
+use hdc_ir::ops::HdcOp;
+use hdc_ir::program::{Node, NodeBody, Program, ValueId, ValueRole};
+use hdc_ir::stage::{StageKind, StageNode};
+use hdc_ir::types::ValueType;
+use rand::SeedableRng;
+
+/// Execution counters, useful for tests and profiling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ExecStats {
+    /// Total instructions evaluated (stage bodies count once per sample).
+    pub instructions_executed: usize,
+    /// Total per-sample stage-body executions.
+    pub stage_samples: usize,
+    /// Reductions dispatched to the bit-packed XOR/popcount kernels.
+    pub bit_kernel_ops: usize,
+}
+
+/// The typed outputs of a program execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Outputs {
+    values: Vec<(ValueId, String, Value)>,
+}
+
+impl Outputs {
+    /// The output for `id`, if `id` is an output slot.
+    pub fn get(&self, id: ValueId) -> Option<&Value> {
+        self.values
+            .iter()
+            .find(|(v, _, _)| *v == id)
+            .map(|(_, _, val)| val)
+    }
+
+    /// The output with the given slot name.
+    pub fn by_name(&self, name: &str) -> Option<&Value> {
+        self.values
+            .iter()
+            .find(|(_, n, _)| n == name)
+            .map(|(_, _, val)| val)
+    }
+
+    /// All outputs, in slot order.
+    pub fn iter(&self) -> impl Iterator<Item = (ValueId, &str, &Value)> {
+        self.values.iter().map(|(id, n, v)| (*id, n.as_str(), v))
+    }
+
+    /// A scalar output.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `id` is not an output or not a scalar.
+    pub fn scalar(&self, id: ValueId) -> Result<f64> {
+        self.require(id)?.as_scalar("output")
+    }
+
+    /// An index-vector output.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `id` is not an output or not an index vector.
+    pub fn indices(&self, id: ValueId) -> Result<&[usize]> {
+        self.require(id)?.as_indices("output")
+    }
+
+    /// A tensor output as a dense `f64` hypervector.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `id` is not an output or not vector shaped.
+    pub fn vector(&self, id: ValueId) -> Result<HyperVector<f64>> {
+        self.require(id)?.to_dense_vector("output")
+    }
+
+    /// A tensor output as a dense `f64` hypermatrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `id` is not an output or not matrix shaped.
+    pub fn matrix(&self, id: ValueId) -> Result<HyperMatrix<f64>> {
+        self.require(id)?.to_dense_matrix("output")
+    }
+
+    fn require(&self, id: ValueId) -> Result<&Value> {
+        self.get(id)
+            .ok_or(RuntimeError::MissingOutput { value: id.index() })
+    }
+}
+
+/// The reference interpreter. See the module docs for semantics.
+#[derive(Debug)]
+pub struct Executor<'p> {
+    program: &'p Program,
+    store: Vec<Option<Value>>,
+    stats: ExecStats,
+}
+
+impl<'p> Executor<'p> {
+    /// Create an executor for `program`, verifying it first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::InvalidProgram`] if the IR verifier rejects
+    /// the program.
+    pub fn new(program: &'p Program) -> Result<Self> {
+        hdc_ir::verify::verify(program)?;
+        Ok(Executor {
+            program,
+            store: vec![None; program.values().len()],
+            stats: ExecStats::default(),
+        })
+    }
+
+    /// Bind a host-visible (input or output) slot by name.
+    ///
+    /// The value is conformed to the slot's declared representation (packed
+    /// for binarized slots), after its shape is checked. Output slots are
+    /// bindable so hosts can pre-populate in/out buffers (e.g. a matrix a
+    /// `parallel_for` writes row by row); temporaries are not.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::UnknownBinding`] if no input or output slot
+    /// has that name, and [`RuntimeError::ShapeMismatch`] if the shape
+    /// disagrees with the declared type.
+    pub fn bind(&mut self, name: &str, value: Value) -> Result<&mut Self> {
+        let id = self
+            .program
+            .values()
+            .iter()
+            .position(|v| v.name == name && matches!(v.role, ValueRole::Input | ValueRole::Output))
+            .map(ValueId::new)
+            .ok_or_else(|| RuntimeError::UnknownBinding {
+                name: name.to_string(),
+            })?;
+        self.bind_id(id, value)
+    }
+
+    /// Bind an input slot by id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::ShapeMismatch`] if the value's shape
+    /// disagrees with the slot's declared type.
+    pub fn bind_id(&mut self, id: ValueId, value: Value) -> Result<&mut Self> {
+        let info = self.program.value(id);
+        if !value.shape_matches(&info.ty) {
+            return Err(RuntimeError::ShapeMismatch {
+                name: info.name.clone(),
+                declared: info.ty.to_string(),
+                provided: value.describe(),
+            });
+        }
+        self.store[id.index()] = Some(value.conform_to(&info.ty));
+        Ok(self)
+    }
+
+    /// Execution counters accumulated so far.
+    pub fn stats(&self) -> ExecStats {
+        self.stats
+    }
+
+    /// Execute the program and collect its outputs.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if an input was never bound or any instruction
+    /// fails to evaluate.
+    pub fn run(&mut self) -> Result<Outputs> {
+        let program = self.program;
+        for (i, info) in program.values().iter().enumerate() {
+            if info.role == ValueRole::Input && self.store[i].is_none() {
+                return Err(RuntimeError::UnboundInput {
+                    value: i,
+                    name: info.name.clone(),
+                });
+            }
+        }
+        for node in program.nodes() {
+            self.exec_node(node)?;
+        }
+        let mut values = Vec::new();
+        for id in program.values_with_role(ValueRole::Output) {
+            let info = program.value(id);
+            let value = self.value(id)?.clone();
+            values.push((id, info.name.clone(), value));
+        }
+        Ok(Outputs { values })
+    }
+
+    // ------------------------------------------------------------------
+    // store access
+    // ------------------------------------------------------------------
+
+    fn value(&self, id: ValueId) -> Result<&Value> {
+        self.store[id.index()]
+            .as_ref()
+            .ok_or_else(|| RuntimeError::UseBeforeDef {
+                value: id.index(),
+                name: self.program.value(id).name.clone(),
+            })
+    }
+
+    fn set(&mut self, id: ValueId, value: Value) {
+        let declared = &self.program.value(id).ty;
+        self.store[id.index()] = Some(value.conform_to(declared));
+    }
+
+    /// Store without conforming (used for the dense shadow of a binarized
+    /// class matrix during training).
+    fn set_raw(&mut self, id: ValueId, value: Value) {
+        self.store[id.index()] = Some(value);
+    }
+
+    fn value_mut(&mut self, id: ValueId) -> Result<&mut Value> {
+        let program = self.program;
+        match self.store[id.index()].as_mut() {
+            Some(v) => Ok(v),
+            None => Err(RuntimeError::UseBeforeDef {
+                value: id.index(),
+                name: program.value(id).name.clone(),
+            }),
+        }
+    }
+
+    fn operand_value_id(&self, instr: &HdcInstr, idx: usize, context: &str) -> Result<ValueId> {
+        instr
+            .operands
+            .get(idx)
+            .and_then(Operand::as_value)
+            .ok_or_else(|| RuntimeError::TypeMismatch {
+                context: context.to_string(),
+                expected: "value operand",
+                found: "immediate or missing operand",
+            })
+    }
+
+    fn operand_value(&self, instr: &HdcInstr, idx: usize, context: &str) -> Result<&Value> {
+        match instr.operands.get(idx) {
+            Some(Operand::Value(v)) => self.value(*v),
+            _ => Err(RuntimeError::TypeMismatch {
+                context: context.to_string(),
+                expected: "value operand",
+                found: "immediate or missing operand",
+            }),
+        }
+    }
+
+    fn operand_index(&self, instr: &HdcInstr, idx: usize, context: &str) -> Result<usize> {
+        let raw: i64 = match instr.operands.get(idx) {
+            Some(Operand::ImmInt(i)) => *i,
+            Some(Operand::Value(v)) => self.value(*v)?.as_scalar(context)?.round() as i64,
+            None => {
+                return Err(RuntimeError::BadIndex {
+                    context: context.to_string(),
+                    index: -1,
+                })
+            }
+        };
+        usize::try_from(raw).map_err(|_| RuntimeError::BadIndex {
+            context: context.to_string(),
+            index: raw,
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // node execution
+    // ------------------------------------------------------------------
+
+    fn exec_node(&mut self, node: &Node) -> Result<()> {
+        match &node.body {
+            NodeBody::Leaf { instrs } => self.exec_instrs(instrs),
+            NodeBody::ParallelFor { count, index, body } => {
+                for i in 0..*count {
+                    self.set(*index, Value::Scalar(i as f64));
+                    self.exec_instrs(body)?;
+                }
+                Ok(())
+            }
+            NodeBody::Stage(stage) => self.exec_stage(stage),
+        }
+    }
+
+    fn exec_instrs(&mut self, instrs: &[HdcInstr]) -> Result<()> {
+        for instr in instrs {
+            self.exec_instr(instr)?;
+        }
+        Ok(())
+    }
+
+    fn exec_stage(&mut self, stage: &StageNode) -> Result<()> {
+        let queries = self
+            .value(stage.interface.queries)?
+            .to_dense_matrix("stage queries")?;
+        match stage.kind {
+            StageKind::Encoding => {
+                let mut rows = Vec::with_capacity(queries.rows());
+                for r in 0..queries.rows() {
+                    self.set(stage.body_query, Value::Vector(queries.row_vector(r)?));
+                    self.exec_instrs(&stage.body)?;
+                    self.stats.stage_samples += 1;
+                    rows.push(
+                        self.value(stage.body_result)?
+                            .to_dense_vector("encoding result")?,
+                    );
+                }
+                self.set(
+                    stage.interface.output,
+                    Value::Matrix(HyperMatrix::from_rows(rows)?),
+                );
+            }
+            StageKind::Inference => {
+                let mut labels = Vec::with_capacity(queries.rows());
+                for r in 0..queries.rows() {
+                    self.set(stage.body_query, Value::Vector(queries.row_vector(r)?));
+                    self.exec_instrs(&stage.body)?;
+                    self.stats.stage_samples += 1;
+                    let scores = self
+                        .value(stage.body_result)?
+                        .to_dense_vector("stage scores")?;
+                    let winner =
+                        stage
+                            .polarity
+                            .select(scores.as_slice())
+                            .ok_or(RuntimeError::Core(hdc_core::HdcError::EmptyInput(
+                                "stage scores",
+                            )))?;
+                    labels.push(winner);
+                }
+                self.set(stage.interface.output, Value::Indices(labels));
+            }
+            StageKind::Training { epochs } => {
+                let classes_id =
+                    stage
+                        .interface
+                        .classes
+                        .ok_or_else(|| RuntimeError::TypeMismatch {
+                            context: "training_loop".to_string(),
+                            expected: "class hypermatrix",
+                            found: "none",
+                        })?;
+                let labels_id =
+                    stage
+                        .interface
+                        .labels
+                        .ok_or_else(|| RuntimeError::TypeMismatch {
+                            context: "training_loop".to_string(),
+                            expected: "labels",
+                            found: "none",
+                        })?;
+                let truth: Vec<usize> = self
+                    .value(labels_id)?
+                    .as_indices("training labels")?
+                    .to_vec();
+                // Keep a dense shadow of the class matrix for the duration of
+                // the stage so perceptron updates accumulate; re-binarized on
+                // exit if the slot is packed.
+                let dense_classes = self
+                    .value(classes_id)?
+                    .to_dense_matrix("training classes")?;
+                self.set_raw(classes_id, Value::Matrix(dense_classes));
+                for _epoch in 0..epochs {
+                    #[allow(clippy::needless_range_loop)]
+                    for r in 0..queries.rows() {
+                        let sample = queries.row_vector(r)?;
+                        self.set(stage.body_query, Value::Vector(sample.clone()));
+                        self.exec_instrs(&stage.body)?;
+                        self.stats.stage_samples += 1;
+                        let scores = self
+                            .value(stage.body_result)?
+                            .to_dense_vector("stage scores")?;
+                        let pred =
+                            stage
+                                .polarity
+                                .select(scores.as_slice())
+                                .ok_or(RuntimeError::Core(hdc_core::HdcError::EmptyInput(
+                                    "stage scores",
+                                )))?;
+                        let label = truth[r];
+                        if pred != label {
+                            match self.value_mut(classes_id)? {
+                                Value::Matrix(classes) => {
+                                    update_row_in_place(classes, label, &sample, 1.0)?;
+                                    update_row_in_place(classes, pred, &sample, -1.0)?;
+                                }
+                                other => {
+                                    return Err(RuntimeError::TypeMismatch {
+                                        context: "training_loop classes".to_string(),
+                                        expected: "matrix",
+                                        found: other.kind_name(),
+                                    })
+                                }
+                            }
+                        }
+                    }
+                }
+                // Conform the trained matrix back to the declared kind.
+                let trained = self.value(classes_id)?.clone();
+                self.set(classes_id, trained);
+                if stage.interface.output != classes_id {
+                    let trained = self.value(classes_id)?.clone();
+                    self.set(stage.interface.output, trained);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // instruction execution
+    // ------------------------------------------------------------------
+
+    fn exec_instr(&mut self, instr: &HdcInstr) -> Result<()> {
+        self.stats.instructions_executed += 1;
+        let perf = instr.perforation.unwrap_or(Perforation::NONE);
+        let result = match &instr.op {
+            HdcOp::Zero => Some(self.make_filled(instr, 0.0)?),
+            HdcOp::Random { seed } => Some(self.make_random(instr, *seed, RandomKind::Uniform)?),
+            HdcOp::Gaussian { seed } => {
+                Some(self.make_random(instr, *seed, RandomKind::Gaussian)?)
+            }
+            HdcOp::RandomBipolar { seed } => {
+                Some(self.make_random(instr, *seed, RandomKind::Bipolar)?)
+            }
+            HdcOp::WrapShift => {
+                let amount = match instr.operands.get(1) {
+                    Some(Operand::ImmInt(i)) => *i as isize,
+                    Some(Operand::Value(v)) => {
+                        self.value(*v)?.as_scalar("wrap_shift amount")?.round() as isize
+                    }
+                    None => 0,
+                };
+                let input = self.operand_value(instr, 0, "wrap_shift")?;
+                Some(match input {
+                    Value::Bits(b) => Value::Bits(b.wrap_shift(amount)),
+                    Value::BitMatrix(b) => {
+                        let rows: hdc_core::Result<Vec<BitVector>> =
+                            b.iter().map(|r| Ok(r.wrap_shift(amount))).collect();
+                        Value::BitMatrix(BitMatrix::from_rows(rows?)?)
+                    }
+                    Value::Vector(v) => Value::Vector(v.wrap_shift(amount)),
+                    Value::Matrix(m) => {
+                        let rows: Vec<HyperVector<f64>> = (0..m.rows())
+                            .map(|r| Ok(m.row_vector(r)?.wrap_shift(amount)))
+                            .collect::<Result<_>>()?;
+                        Value::Matrix(HyperMatrix::from_rows(rows)?)
+                    }
+                    other => {
+                        return Err(RuntimeError::TypeMismatch {
+                            context: "wrap_shift".to_string(),
+                            expected: "tensor",
+                            found: other.kind_name(),
+                        })
+                    }
+                })
+            }
+            HdcOp::Sign => {
+                let input = self.operand_value(instr, 0, "sign")?;
+                Some(match input {
+                    // Packed values are bipolar by definition.
+                    Value::Bits(b) => Value::Bits(b.clone()),
+                    Value::BitMatrix(b) => Value::BitMatrix(b.clone()),
+                    Value::Vector(v) => Value::Vector(v.sign()),
+                    Value::Matrix(m) => Value::Matrix(m.sign()),
+                    Value::Scalar(x) => Value::Scalar(if *x < 0.0 { -1.0 } else { 1.0 }),
+                    other => {
+                        return Err(RuntimeError::TypeMismatch {
+                            context: "sign".to_string(),
+                            expected: "tensor or scalar",
+                            found: other.kind_name(),
+                        })
+                    }
+                })
+            }
+            HdcOp::SignFlip => {
+                let input = self.operand_value(instr, 0, "sign_flip")?;
+                Some(match input {
+                    Value::Bits(b) => Value::Bits(b.sign_flip()),
+                    Value::BitMatrix(b) => {
+                        let rows: Vec<BitVector> = b.iter().map(BitVector::sign_flip).collect();
+                        Value::BitMatrix(BitMatrix::from_rows(rows)?)
+                    }
+                    Value::Vector(v) => Value::Vector(v.sign_flip()),
+                    Value::Matrix(m) => Value::Matrix(m.sign_flip()),
+                    Value::Scalar(x) => Value::Scalar(-x),
+                    other => {
+                        return Err(RuntimeError::TypeMismatch {
+                            context: "sign_flip".to_string(),
+                            expected: "tensor or scalar",
+                            found: other.kind_name(),
+                        })
+                    }
+                })
+            }
+            HdcOp::AbsoluteValue => Some(self.unary_dense(
+                instr,
+                "abs",
+                |v| v.absolute_value(),
+                |m| m.absolute_value(),
+            )?),
+            HdcOp::CosineElementwise => {
+                Some(self.unary_dense(instr, "cos", |v| v.cosine(), |m| m.cosine())?)
+            }
+            HdcOp::Elementwise(op) => Some(self.elementwise(instr, *op)?),
+            HdcOp::L2Norm => {
+                let input = self.operand_value(instr, 0, "l2norm")?.clone();
+                Some(match input {
+                    Value::Matrix(_) | Value::BitMatrix(_) => {
+                        let m = input.to_dense_matrix("l2norm")?;
+                        let norms: Vec<f64> = (0..m.rows())
+                            .map(|r| {
+                                Ok(hdc_core::matmul::l2norm_perforated(
+                                    &m.row_vector(r)?,
+                                    perf,
+                                )?)
+                            })
+                            .collect::<Result<_>>()?;
+                        Value::Vector(HyperVector::from_vec(norms))
+                    }
+                    other => {
+                        let v = other.to_dense_vector("l2norm")?;
+                        Value::Scalar(hdc_core::matmul::l2norm_perforated(&v, perf)?)
+                    }
+                })
+            }
+            HdcOp::GetElement => {
+                let row = self.operand_index(instr, 1, "get_element")?;
+                let input = self.operand_value(instr, 0, "get_element")?;
+                let x = match input {
+                    Value::Vector(v) => v.get(row)?,
+                    Value::Bits(b) => f64::from(b.get(row)?),
+                    Value::Indices(v) => *v.get(row).ok_or(RuntimeError::BadIndex {
+                        context: "get_element".to_string(),
+                        index: row as i64,
+                    })? as f64,
+                    Value::Matrix(_) | Value::BitMatrix(_) => {
+                        let col = self.operand_index(instr, 2, "get_element")?;
+                        match input {
+                            Value::Matrix(m) => m.get(row, col)?,
+                            Value::BitMatrix(b) => f64::from(b.row(row)?.get(col)?),
+                            _ => unreachable!("matched matrix kinds above"),
+                        }
+                    }
+                    Value::Scalar(x) => *x,
+                };
+                Some(Value::Scalar(x))
+            }
+            HdcOp::TypeCast { .. } => {
+                // The cast itself is the store-side conversion: `set` below
+                // conforms to the result slot's declared (cast-to) kind.
+                Some(self.operand_value(instr, 0, "type_cast")?.clone())
+            }
+            HdcOp::ArgMin => Some(self.selection(instr, true)?),
+            HdcOp::ArgMax => Some(self.selection(instr, false)?),
+            HdcOp::SetMatrixRow => {
+                let row = self.operand_index(instr, 2, "set_matrix_row")?;
+                let matrix_id = self.operand_value_id(instr, 0, "set_matrix_row")?;
+                let dense = self
+                    .operand_value(instr, 1, "set_matrix_row")?
+                    .to_dense_vector("set_matrix_row")?;
+                match self.value_mut(matrix_id)? {
+                    Value::BitMatrix(b) => {
+                        b.set_row(row, BitVector::from_dense(&dense))?;
+                    }
+                    Value::Matrix(m) => {
+                        m.set_row(row, &dense)?;
+                    }
+                    other => {
+                        return Err(RuntimeError::TypeMismatch {
+                            context: "set_matrix_row".to_string(),
+                            expected: "matrix",
+                            found: other.kind_name(),
+                        })
+                    }
+                }
+                None
+            }
+            HdcOp::GetMatrixRow => {
+                let row = self.operand_index(instr, 1, "get_matrix_row")?;
+                let input = self.operand_value(instr, 0, "get_matrix_row")?;
+                Some(match input {
+                    Value::BitMatrix(b) => Value::Bits(b.row(row)?.clone()),
+                    Value::Matrix(m) => Value::Vector(m.row_vector(row)?),
+                    other => {
+                        return Err(RuntimeError::TypeMismatch {
+                            context: "get_matrix_row".to_string(),
+                            expected: "matrix",
+                            found: other.kind_name(),
+                        })
+                    }
+                })
+            }
+            HdcOp::MatrixTranspose => {
+                let m = self
+                    .operand_value(instr, 0, "transpose")?
+                    .to_dense_matrix("transpose")?;
+                Some(Value::Matrix(m.transpose()))
+            }
+            HdcOp::CosineSimilarity => Some(self.similarity(instr, perf, Metric::Cosine)?),
+            HdcOp::HammingDistance => Some(self.similarity(instr, perf, Metric::Hamming)?),
+            HdcOp::MatMul => {
+                let input = self.operand_value(instr, 0, "matmul")?;
+                let proj = self
+                    .operand_value(instr, 1, "matmul")?
+                    .to_dense_matrix("matmul projection")?;
+                Some(match input {
+                    Value::Matrix(_) | Value::BitMatrix(_) => {
+                        let batch = input.to_dense_matrix("matmul input")?;
+                        Value::Matrix(hdc_core::matmul::matmul_batch(&batch, &proj, perf)?)
+                    }
+                    other => {
+                        let v = other.to_dense_vector("matmul input")?;
+                        Value::Vector(hdc_core::matmul::matvec(&proj, &v, perf)?)
+                    }
+                })
+            }
+            HdcOp::AccumulateRow => {
+                let row = self.operand_index(instr, 2, "accumulate_row")?;
+                let matrix_id = self.operand_value_id(instr, 0, "accumulate_row")?;
+                let add = self
+                    .operand_value(instr, 1, "accumulate_row")?
+                    .to_dense_vector("accumulate_row")?;
+                match self.value_mut(matrix_id)? {
+                    // A packed class matrix accumulates in bipolar space:
+                    // unpack the row, add, re-binarize by sign.
+                    Value::BitMatrix(b) => {
+                        let dense: HyperVector<f64> = b.row(row)?.to_dense();
+                        let sum = dense.zip_with(&add, |a, x| a + x)?;
+                        b.set_row(row, BitVector::from_dense(&sum.sign()))?;
+                    }
+                    Value::Matrix(m) => {
+                        let sum = m.row_vector(row)?.zip_with(&add, |a, x| a + x)?;
+                        m.set_row(row, &sum)?;
+                    }
+                    other => {
+                        return Err(RuntimeError::TypeMismatch {
+                            context: "accumulate_row".to_string(),
+                            expected: "matrix",
+                            found: other.kind_name(),
+                        })
+                    }
+                }
+                None
+            }
+        };
+        if let (Some(value), Some(result_id)) = (result, instr.result) {
+            self.set(result_id, value);
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // op helpers
+    // ------------------------------------------------------------------
+
+    fn result_type(&self, instr: &HdcInstr) -> Result<ValueType> {
+        let id = instr.result.ok_or_else(|| RuntimeError::TypeMismatch {
+            context: format!("{}", instr.op),
+            expected: "result slot",
+            found: "none",
+        })?;
+        Ok(self.program.value(id).ty)
+    }
+
+    fn make_filled(&self, instr: &HdcInstr, fill: f64) -> Result<Value> {
+        Ok(match self.result_type(instr)? {
+            ValueType::HyperVector { dim, .. } => Value::Vector(HyperVector::splat(dim, fill)),
+            ValueType::HyperMatrix { rows, cols, .. } => {
+                Value::Matrix(HyperMatrix::from_fn(rows, cols, |_, _| fill))
+            }
+            ValueType::Scalar(_) => Value::Scalar(fill),
+            ValueType::IndexVector { len } => Value::Indices(vec![0; len]),
+        })
+    }
+
+    fn make_random(&self, instr: &HdcInstr, seed: u64, kind: RandomKind) -> Result<Value> {
+        let mut rng = HdcRng::seed_from_u64(seed);
+        Ok(match self.result_type(instr)? {
+            ValueType::HyperVector { dim, .. } => Value::Vector(match kind {
+                RandomKind::Uniform => hdc_core::random::random_hypervector(dim, &mut rng),
+                RandomKind::Gaussian => hdc_core::random::gaussian_hypervector(dim, &mut rng),
+                RandomKind::Bipolar => hdc_core::random::bipolar_hypervector(dim, &mut rng),
+            }),
+            ValueType::HyperMatrix { rows, cols, .. } => Value::Matrix(match kind {
+                RandomKind::Uniform => hdc_core::random::random_hypermatrix(rows, cols, &mut rng),
+                RandomKind::Gaussian => {
+                    hdc_core::random::gaussian_hypermatrix(rows, cols, &mut rng)
+                }
+                RandomKind::Bipolar => hdc_core::random::bipolar_hypermatrix(rows, cols, &mut rng),
+            }),
+            other => {
+                return Err(RuntimeError::TypeMismatch {
+                    context: "random creation".to_string(),
+                    expected: "tensor result",
+                    found: match other {
+                        ValueType::Scalar(_) => "scalar",
+                        _ => "indices",
+                    },
+                })
+            }
+        })
+    }
+
+    fn unary_dense(
+        &self,
+        instr: &HdcInstr,
+        context: &str,
+        fv: impl Fn(&HyperVector<f64>) -> HyperVector<f64>,
+        fm: impl Fn(&HyperMatrix<f64>) -> HyperMatrix<f64>,
+    ) -> Result<Value> {
+        let input = self.operand_value(instr, 0, context)?;
+        Ok(match input {
+            Value::Matrix(_) | Value::BitMatrix(_) => {
+                Value::Matrix(fm(&input.to_dense_matrix(context)?))
+            }
+            Value::Scalar(x) => {
+                let v = fv(&HyperVector::from_vec(vec![*x]));
+                Value::Scalar(v.get(0)?)
+            }
+            other => Value::Vector(fv(&other.to_dense_vector(context)?)),
+        })
+    }
+
+    fn elementwise(&mut self, instr: &HdcInstr, op: ElementwiseOp) -> Result<Value> {
+        let lhs = self.operand_value(instr, 0, "elementwise")?;
+        let rhs = self.operand_value(instr, 1, "elementwise")?;
+        let mut bit_kernel = false;
+        let result = match (op, lhs, rhs) {
+            // Binding (element-wise multiplication) of two packed bipolar
+            // values is XOR on the packed words.
+            (ElementwiseOp::Mul, Value::Bits(a), Value::Bits(b)) => {
+                bit_kernel = true;
+                Value::Bits(a.bind(b)?)
+            }
+            (ElementwiseOp::Mul, Value::BitMatrix(a), Value::BitMatrix(b)) => {
+                bit_kernel = true;
+                let rows: Vec<BitVector> = a
+                    .iter()
+                    .zip(b.iter())
+                    .map(|(x, y)| x.bind(y))
+                    .collect::<hdc_core::Result<_>>()?;
+                Value::BitMatrix(BitMatrix::from_rows(rows)?)
+            }
+            (_, Value::Scalar(a), Value::Scalar(b)) => Value::Scalar(op.apply(*a, *b)),
+            (_, Value::Matrix(_) | Value::BitMatrix(_), _) => {
+                let a = lhs.to_dense_matrix("elementwise")?;
+                let b = rhs.to_dense_matrix("elementwise")?;
+                Value::Matrix(hdc_core::ops::elementwise_matrix(op, &a, &b)?)
+            }
+            _ => {
+                let a = lhs.to_dense_vector("elementwise")?;
+                let b = rhs.to_dense_vector("elementwise")?;
+                Value::Vector(hdc_core::ops::elementwise(op, &a, &b)?)
+            }
+        };
+        if bit_kernel {
+            self.stats.bit_kernel_ops += 1;
+        }
+        Ok(result)
+    }
+
+    fn selection(&self, instr: &HdcInstr, minimize: bool) -> Result<Value> {
+        let input = self.operand_value(instr, 0, "selection")?;
+        let pick = |slice: &[f64]| -> Option<usize> {
+            if minimize {
+                hdc_core::ops::arg_min(slice)
+            } else {
+                hdc_core::ops::arg_max(slice)
+            }
+        };
+        Ok(match input {
+            Value::Matrix(_) | Value::BitMatrix(_) => {
+                let m = input.to_dense_matrix("selection")?;
+                let rows: Vec<usize> = m.iter_rows().map(|row| pick(row).unwrap_or(0)).collect();
+                Value::Indices(rows)
+            }
+            other => {
+                let v = other.to_dense_vector("selection")?;
+                let idx = pick(v.as_slice()).ok_or(RuntimeError::Core(
+                    hdc_core::HdcError::EmptyInput("arg_min/arg_max"),
+                ))?;
+                Value::Scalar(idx as f64)
+            }
+        })
+    }
+
+    fn similarity(&mut self, instr: &HdcInstr, perf: Perforation, metric: Metric) -> Result<Value> {
+        let lhs = self.operand_value(instr, 0, "similarity")?;
+        let rhs = self.operand_value(instr, 1, "similarity")?;
+        let mut bit_kernel = true;
+        let result = match (lhs, rhs) {
+            // Fast paths: both operands bit-packed.
+            (Value::Bits(a), Value::Bits(b)) => {
+                let h = a.hamming_distance(b, perf)?;
+                Value::Scalar(match metric {
+                    Metric::Hamming => h,
+                    Metric::Cosine => bipolar_cosine(h, perf.visited_count(a.dimension())),
+                })
+            }
+            (Value::Bits(q), Value::BitMatrix(m)) | (Value::BitMatrix(m), Value::Bits(q)) => {
+                let h = m.hamming_distances(q, perf)?;
+                Value::Vector(match metric {
+                    Metric::Hamming => h,
+                    Metric::Cosine => {
+                        let v = perf.visited_count(q.dimension());
+                        h.map(|d| bipolar_cosine(d, v))
+                    }
+                })
+            }
+            (Value::BitMatrix(a), Value::BitMatrix(b)) => {
+                let visited = perf.visited_count(a.cols());
+                let mut out = HyperMatrix::zeros(a.rows(), b.rows());
+                for (i, arow) in a.iter().enumerate() {
+                    for (j, brow) in b.iter().enumerate() {
+                        let h = arow.hamming_distance(brow, perf)?;
+                        let v = match metric {
+                            Metric::Hamming => h,
+                            Metric::Cosine => bipolar_cosine(h, visited),
+                        };
+                        out.set(i, j, v)?;
+                    }
+                }
+                Value::Matrix(out)
+            }
+            // Dense reference path (also covers mixed packed/dense operands;
+            // the pure-bit combinations were all consumed above).
+            (Value::Matrix(_) | Value::BitMatrix(_), Value::Matrix(_) | Value::BitMatrix(_)) => {
+                bit_kernel = false;
+                let a = lhs.to_dense_matrix("similarity")?;
+                let b = rhs.to_dense_matrix("similarity")?;
+                Value::Matrix(match metric {
+                    Metric::Cosine => cosine_similarity_all_pairs(&a, &b, perf)?,
+                    Metric::Hamming => hamming_distance_all_pairs(&a, &b, perf)?,
+                })
+            }
+            (Value::Matrix(_) | Value::BitMatrix(_), _) => {
+                bit_kernel = false;
+                let a = lhs.to_dense_matrix("similarity")?;
+                let q = rhs.to_dense_vector("similarity")?;
+                Value::Vector(match metric {
+                    Metric::Cosine => cosine_similarity_matrix(&q, &a, perf)?,
+                    Metric::Hamming => hamming_distance_matrix(&q, &a, perf)?,
+                })
+            }
+            (_, Value::Matrix(_) | Value::BitMatrix(_)) => {
+                bit_kernel = false;
+                let q = lhs.to_dense_vector("similarity")?;
+                let b = rhs.to_dense_matrix("similarity")?;
+                Value::Vector(match metric {
+                    Metric::Cosine => cosine_similarity_matrix(&q, &b, perf)?,
+                    Metric::Hamming => hamming_distance_matrix(&q, &b, perf)?,
+                })
+            }
+            _ => {
+                bit_kernel = false;
+                let a = lhs.to_dense_vector("similarity")?;
+                let b = rhs.to_dense_vector("similarity")?;
+                Value::Scalar(match metric {
+                    Metric::Cosine => cosine_similarity(&a, &b, perf)?,
+                    Metric::Hamming => hamming_distance(&a, &b, perf)?,
+                })
+            }
+        };
+        if bit_kernel {
+            self.stats.bit_kernel_ops += 1;
+        }
+        Ok(result)
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum RandomKind {
+    Uniform,
+    Gaussian,
+    Bipolar,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Metric {
+    Cosine,
+    Hamming,
+}
+
+/// `matrix[row] += sign * sample`, in place, with bounds checking — the
+/// perceptron update of `training_loop`, run once per misprediction.
+fn update_row_in_place(
+    matrix: &mut HyperMatrix<f64>,
+    row: usize,
+    sample: &HyperVector<f64>,
+    sign: f64,
+) -> Result<()> {
+    let (rows, cols) = (matrix.rows(), matrix.cols());
+    if row >= rows {
+        return Err(RuntimeError::Core(hdc_core::HdcError::IndexOutOfBounds {
+            index: row,
+            len: rows,
+        }));
+    }
+    if sample.dimension() != cols {
+        return Err(RuntimeError::Core(hdc_core::HdcError::DimensionMismatch {
+            expected: cols,
+            actual: sample.dimension(),
+            context: "training row update",
+        }));
+    }
+    let slice = &mut matrix.as_mut_slice()[row * cols..(row + 1) * cols];
+    for (slot, &x) in slice.iter_mut().zip(sample.as_slice()) {
+        *slot += sign * x;
+    }
+    Ok(())
+}
+
+/// Cosine similarity of two bipolar hypervectors from their Hamming distance
+/// over `visited` compared positions: `dot = visited - 2h`, both norms are
+/// `sqrt(visited)`.
+fn bipolar_cosine(hamming: f64, visited: usize) -> f64 {
+    if visited == 0 {
+        return 0.0;
+    }
+    (visited as f64 - 2.0 * hamming) / visited as f64
+}

@@ -1,0 +1,291 @@
+//! Runtime values: what a [`ValueId`](hdc_ir::ValueId) slot holds during
+//! execution.
+//!
+//! The interpreter computes in `f64` (the accumulation type of every
+//! hdc-core reduction) but stores values in the representation their slot's
+//! declared [`ValueType`] calls for: slots binarized to the `Bit` element
+//! kind hold packed [`BitVector`] / [`BitMatrix`] payloads, which is what
+//! lets the executor dispatch the XOR/popcount Hamming kernels on the
+//! binarized path.
+
+use crate::error::{Result, RuntimeError};
+use hdc_core::element::ElementKind;
+use hdc_core::{BitMatrix, BitVector, HyperMatrix, HyperVector};
+use hdc_ir::types::ValueType;
+
+/// A runtime value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// A scalar (scores, loop indices, scalar arg-min results).
+    Scalar(f64),
+    /// A dense hypervector.
+    Vector(HyperVector<f64>),
+    /// A dense hypermatrix.
+    Matrix(HyperMatrix<f64>),
+    /// A bit-packed bipolar hypervector (binarized slot).
+    Bits(BitVector),
+    /// A bit-packed bipolar hypermatrix (binarized slot).
+    BitMatrix(BitMatrix),
+    /// An index vector (labels, cluster assignments).
+    Indices(Vec<usize>),
+}
+
+impl Value {
+    /// Short name of the runtime kind, for error messages.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Value::Scalar(_) => "scalar",
+            Value::Vector(_) => "vector",
+            Value::Matrix(_) => "matrix",
+            Value::Bits(_) => "bit-vector",
+            Value::BitMatrix(_) => "bit-matrix",
+            Value::Indices(_) => "indices",
+        }
+    }
+
+    /// The scalar payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns a type mismatch unless the value is a scalar.
+    pub fn as_scalar(&self, context: &str) -> Result<f64> {
+        match self {
+            Value::Scalar(x) => Ok(*x),
+            other => Err(mismatch(context, "scalar", other)),
+        }
+    }
+
+    /// The index-vector payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns a type mismatch unless the value is an index vector.
+    pub fn as_indices(&self, context: &str) -> Result<&[usize]> {
+        match self {
+            Value::Indices(v) => Ok(v),
+            other => Err(mismatch(context, "indices", other)),
+        }
+    }
+
+    /// View the value as a dense `f64` hypervector, unpacking bit vectors.
+    ///
+    /// # Errors
+    ///
+    /// Returns a type mismatch for scalars, matrices and index vectors.
+    pub fn to_dense_vector(&self, context: &str) -> Result<HyperVector<f64>> {
+        match self {
+            Value::Vector(v) => Ok(v.clone()),
+            Value::Bits(b) => Ok(b.to_dense()),
+            other => Err(mismatch(context, "vector", other)),
+        }
+    }
+
+    /// View the value as a dense `f64` hypermatrix, unpacking bit matrices.
+    ///
+    /// # Errors
+    ///
+    /// Returns a type mismatch for scalars, vectors and index vectors.
+    pub fn to_dense_matrix(&self, context: &str) -> Result<HyperMatrix<f64>> {
+        match self {
+            Value::Matrix(m) => Ok(m.clone()),
+            Value::BitMatrix(b) => Ok(b.to_dense()),
+            other => Err(mismatch(context, "matrix", other)),
+        }
+    }
+
+    /// Whether the value is one of the bit-packed kinds.
+    pub fn is_packed(&self) -> bool {
+        matches!(self, Value::Bits(_) | Value::BitMatrix(_))
+    }
+
+    /// Coerce a computed value into the representation `declared` calls
+    /// for: pack tensors into bit types for `Bit` slots, unpack when a dense
+    /// slot receives packed data, and quantize elements for integer kinds.
+    pub fn conform_to(self, declared: &ValueType) -> Value {
+        match declared {
+            ValueType::HyperVector {
+                elem: ElementKind::Bit,
+                ..
+            } => match self {
+                Value::Bits(b) => Value::Bits(b),
+                Value::Vector(v) => Value::Bits(BitVector::from_dense(&v)),
+                other => other,
+            },
+            ValueType::HyperMatrix {
+                elem: ElementKind::Bit,
+                ..
+            } => match self {
+                Value::BitMatrix(b) => Value::BitMatrix(b),
+                Value::Matrix(m) => Value::BitMatrix(BitMatrix::from_dense(&m)),
+                other => other,
+            },
+            ValueType::HyperVector { elem, .. } => match self {
+                Value::Bits(b) => Value::Vector(b.to_dense()),
+                Value::Vector(v) => Value::Vector(quantize_vector(v, *elem)),
+                other => other,
+            },
+            ValueType::HyperMatrix { elem, .. } => match self {
+                Value::BitMatrix(b) => Value::Matrix(b.to_dense()),
+                Value::Matrix(m) => Value::Matrix(quantize_matrix(m, *elem)),
+                other => other,
+            },
+            ValueType::Scalar(elem) => match self {
+                Value::Scalar(x) => Value::Scalar(quantize(x, *elem)),
+                other => other,
+            },
+            ValueType::IndexVector { .. } => self,
+        }
+    }
+
+    /// Whether the value's shape matches the declared type (used when the
+    /// host binds inputs).
+    pub fn shape_matches(&self, declared: &ValueType) -> bool {
+        match (self, declared) {
+            (Value::Scalar(_), ValueType::Scalar(_)) => true,
+            (Value::Vector(v), ValueType::HyperVector { dim, .. }) => v.dimension() == *dim,
+            (Value::Bits(b), ValueType::HyperVector { dim, .. }) => b.dimension() == *dim,
+            (Value::Matrix(m), ValueType::HyperMatrix { rows, cols, .. }) => {
+                m.rows() == *rows && m.cols() == *cols
+            }
+            (Value::BitMatrix(b), ValueType::HyperMatrix { rows, cols, .. }) => {
+                b.rows() == *rows && b.cols() == *cols
+            }
+            (Value::Indices(v), ValueType::IndexVector { len }) => v.len() == *len,
+            _ => false,
+        }
+    }
+
+    /// Short description of the payload (kind plus shape) for errors.
+    pub fn describe(&self) -> String {
+        match self {
+            Value::Scalar(_) => "scalar".to_string(),
+            Value::Vector(v) => format!("vector[{}]", v.dimension()),
+            Value::Bits(b) => format!("bit-vector[{}]", b.dimension()),
+            Value::Matrix(m) => format!("matrix[{}x{}]", m.rows(), m.cols()),
+            Value::BitMatrix(b) => format!("bit-matrix[{}x{}]", b.rows(), b.cols()),
+            Value::Indices(v) => format!("indices[{}]", v.len()),
+        }
+    }
+}
+
+fn mismatch(context: &str, expected: &'static str, found: &Value) -> RuntimeError {
+    RuntimeError::TypeMismatch {
+        context: context.to_string(),
+        expected,
+        found: found.kind_name(),
+    }
+}
+
+/// Round-and-saturate `x` the way [`hdc_core::Element::from_f64`] does for
+/// the integer element kinds; floats and bits pass through.
+pub fn quantize(x: f64, kind: ElementKind) -> f64 {
+    let clamp = |lo: f64, hi: f64| {
+        if x.is_nan() {
+            0.0
+        } else {
+            x.round().clamp(lo, hi)
+        }
+    };
+    match kind {
+        ElementKind::I8 => clamp(i8::MIN as f64, i8::MAX as f64),
+        ElementKind::I16 => clamp(i16::MIN as f64, i16::MAX as f64),
+        ElementKind::I32 => clamp(i32::MIN as f64, i32::MAX as f64),
+        ElementKind::I64 => clamp(i64::MIN as f64, i64::MAX as f64),
+        ElementKind::F32 | ElementKind::F64 | ElementKind::Bit => x,
+    }
+}
+
+fn quantize_vector(v: HyperVector<f64>, kind: ElementKind) -> HyperVector<f64> {
+    if kind.is_float() {
+        v
+    } else {
+        v.map(|x| quantize(x, kind))
+    }
+}
+
+fn quantize_matrix(m: HyperMatrix<f64>, kind: ElementKind) -> HyperMatrix<f64> {
+    if kind.is_float() {
+        m
+    } else {
+        m.map(|x| quantize(x, kind))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conform_packs_for_bit_slots() {
+        let v = Value::Vector(HyperVector::from_vec(vec![1.0, -2.0, 0.5, -0.1]));
+        let declared = ValueType::HyperVector {
+            elem: ElementKind::Bit,
+            dim: 4,
+        };
+        let packed = v.conform_to(&declared);
+        match packed {
+            Value::Bits(b) => {
+                assert_eq!(b.get(0).unwrap(), 1);
+                assert_eq!(b.get(1).unwrap(), -1);
+            }
+            other => panic!("expected bits, got {}", other.kind_name()),
+        }
+    }
+
+    #[test]
+    fn conform_unpacks_for_dense_slots() {
+        let bits = BitVector::from_bits([true, false, true]);
+        let declared = ValueType::HyperVector {
+            elem: ElementKind::F32,
+            dim: 3,
+        };
+        let dense = Value::Bits(bits).conform_to(&declared);
+        assert_eq!(
+            dense,
+            Value::Vector(HyperVector::from_vec(vec![-1.0, 1.0, -1.0]))
+        );
+    }
+
+    #[test]
+    fn conform_quantizes_integer_kinds() {
+        let v = Value::Vector(HyperVector::from_vec(vec![1.6, -300.0, 2.2]));
+        let declared = ValueType::HyperVector {
+            elem: ElementKind::I8,
+            dim: 3,
+        };
+        match v.conform_to(&declared) {
+            Value::Vector(v) => assert_eq!(v.as_slice(), &[2.0, -128.0, 2.0]),
+            other => panic!("expected vector, got {}", other.kind_name()),
+        }
+        assert_eq!(quantize(f64::NAN, ElementKind::I32), 0.0);
+        assert_eq!(quantize(1.5, ElementKind::F32), 1.5);
+    }
+
+    #[test]
+    fn shape_checks() {
+        let v = Value::Vector(HyperVector::zeros(8));
+        assert!(v.shape_matches(&ValueType::HyperVector {
+            elem: ElementKind::F32,
+            dim: 8
+        }));
+        assert!(!v.shape_matches(&ValueType::HyperVector {
+            elem: ElementKind::F32,
+            dim: 9
+        }));
+        assert!(!v.shape_matches(&ValueType::Scalar(ElementKind::F32)));
+        let i = Value::Indices(vec![1, 2, 3]);
+        assert!(i.shape_matches(&ValueType::IndexVector { len: 3 }));
+    }
+
+    #[test]
+    fn accessors_report_mismatches() {
+        let v = Value::Scalar(1.0);
+        assert!(v.as_scalar("ctx").is_ok());
+        assert!(v.as_indices("ctx").is_err());
+        assert!(v.to_dense_vector("ctx").is_err());
+        let b = Value::Bits(BitVector::zeros(4));
+        assert_eq!(b.to_dense_vector("ctx").unwrap().dimension(), 4);
+        assert!(b.is_packed());
+        assert_eq!(b.describe(), "bit-vector[4]");
+    }
+}

@@ -10,24 +10,21 @@
 //! * [`core`] — hypervector/hypermatrix math, encodings, similarity metrics.
 //! * [`ir`] — the HPVM-HDC IR and the HDC++ builder DSL.
 //! * [`passes`] — automatic binarization, reduction perforation, lowering,
-//!   data-movement hoisting and target assignment.
-//! * [`runtime`] — the program executor, memory/transfer manager and the CPU
-//!   back end.
-//! * [`accel`] — the GPU performance models and the digital-ASIC / ReRAM
-//!   accelerator simulators.
-//! * [`datasets`] — synthetic stand-ins for the paper's datasets.
-//! * [`apps`] — the five evaluated applications (HD-Classification,
-//!   HD-Clustering, HyperOMS, RelHD, HD-Hashtable).
+//!   data-movement hoisting, target assignment, and the pass manager.
+//! * [`runtime`] — the reference program executor: the value store and the
+//!   CPU interpretation of every HDC intrinsic (dense and bit-packed).
 //!
-//! See `README.md` for a quickstart and `EXPERIMENTS.md` for the
-//! paper-versus-measured comparison of every table and figure.
+//! Planned crates not yet in the workspace (tracked in `ROADMAP.md`): the
+//! GPU performance models and accelerator simulators (`hdc-accel`),
+//! synthetic dataset generators (`hdc-datasets`), and the five evaluated
+//! applications (`hdc-apps`). Their re-exports will be added here when the
+//! crates land.
+//!
+//! See `README.md` for the workspace layout and a quickstart.
 
 #![forbid(unsafe_code)]
 
-pub use hdc_accel as accel;
-pub use hdc_apps as apps;
 pub use hdc_core as core;
-pub use hdc_datasets as datasets;
 pub use hdc_ir as ir;
 pub use hdc_passes as passes;
 pub use hdc_runtime as runtime;
