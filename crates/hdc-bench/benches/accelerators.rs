@@ -45,8 +45,8 @@ fn run_inference(p: &hdc_ir::Program, preds: ValueId) -> usize {
     let queries: HyperMatrix<f64> = hdc_core::random::random_hypermatrix(SAMPLES, DIM, &mut rng);
     let classes: HyperMatrix<f64> = hdc_core::random::bipolar_hypermatrix(CLASSES, DIM, &mut rng);
     let mut exec = Executor::new(p).unwrap();
-    exec.bind("queries", Value::Matrix(queries)).unwrap();
-    exec.bind("classes", Value::Matrix(classes)).unwrap();
+    exec.bind("queries", Value::matrix(queries)).unwrap();
+    exec.bind("classes", Value::matrix(classes)).unwrap();
     let out = exec.run().unwrap();
     out.indices(preds).unwrap().len()
 }

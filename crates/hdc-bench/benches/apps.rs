@@ -46,10 +46,10 @@ fn bench_execute(c: &mut Criterion) {
         c.bench_function(name, |bench| {
             bench.iter(|| {
                 let mut exec = Executor::new(black_box(&p)).unwrap();
-                exec.bind("features", Value::Vector(x.clone())).unwrap();
-                exec.bind("rp", Value::Matrix(proj.matrix().clone()))
+                exec.bind("features", Value::vector(x.clone())).unwrap();
+                exec.bind("rp", Value::matrix(proj.matrix().clone()))
                     .unwrap();
-                exec.bind("classes", Value::Matrix(classes.clone()))
+                exec.bind("classes", Value::matrix(classes.clone()))
                     .unwrap();
                 exec.run().unwrap().scalar(label).unwrap()
             })

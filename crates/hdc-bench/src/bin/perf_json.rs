@@ -1,0 +1,347 @@
+//! `perf_json`: the machine-readable performance harness.
+//!
+//! Runs a fixed inference workload grid — dims {2048, 10240} × classes
+//! {26, 100} × dense/binarized × perforation {1.0, 0.5} — through the
+//! `hdc-runtime` executor twice per configuration: once on the per-sample
+//! sequential reference oracle and once on the batched matrix-level kernel
+//! path. Each record checks that the two paths produced identical
+//! classification outputs, then emits timing and copy-accounting data as
+//! JSON (default `BENCH_results.json`), establishing the perf-trajectory
+//! snapshot every future PR is measured against.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p hdc-bench --bin perf_json              # full grid
+//! cargo run --release -p hdc-bench --bin perf_json -- --smoke   # tiny CI grid
+//! cargo run --release -p hdc-bench --bin perf_json -- --out my.json
+//! ```
+//!
+//! Exit code is non-zero if any configuration's batched outputs diverge
+//! from the sequential oracle, so wiring the smoke grid into CI keeps both
+//! the JSON emitter and the equivalence guarantee from rotting.
+
+#![forbid(unsafe_code)]
+
+use hdc_core::element::ElementKind;
+use hdc_core::prelude::*;
+use hdc_ir::builder::ProgramBuilder;
+use hdc_ir::program::{Program, ValueId};
+use hdc_ir::stage::ScorePolarity;
+use hdc_runtime::{ExecStats, Executor, Value};
+use std::time::Instant;
+
+/// One grid point: an inference workload shape.
+#[derive(Debug, Clone, Copy)]
+struct Config {
+    dim: usize,
+    classes: usize,
+    queries: usize,
+    binarized: bool,
+    /// Reduction stride: 1 visits every element (fraction 1.0), 2 visits
+    /// half (fraction 0.5).
+    stride: usize,
+}
+
+impl Config {
+    fn perforation_fraction(&self) -> f64 {
+        1.0 / self.stride as f64
+    }
+
+    fn representation(&self) -> &'static str {
+        if self.binarized {
+            "binarized"
+        } else {
+            "dense"
+        }
+    }
+
+    fn metric(&self) -> &'static str {
+        if self.binarized {
+            "hamming"
+        } else {
+            "cosine"
+        }
+    }
+}
+
+/// One measured grid point.
+struct Record {
+    cfg: Config,
+    sequential_ms: f64,
+    batched_ms: f64,
+    outputs_match: bool,
+    sequential_stats: ExecStats,
+    batched_stats: ExecStats,
+}
+
+fn full_grid() -> Vec<Config> {
+    let mut grid = Vec::new();
+    for &dim in &[2048usize, 10240] {
+        for &classes in &[26usize, 100] {
+            for &binarized in &[false, true] {
+                for &stride in &[1usize, 2] {
+                    // The binarized path is cheap enough for the full
+                    // 1000-query load; the dense oracle is O(dim*classes)
+                    // flops per sample, so trim its batch to keep the grid
+                    // under a minute.
+                    let queries = if binarized { 1000 } else { 250 };
+                    grid.push(Config {
+                        dim,
+                        classes,
+                        queries,
+                        binarized,
+                        stride,
+                    });
+                }
+            }
+        }
+    }
+    grid
+}
+
+fn smoke_grid() -> Vec<Config> {
+    let mut grid = Vec::new();
+    for &binarized in &[false, true] {
+        for &stride in &[1usize, 2] {
+            grid.push(Config {
+                dim: 256,
+                classes: 8,
+                queries: 16,
+                binarized,
+                stride,
+            });
+        }
+    }
+    grid
+}
+
+/// Build the inference program for one grid point: classify every query row
+/// against the class matrix with the representation's natural metric
+/// (XOR/popcount Hamming when binarized, cosine when dense).
+fn build_program(cfg: &Config) -> (Program, ValueId) {
+    let elem = if cfg.binarized {
+        ElementKind::Bit
+    } else {
+        ElementKind::F64
+    };
+    let mut b = ProgramBuilder::new("perf_infer");
+    let q = b.input_matrix("queries", elem, cfg.queries, cfg.dim);
+    let c = b.input_matrix("classes", elem, cfg.classes, cfg.dim);
+    let polarity = if cfg.binarized {
+        ScorePolarity::Distance
+    } else {
+        ScorePolarity::Similarity
+    };
+    let dim = cfg.dim;
+    let stride = cfg.stride;
+    let binarized = cfg.binarized;
+    let preds = b.inference_loop("infer", q, c, polarity, |b, s| {
+        let d = if binarized {
+            b.hamming_distance(s, c)
+        } else {
+            b.cossim(s, c)
+        };
+        if stride > 1 {
+            b.red_perf(d, 0, dim, stride);
+        }
+        d
+    });
+    b.mark_output(preds);
+    (b.finish(), preds)
+}
+
+/// Deterministic workload data: bipolar class prototypes and queries that
+/// are noisy prototype copies, so the classification is non-trivial.
+fn build_data(cfg: &Config) -> (Value, Value) {
+    let mut rng = HdcRng::seed_from_u64(0xBE2C + cfg.dim as u64 + cfg.classes as u64);
+    let classes: HyperMatrix<f64> =
+        hdc_core::random::bipolar_hypermatrix(cfg.classes, cfg.dim, &mut rng);
+    let query_rows: Vec<HyperVector<f64>> = (0..cfg.queries)
+        .map(|i| {
+            let mut v = classes
+                .row_vector(i % cfg.classes)
+                .expect("class row in range");
+            // Flip ~10% of the elements.
+            for k in 0..cfg.dim / 10 {
+                let idx = (k * 7 + i * 13) % cfg.dim;
+                let flipped = -v.get(idx).expect("index in range");
+                v.set(idx, flipped).expect("index in range");
+            }
+            v
+        })
+        .collect();
+    let queries = HyperMatrix::from_rows(query_rows).expect("equal row dims");
+    if cfg.binarized {
+        (
+            Value::bit_matrix(BitMatrix::from_dense(&queries)),
+            Value::bit_matrix(BitMatrix::from_dense(&classes)),
+        )
+    } else {
+        (Value::matrix(queries), Value::matrix(classes))
+    }
+}
+
+/// Run one mode `reps` times; report the best wall-clock (milliseconds),
+/// the predicted labels, and the executor stats of the final rep.
+fn run_mode(
+    program: &Program,
+    preds: ValueId,
+    queries: &Value,
+    classes: &Value,
+    batched: bool,
+    reps: usize,
+) -> (f64, Vec<usize>, ExecStats) {
+    let mut best_ms = f64::INFINITY;
+    let mut labels = Vec::new();
+    let mut stats = ExecStats::default();
+    for _ in 0..reps.max(1) {
+        let mut exec = Executor::new(program).expect("program verifies");
+        exec.set_batched_stages(batched);
+        exec.set_parallel_loops(batched);
+        exec.bind("queries", queries.clone())
+            .expect("shape checked");
+        exec.bind("classes", classes.clone())
+            .expect("shape checked");
+        let start = Instant::now();
+        let out = exec.run().expect("workload executes");
+        let ms = start.elapsed().as_secs_f64() * 1e3;
+        best_ms = best_ms.min(ms);
+        labels = out.indices(preds).expect("labels output").to_vec();
+        stats = exec.stats();
+    }
+    (best_ms, labels, stats)
+}
+
+fn measure(cfg: Config, reps: usize) -> Record {
+    let (program, preds) = build_program(&cfg);
+    let (queries, classes) = build_data(&cfg);
+    let (sequential_ms, seq_labels, sequential_stats) =
+        run_mode(&program, preds, &queries, &classes, false, reps);
+    let (batched_ms, bat_labels, batched_stats) =
+        run_mode(&program, preds, &queries, &classes, true, reps);
+    Record {
+        cfg,
+        sequential_ms,
+        batched_ms,
+        outputs_match: seq_labels == bat_labels,
+        sequential_stats,
+        batched_stats,
+    }
+}
+
+fn json_escape_free(s: &str) -> &str {
+    // All strings we emit are static identifiers; assert rather than escape.
+    assert!(
+        !s.contains(['"', '\\']),
+        "emitted strings must not need escaping"
+    );
+    s
+}
+
+fn record_json(r: &Record) -> String {
+    let speedup = r.sequential_ms / r.batched_ms;
+    format!(
+        concat!(
+            "    {{\n",
+            "      \"dim\": {},\n",
+            "      \"classes\": {},\n",
+            "      \"queries\": {},\n",
+            "      \"representation\": \"{}\",\n",
+            "      \"metric\": \"{}\",\n",
+            "      \"perforation_fraction\": {},\n",
+            "      \"sequential_ms\": {:.3},\n",
+            "      \"batched_ms\": {:.3},\n",
+            "      \"speedup\": {:.2},\n",
+            "      \"outputs_match\": {},\n",
+            "      \"sequential_tensor_bytes_copied\": {},\n",
+            "      \"batched_tensor_bytes_copied\": {},\n",
+            "      \"batched_kernel_ops\": {}\n",
+            "    }}"
+        ),
+        r.cfg.dim,
+        r.cfg.classes,
+        r.cfg.queries,
+        json_escape_free(r.cfg.representation()),
+        json_escape_free(r.cfg.metric()),
+        r.cfg.perforation_fraction(),
+        r.sequential_ms,
+        r.batched_ms,
+        speedup,
+        r.outputs_match,
+        r.sequential_stats.tensor_bytes_copied,
+        r.batched_stats.tensor_bytes_copied,
+        r.batched_stats.batched_kernel_ops,
+    )
+}
+
+fn emit_json(records: &[Record], smoke: bool) -> String {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let rows: Vec<String> = records.iter().map(record_json).collect();
+    format!(
+        concat!(
+            "{{\n",
+            "  \"schema\": \"hdc-bench/perf_json/v1\",\n",
+            "  \"workload\": \"batched_inference_vs_sequential\",\n",
+            "  \"grid\": \"{}\",\n",
+            "  \"cores\": {},\n",
+            "  \"command\": \"cargo run --release -p hdc-bench --bin perf_json\",\n",
+            "  \"records\": [\n{}\n  ]\n",
+            "}}\n"
+        ),
+        if smoke { "smoke" } else { "full" },
+        cores,
+        rows.join(",\n")
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_results.json".to_string());
+    let reps = if smoke { 1 } else { 2 };
+    let grid = if smoke { smoke_grid() } else { full_grid() };
+
+    let mut records = Vec::with_capacity(grid.len());
+    let mut all_match = true;
+    println!(
+        "{:>6} {:>8} {:>8} {:>10} {:>5} {:>14} {:>12} {:>8}  match",
+        "dim", "classes", "queries", "repr", "perf", "sequential_ms", "batched_ms", "speedup"
+    );
+    for cfg in grid {
+        let record = measure(cfg, reps);
+        all_match &= record.outputs_match;
+        println!(
+            "{:>6} {:>8} {:>8} {:>10} {:>5} {:>14.3} {:>12.3} {:>7.2}x  {}",
+            cfg.dim,
+            cfg.classes,
+            cfg.queries,
+            cfg.representation(),
+            cfg.perforation_fraction(),
+            record.sequential_ms,
+            record.batched_ms,
+            record.sequential_ms / record.batched_ms,
+            if record.outputs_match {
+                "ok"
+            } else {
+                "MISMATCH"
+            }
+        );
+        records.push(record);
+    }
+
+    let json = emit_json(&records, smoke);
+    std::fs::write(&out_path, json).expect("write results file");
+    println!("\nwrote {out_path}");
+    if !all_match {
+        eprintln!("error: batched outputs diverged from the sequential oracle");
+        std::process::exit(1);
+    }
+}

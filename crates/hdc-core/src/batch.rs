@@ -1,0 +1,344 @@
+//! Batched, matrix-level inference kernels.
+//!
+//! HDC inference under load is not "one query at a time": a back end receives
+//! a whole matrix of encoded queries and scores every row against the class
+//! hypermatrix in one call. These kernels are the batched forms of the
+//! [`crate::similarity`] primitives, written for throughput:
+//!
+//! * [`hamming_distance_batch`] — bit-packed queries × bit-packed classes,
+//!   word-blocked XOR/popcount inner loops. Perforated reductions are
+//!   evaluated by masking the packed words with a precomputed visit mask
+//!   instead of walking indices bit by bit.
+//! * [`cosine_similarity_batch`] — dense queries × dense classes with the
+//!   class-row norms precomputed once per batch and reused for every query
+//!   row (the per-sample form recomputes them per query).
+//! * [`hamming_distance_batch_dense`] — the dense reference form of the
+//!   Hamming batch, for unbinarized configurations.
+//!
+//! All three parallelize over query rows through the rayon compat layer and
+//! produce results **bit-identical** to looping the per-sample kernels row by
+//! row: integer popcounts are exact, and the dense kernels accumulate in the
+//! same element order as their per-sample counterparts. That equivalence is
+//! what lets `hdc-runtime` swap a per-sample stage loop for one batched call
+//! without changing any classification output.
+
+use crate::binary::BitMatrix;
+use crate::element::Element;
+use crate::error::{HdcError, Result};
+use crate::hypermatrix::HyperMatrix;
+use crate::hypervector::HyperVector;
+use crate::perforation::Perforation;
+use crate::similarity::{dot_perforated, norm_sq_perforated};
+use rayon::prelude::*;
+
+const WORD_BITS: usize = 64;
+/// Inner-loop block width (in 64-bit words) for the XOR/popcount kernels.
+/// Accumulating into independent lanes keeps the popcounts flowing even on a
+/// single core.
+const BLOCK_WORDS: usize = 4;
+
+fn check_cols(a: usize, b: usize, context: &'static str) -> Result<()> {
+    if a != b {
+        return Err(HdcError::DimensionMismatch {
+            expected: a,
+            actual: b,
+            context,
+        });
+    }
+    Ok(())
+}
+
+/// Build the packed word mask selecting the indices a perforation descriptor
+/// visits, so a perforated Hamming reduction becomes `popcount((a ^ b) & m)`.
+fn perforation_mask(dimension: usize, perforation: Perforation) -> Vec<u64> {
+    let mut mask = vec![0u64; dimension.div_ceil(WORD_BITS)];
+    for i in perforation.indices(dimension) {
+        mask[i / WORD_BITS] |= 1u64 << (i % WORD_BITS);
+    }
+    mask
+}
+
+/// Word-blocked XOR + popcount over two packed word slices.
+fn xor_popcount(a: &[u64], b: &[u64]) -> u64 {
+    let mut lanes = [0u64; BLOCK_WORDS];
+    let blocks = a.len() / BLOCK_WORDS;
+    for blk in 0..blocks {
+        let base = blk * BLOCK_WORDS;
+        for (lane, acc) in lanes.iter_mut().enumerate() {
+            *acc += (a[base + lane] ^ b[base + lane]).count_ones() as u64;
+        }
+    }
+    let mut total: u64 = lanes.iter().sum();
+    for i in blocks * BLOCK_WORDS..a.len() {
+        total += (a[i] ^ b[i]).count_ones() as u64;
+    }
+    total
+}
+
+/// Word-blocked masked XOR + popcount (perforated reductions).
+fn xor_popcount_masked(a: &[u64], b: &[u64], mask: &[u64]) -> u64 {
+    let mut lanes = [0u64; BLOCK_WORDS];
+    let blocks = a.len() / BLOCK_WORDS;
+    for blk in 0..blocks {
+        let base = blk * BLOCK_WORDS;
+        for (lane, acc) in lanes.iter_mut().enumerate() {
+            let i = base + lane;
+            *acc += ((a[i] ^ b[i]) & mask[i]).count_ones() as u64;
+        }
+    }
+    let mut total: u64 = lanes.iter().sum();
+    for i in blocks * BLOCK_WORDS..a.len() {
+        total += ((a[i] ^ b[i]) & mask[i]).count_ones() as u64;
+    }
+    total
+}
+
+/// Hamming distance from every row of `queries` to every row of `classes`,
+/// producing a `queries.rows() x classes.rows()` score matrix.
+///
+/// Row `q` of the result equals
+/// [`BitMatrix::hamming_distances`]`(queries.row(q), perforation)` exactly:
+/// distances are integer popcounts, and perforated reductions count only the
+/// visited positions (not rescaled, following the paper).
+///
+/// # Errors
+///
+/// Returns a dimension-mismatch error if the column counts differ and an
+/// invalid-perforation error for a bad descriptor.
+pub fn hamming_distance_batch(
+    queries: &BitMatrix,
+    classes: &BitMatrix,
+    perforation: Perforation,
+) -> Result<HyperMatrix<f64>> {
+    check_cols(queries.cols(), classes.cols(), "hamming distance batch")?;
+    perforation.validate(queries.cols())?;
+    let mask = if perforation.is_dense_over(queries.cols()) {
+        None
+    } else {
+        Some(perforation_mask(queries.cols(), perforation))
+    };
+    let query_words: Vec<&[u64]> = queries.iter().map(|r| r.as_words()).collect();
+    let rows: Vec<HyperVector<f64>> = query_words
+        .into_par_iter()
+        .map(|q| {
+            let scores: Vec<f64> = classes
+                .iter()
+                .map(|class| {
+                    let count = match &mask {
+                        None => xor_popcount(q, class.as_words()),
+                        Some(m) => xor_popcount_masked(q, class.as_words(), m),
+                    };
+                    count as f64
+                })
+                .collect();
+            HyperVector::from_vec(scores)
+        })
+        .collect();
+    HyperMatrix::from_rows(rows)
+}
+
+/// Cosine similarity between every row of `queries` and every row of
+/// `classes`, producing a `queries.rows() x classes.rows()` score matrix.
+///
+/// The class-row norms are precomputed once per batch and reused for every
+/// query row; the per-sample form
+/// ([`crate::similarity::cosine_similarity_matrix`]) recomputes them for each
+/// query. Accumulation order matches the per-sample kernel, so row `q` of the
+/// result is bit-identical to the per-sample scores for `queries.row(q)`.
+///
+/// # Errors
+///
+/// Returns a dimension-mismatch error if the column counts differ and an
+/// invalid-perforation error for a bad descriptor.
+pub fn cosine_similarity_batch<T: Element>(
+    queries: &HyperMatrix<T>,
+    classes: &HyperMatrix<T>,
+    perforation: Perforation,
+) -> Result<HyperMatrix<f64>> {
+    check_cols(queries.cols(), classes.cols(), "cosine similarity batch")?;
+    perforation.validate(queries.cols())?;
+    let class_norms: Vec<f64> = classes
+        .iter_rows()
+        .map(|row| norm_sq_perforated(row, perforation).sqrt())
+        .collect();
+    let query_rows: Vec<&[T]> = queries.iter_rows().collect();
+    let rows: Vec<HyperVector<f64>> = query_rows
+        .into_par_iter()
+        .map(|q| {
+            let qn = norm_sq_perforated(q, perforation).sqrt();
+            let scores: Vec<f64> = classes
+                .iter_rows()
+                .zip(class_norms.iter())
+                .map(|(row, &rn)| {
+                    let dot = dot_perforated(q, row, perforation);
+                    if qn == 0.0 || rn == 0.0 {
+                        0.0
+                    } else {
+                        dot / (qn * rn)
+                    }
+                })
+                .collect();
+            HyperVector::from_vec(scores)
+        })
+        .collect();
+    HyperMatrix::from_rows(rows)
+}
+
+/// Hamming distance between every row of two dense hypermatrices (the
+/// unbinarized reference form of [`hamming_distance_batch`]).
+///
+/// # Errors
+///
+/// Returns a dimension-mismatch error if the column counts differ and an
+/// invalid-perforation error for a bad descriptor.
+pub fn hamming_distance_batch_dense<T: Element>(
+    queries: &HyperMatrix<T>,
+    classes: &HyperMatrix<T>,
+    perforation: Perforation,
+) -> Result<HyperMatrix<f64>> {
+    check_cols(queries.cols(), classes.cols(), "hamming distance batch")?;
+    perforation.validate(queries.cols())?;
+    let dense = perforation.is_dense_over(queries.cols());
+    let query_rows: Vec<&[T]> = queries.iter_rows().collect();
+    let rows: Vec<HyperVector<f64>> = query_rows
+        .into_par_iter()
+        .map(|q| {
+            let scores: Vec<f64> = classes
+                .iter_rows()
+                .map(|row| {
+                    let count = if dense {
+                        q.iter().zip(row.iter()).filter(|(x, y)| x != y).count()
+                    } else {
+                        perforation
+                            .indices(q.len())
+                            .filter(|&i| q[i] != row[i])
+                            .count()
+                    };
+                    count as f64
+                })
+                .collect();
+            HyperVector::from_vec(scores)
+        })
+        .collect();
+    HyperMatrix::from_rows(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binary::BitVector;
+    use crate::random;
+    use crate::similarity::{cosine_similarity_matrix, hamming_distance_matrix};
+    use crate::HdcRng;
+    use rand::SeedableRng;
+
+    fn fixtures(
+        rows: usize,
+        classes: usize,
+        dim: usize,
+    ) -> (HyperMatrix<f64>, HyperMatrix<f64>, BitMatrix, BitMatrix) {
+        let mut rng = HdcRng::seed_from_u64(0xBA7C);
+        let q: HyperMatrix<f64> = random::bipolar_hypermatrix(rows, dim, &mut rng);
+        let c: HyperMatrix<f64> = random::bipolar_hypermatrix(classes, dim, &mut rng);
+        let qb = BitMatrix::from_dense(&q);
+        let cb = BitMatrix::from_dense(&c);
+        (q, c, qb, cb)
+    }
+
+    fn perforations(dim: usize) -> Vec<Perforation> {
+        vec![
+            Perforation::NONE,
+            Perforation::strided(0, dim, 2),
+            Perforation::segment(0, dim / 2),
+            Perforation::strided(3, dim - 5, 3),
+        ]
+    }
+
+    #[test]
+    fn bit_batch_matches_per_sample_rows() {
+        let (q, c, qb, cb) = fixtures(7, 5, 193);
+        for perf in perforations(193) {
+            let batch = hamming_distance_batch(&qb, &cb, perf).unwrap();
+            assert_eq!((batch.rows(), batch.cols()), (7, 5));
+            for r in 0..7 {
+                let expect = cb.hamming_distances(qb.row(r).unwrap(), perf).unwrap();
+                assert_eq!(batch.row(r).unwrap(), expect.as_slice(), "perf {perf}");
+                // And the dense definition agrees.
+                let dense_expect =
+                    hamming_distance_matrix(&q.row_vector(r).unwrap(), &c, perf).unwrap();
+                assert_eq!(batch.row(r).unwrap(), dense_expect.as_slice());
+            }
+        }
+    }
+
+    #[test]
+    fn cosine_batch_is_bit_identical_to_per_sample() {
+        let mut rng = HdcRng::seed_from_u64(0xC055);
+        let q: HyperMatrix<f64> = random::gaussian_hypermatrix(6, 97, &mut rng);
+        let c: HyperMatrix<f64> = random::gaussian_hypermatrix(4, 97, &mut rng);
+        for perf in perforations(97) {
+            let batch = cosine_similarity_batch(&q, &c, perf).unwrap();
+            for r in 0..6 {
+                let expect = cosine_similarity_matrix(&q.row_vector(r).unwrap(), &c, perf).unwrap();
+                assert_eq!(
+                    batch.row(r).unwrap(),
+                    expect.as_slice(),
+                    "bit-identical, perf {perf}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dense_hamming_batch_matches_per_sample() {
+        let (q, c, _, _) = fixtures(5, 3, 130);
+        for perf in perforations(130) {
+            let batch = hamming_distance_batch_dense(&q, &c, perf).unwrap();
+            for r in 0..5 {
+                let expect = hamming_distance_matrix(&q.row_vector(r).unwrap(), &c, perf).unwrap();
+                assert_eq!(batch.row(r).unwrap(), expect.as_slice());
+            }
+        }
+    }
+
+    #[test]
+    fn zero_norm_rows_score_zero() {
+        let q = HyperMatrix::<f64>::zeros(2, 8);
+        let c = HyperMatrix::<f64>::from_fn(2, 8, |r, _| r as f64);
+        let batch = cosine_similarity_batch(&q, &c, Perforation::NONE).unwrap();
+        assert!(batch.as_slice().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn dimension_and_perforation_errors() {
+        let a = BitMatrix::zeros(2, 64);
+        let b = BitMatrix::zeros(2, 65);
+        assert!(hamming_distance_batch(&a, &b, Perforation::NONE).is_err());
+        assert!(hamming_distance_batch(&a, &a, Perforation::new(0, 64, 0)).is_err());
+        let m = HyperMatrix::<f64>::zeros(2, 8);
+        let n = HyperMatrix::<f64>::zeros(2, 9);
+        assert!(cosine_similarity_batch(&m, &n, Perforation::NONE).is_err());
+        assert!(hamming_distance_batch_dense(&m, &n, Perforation::NONE).is_err());
+    }
+
+    #[test]
+    fn empty_batches_are_legal() {
+        let q = BitMatrix::from_rows(Vec::new()).unwrap();
+        let c = BitMatrix::from_rows(vec![BitVector::zeros(0)]).unwrap();
+        let out = hamming_distance_batch(&q, &c, Perforation::NONE).unwrap();
+        assert_eq!(out.rows(), 0);
+    }
+
+    #[test]
+    fn mask_covers_word_boundaries() {
+        // A perforation whose segment straddles the 64-bit word boundary.
+        let dim = 130;
+        let (_, _, qb, cb) = fixtures(3, 3, dim);
+        let perf = Perforation::segment(60, 70);
+        let batch = hamming_distance_batch(&qb, &cb, perf).unwrap();
+        for r in 0..3 {
+            let expect = cb.hamming_distances(qb.row(r).unwrap(), perf).unwrap();
+            assert_eq!(batch.row(r).unwrap(), expect.as_slice());
+        }
+    }
+}

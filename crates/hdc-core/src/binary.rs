@@ -36,30 +36,55 @@ impl BitVector {
     }
 
     /// Build from an iterator of booleans (`true` == `-1`).
+    ///
+    /// Words are accumulated chunk-wise: the word vector is pre-reserved from
+    /// the iterator's size hint (`dimension.div_ceil(64)` words for exact
+    /// hints) and each bit is OR-ed in branchlessly, with one word pushed per
+    /// 64 bits consumed.
     pub fn from_bits(bits: impl IntoIterator<Item = bool>) -> Self {
-        let mut words = Vec::new();
-        let mut dimension = 0;
+        let iter = bits.into_iter();
+        let (lower, _) = iter.size_hint();
+        let mut words = Vec::with_capacity(lower.div_ceil(WORD_BITS));
+        let mut dimension = 0usize;
         let mut current = 0u64;
-        for (i, bit) in bits.into_iter().enumerate() {
-            let offset = i % WORD_BITS;
-            if offset == 0 && i != 0 {
+        let mut offset = 0u32;
+        for bit in iter {
+            current |= u64::from(bit) << offset;
+            offset += 1;
+            dimension += 1;
+            if offset == WORD_BITS as u32 {
                 words.push(current);
                 current = 0;
+                offset = 0;
             }
-            if bit {
-                current |= 1 << offset;
-            }
-            dimension = i + 1;
         }
-        if dimension > 0 {
+        if offset > 0 {
             words.push(current);
         }
         BitVector { dimension, words }
     }
 
+    /// Binarize a slice of elements by sign (negative → bit set), packing a
+    /// whole 64-bit word per inner loop instead of pushing bit by bit. This
+    /// is the hot packing path automatic binarization runs on.
+    pub fn from_signs<T: Element>(signs: &[T]) -> Self {
+        let mut words = Vec::with_capacity(signs.len().div_ceil(WORD_BITS));
+        for chunk in signs.chunks(WORD_BITS) {
+            let mut word = 0u64;
+            for (offset, x) in chunk.iter().enumerate() {
+                word |= u64::from(x.to_f64() < 0.0) << offset;
+            }
+            words.push(word);
+        }
+        BitVector {
+            dimension: signs.len(),
+            words,
+        }
+    }
+
     /// Binarize a dense hypervector by element sign (negative → bit set).
     pub fn from_dense<T: Element>(hv: &HyperVector<T>) -> Self {
-        BitVector::from_bits(hv.iter().map(|x| x.to_f64() < 0.0))
+        BitVector::from_signs(hv.as_slice())
     }
 
     /// Number of (logical) elements.
@@ -265,13 +290,11 @@ impl BitMatrix {
         Ok(BitMatrix { rows, cols })
     }
 
-    /// Binarize a dense hypermatrix by element sign.
+    /// Binarize a dense hypermatrix by element sign, packing word-wise row by
+    /// row (see [`BitVector::from_signs`]).
     pub fn from_dense<T: Element>(hm: &HyperMatrix<T>) -> Self {
         BitMatrix {
-            rows: hm
-                .iter_rows()
-                .map(|row| BitVector::from_bits(row.iter().map(|x| x.to_f64() < 0.0)))
-                .collect(),
+            rows: hm.iter_rows().map(BitVector::from_signs).collect(),
             cols: hm.cols(),
         }
     }
@@ -380,6 +403,27 @@ mod tests {
         let bv = BitVector::from_dense(&hv);
         let back: HyperVector<f32> = bv.to_dense();
         assert_eq!(back.as_slice(), &[1.0, -1.0, 1.0, -1.0, 1.0]);
+    }
+
+    #[test]
+    fn from_signs_matches_from_bits_across_word_boundaries() {
+        for dim in [0usize, 1, 63, 64, 65, 128, 1000] {
+            let values: Vec<f64> = (0..dim)
+                .map(|i| if i % 3 == 0 { -1.0 } else { 1.0 })
+                .collect();
+            let via_signs = BitVector::from_signs(&values);
+            let via_bits = BitVector::from_bits(values.iter().map(|&x| x < 0.0));
+            assert_eq!(via_signs, via_bits, "dim {dim}");
+            assert_eq!(via_signs.dimension(), dim);
+        }
+    }
+
+    #[test]
+    fn from_bits_reserves_from_size_hint() {
+        // Exact-size iterators produce exactly div_ceil(64) words.
+        let bv = BitVector::from_bits((0..130).map(|i| i % 2 == 0));
+        assert_eq!(bv.as_words().len(), 3);
+        assert_eq!(bv.dimension(), 130);
     }
 
     #[test]

@@ -40,6 +40,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod binary;
 pub mod element;
 pub mod encoding;
@@ -52,6 +53,7 @@ pub mod perforation;
 pub mod random;
 pub mod similarity;
 
+pub use batch::{cosine_similarity_batch, hamming_distance_batch, hamming_distance_batch_dense};
 pub use binary::{BitMatrix, BitVector};
 pub use element::Element;
 pub use error::{HdcError, Result};
@@ -62,6 +64,9 @@ pub use random::HdcRng;
 
 /// Commonly used items, for glob import in examples and applications.
 pub mod prelude {
+    pub use crate::batch::{
+        cosine_similarity_batch, hamming_distance_batch, hamming_distance_batch_dense,
+    };
     pub use crate::binary::{BitMatrix, BitVector};
     pub use crate::element::Element;
     pub use crate::encoding::{

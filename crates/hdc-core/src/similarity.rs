@@ -16,7 +16,9 @@ use crate::hypervector::HyperVector;
 use crate::perforation::Perforation;
 
 /// Dot product of two element slices over the perforated index set.
-fn dot_perforated<T: Element>(a: &[T], b: &[T], perforation: Perforation) -> f64 {
+/// Shared with the batched kernels in [`crate::batch`] so the batched and
+/// per-sample paths accumulate in the same order (bit-identical results).
+pub(crate) fn dot_perforated<T: Element>(a: &[T], b: &[T], perforation: Perforation) -> f64 {
     if perforation.is_dense_over(a.len()) {
         a.iter()
             .zip(b.iter())
@@ -30,8 +32,9 @@ fn dot_perforated<T: Element>(a: &[T], b: &[T], perforation: Perforation) -> f64
     }
 }
 
-/// Squared L2 norm over the perforated index set.
-fn norm_sq_perforated<T: Element>(a: &[T], perforation: Perforation) -> f64 {
+/// Squared L2 norm over the perforated index set. Shared with
+/// [`crate::batch`] (see [`dot_perforated`]).
+pub(crate) fn norm_sq_perforated<T: Element>(a: &[T], perforation: Perforation) -> f64 {
     if perforation.is_dense_over(a.len()) {
         a.iter()
             .map(|x| {

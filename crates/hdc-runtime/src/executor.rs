@@ -1,4 +1,5 @@
-//! The program executor: a reference interpreter for HPVM-HDC programs.
+//! The program executor: a reference interpreter for HPVM-HDC programs with
+//! a batched fast path.
 //!
 //! [`Executor`] walks a verified [`Program`] node by node, evaluating every
 //! HDC intrinsic against the `hdc-core` kernels. Values live in a store
@@ -16,16 +17,35 @@
 //!   declared element kind on store (packing for `Bit`, round-and-saturate
 //!   for integer kinds). This makes it a *reference* semantics: back ends
 //!   must match its outputs, not its performance.
-//! * `ParallelFor` nodes execute their instances sequentially — iterations
-//!   are independent by construction, so any parallel schedule must agree
-//!   with the sequential one.
+//! * Tensor payloads are `Arc`-shared ([`Value`]); moving values between
+//!   slots never copies a tensor. Every genuine copy (representation
+//!   conversions, per-sample row staging, copy-on-write of a shared
+//!   payload) is counted in [`ExecStats::tensor_bytes_copied`].
+//! * **Stage batching** (on by default, [`Executor::set_batched_stages`]):
+//!   an `inference_loop` whose body is a single similarity reduction
+//!   against a loop-invariant class matrix, or an `encoding_loop` whose
+//!   body is `matmul` (optionally followed by `sign`), is executed as one
+//!   matrix-level kernel call ([`hdc_core::batch`]) over the whole sample
+//!   matrix instead of one interpreter pass per sample. The per-sample
+//!   loop is kept as the reference oracle; the batched kernels are
+//!   bit-identical to it, and equivalence tests hold the two paths
+//!   together.
+//! * **`ParallelFor`** nodes whose bodies pass a row-independence analysis
+//!   (every in-place row write is indexed by the loop variable, no
+//!   cross-iteration dataflow) run their instances through the rayon
+//!   compat layer: each instance executes against a cheap `Arc` snapshot
+//!   of the store with its row writes deferred to a log, and the logs are
+//!   merged afterwards. Bodies that fail the analysis fall back to the
+//!   sequential schedule, which remains the reference.
 //! * `training_loop` implements perceptron-style HDC retraining: on a
 //!   misprediction the sample is added to the true class row and subtracted
 //!   from the predicted row. A binarized class matrix is unpacked for the
-//!   duration of the stage and re-binarized by sign at stage exit.
+//!   duration of the stage and re-binarized by sign at stage exit. Training
+//!   always runs sequentially (its updates are order-dependent).
 
 use crate::error::{Result, RuntimeError};
 use crate::value::Value;
+use hdc_core::element::ElementKind;
 use hdc_core::ops::ElementwiseOp;
 use hdc_core::similarity::{
     cosine_similarity, cosine_similarity_all_pairs, cosine_similarity_matrix, hamming_distance,
@@ -38,16 +58,42 @@ use hdc_ir::program::{Node, NodeBody, Program, ValueId, ValueRole};
 use hdc_ir::stage::{StageKind, StageNode};
 use hdc_ir::types::ValueType;
 use rand::SeedableRng;
+use rayon::prelude::*;
+use std::collections::HashSet;
+use std::sync::Arc;
 
 /// Execution counters, useful for tests and profiling.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ExecStats {
-    /// Total instructions evaluated (stage bodies count once per sample).
+    /// Total instructions evaluated (stage bodies count once per sample,
+    /// whether the stage ran per-sample or batched).
     pub instructions_executed: usize,
-    /// Total per-sample stage-body executions.
+    /// Total per-sample stage-body executions (batched stages count one per
+    /// sample they process).
     pub stage_samples: usize,
-    /// Reductions dispatched to the bit-packed XOR/popcount kernels.
+    /// Reductions dispatched to the bit-packed XOR/popcount kernels
+    /// (batched stages count one per query row, matching the sequential
+    /// schedule).
     pub bit_kernel_ops: usize,
+    /// Matrix-level batched kernel calls (one per batched stage or
+    /// all-pairs bit reduction).
+    pub batched_kernel_ops: usize,
+    /// Bytes of tensor payload copied: representation conversions
+    /// (pack/unpack/quantize), per-sample row staging in the sequential
+    /// stage loops, and copy-on-write of shared payloads. The batched
+    /// inference path performs none.
+    pub tensor_bytes_copied: usize,
+}
+
+impl ExecStats {
+    /// Fold another counter set into this one (parallel-loop merge).
+    fn absorb(&mut self, other: ExecStats) {
+        self.instructions_executed += other.instructions_executed;
+        self.stage_samples += other.stage_samples;
+        self.bit_kernel_ops += other.bit_kernel_ops;
+        self.batched_kernel_ops += other.batched_kernel_ops;
+        self.tensor_bytes_copied += other.tensor_bytes_copied;
+    }
 }
 
 /// The typed outputs of a program execution.
@@ -120,12 +166,54 @@ impl Outputs {
     }
 }
 
+/// Deferred row writes collected while a `ParallelFor` instance executes
+/// against a store snapshot: `(target matrix, row, dense row value)`.
+/// Bit-matrix targets log the row as it would be stored (re-binarized by
+/// sign), so intra-iteration read-back matches the sequential schedule.
+#[derive(Debug)]
+struct RowLog {
+    targets: Vec<ValueId>,
+    writes: Vec<(ValueId, usize, HyperVector<f64>)>,
+}
+
+impl RowLog {
+    fn latest(&self, target: ValueId, row: usize) -> Option<&HyperVector<f64>> {
+        self.writes
+            .iter()
+            .rev()
+            .find(|(t, r, _)| *t == target && *r == row)
+            .map(|(_, _, v)| v)
+    }
+}
+
+/// A stage body the executor recognized as one batched kernel call.
+#[derive(Debug, Clone, Copy)]
+enum StagePlan {
+    /// `inference_loop` body: one similarity reduction of the sample against
+    /// a loop-invariant class matrix.
+    Inference {
+        classes: ValueId,
+        metric: Metric,
+        perf: Perforation,
+    },
+    /// `encoding_loop` body: `matmul` against a loop-invariant projection,
+    /// optionally followed by `sign`.
+    Encoding {
+        proj: ValueId,
+        perf: Perforation,
+        then_sign: bool,
+    },
+}
+
 /// The reference interpreter. See the module docs for semantics.
 #[derive(Debug)]
 pub struct Executor<'p> {
     program: &'p Program,
     store: Vec<Option<Value>>,
     stats: ExecStats,
+    batch_stages: bool,
+    parallel_loops: bool,
+    row_log: Option<RowLog>,
 }
 
 impl<'p> Executor<'p> {
@@ -141,7 +229,25 @@ impl<'p> Executor<'p> {
             program,
             store: vec![None; program.values().len()],
             stats: ExecStats::default(),
+            batch_stages: true,
+            parallel_loops: true,
+            row_log: None,
         })
+    }
+
+    /// Enable or disable batched stage execution (default: enabled).
+    /// Disabling forces every stage through the per-sample sequential
+    /// reference oracle.
+    pub fn set_batched_stages(&mut self, enabled: bool) -> &mut Self {
+        self.batch_stages = enabled;
+        self
+    }
+
+    /// Enable or disable parallel `ParallelFor` execution (default:
+    /// enabled). Disabling forces the sequential schedule.
+    pub fn set_parallel_loops(&mut self, enabled: bool) -> &mut Self {
+        self.parallel_loops = enabled;
+        self
     }
 
     /// Bind a host-visible (input or output) slot by name.
@@ -184,7 +290,7 @@ impl<'p> Executor<'p> {
                 provided: value.describe(),
             });
         }
-        self.store[id.index()] = Some(value.conform_to(&info.ty));
+        self.set(id, value);
         Ok(self)
     }
 
@@ -215,6 +321,7 @@ impl<'p> Executor<'p> {
         let mut values = Vec::new();
         for id in program.values_with_role(ValueRole::Output) {
             let info = program.value(id);
+            // Arc-backed payloads: this clone is a reference-count bump.
             let value = self.value(id)?.clone();
             values.push((id, info.name.clone(), value));
         }
@@ -236,7 +343,9 @@ impl<'p> Executor<'p> {
 
     fn set(&mut self, id: ValueId, value: Value) {
         let declared = &self.program.value(id).ty;
-        self.store[id.index()] = Some(value.conform_to(declared));
+        let (conformed, copied) = value.conform_to_counted(declared);
+        self.stats.tensor_bytes_copied += copied;
+        self.store[id.index()] = Some(conformed);
     }
 
     /// Store without conforming (used for the dense shadow of a binarized
@@ -254,6 +363,27 @@ impl<'p> Executor<'p> {
                 name: program.value(id).name.clone(),
             }),
         }
+    }
+
+    fn note_copy(&mut self, bytes: usize) {
+        self.stats.tensor_bytes_copied += bytes;
+    }
+
+    /// Bytes a copy-on-write of `id`'s payload would materialize right now
+    /// (`0` when the payload is uniquely owned).
+    fn cow_bytes(&self, id: ValueId) -> Result<usize> {
+        let v = self.value(id)?;
+        Ok(if v.payload_shared() {
+            v.tensor_bytes()
+        } else {
+            0
+        })
+    }
+
+    fn row_log_covers(&self, id: ValueId) -> bool {
+        self.row_log
+            .as_ref()
+            .is_some_and(|log| log.targets.contains(&id))
     }
 
     fn operand_value_id(&self, instr: &HdcInstr, idx: usize, context: &str) -> Result<ValueId> {
@@ -304,6 +434,12 @@ impl<'p> Executor<'p> {
         match &node.body {
             NodeBody::Leaf { instrs } => self.exec_instrs(instrs),
             NodeBody::ParallelFor { count, index, body } => {
+                if self.parallel_loops && *count > 1 {
+                    if let Some(row_targets) = self.parallel_for_row_plan(*index, body) {
+                        return self.exec_parallel_for(*count, *index, body, row_targets);
+                    }
+                }
+                // Sequential reference schedule.
                 for i in 0..*count {
                     self.set(*index, Value::Scalar(i as f64));
                     self.exec_instrs(body)?;
@@ -321,36 +457,224 @@ impl<'p> Executor<'p> {
         Ok(())
     }
 
+    // ------------------------------------------------------------------
+    // parallel_for
+    // ------------------------------------------------------------------
+
+    /// Reads of an instruction under the row-write analysis: the in-place
+    /// target of `set_matrix_row` / `accumulate_row` does not count as a
+    /// read (only its row is touched, and only at the loop index).
+    fn analysis_reads(instr: &HdcInstr) -> Vec<ValueId> {
+        match instr.op {
+            HdcOp::SetMatrixRow | HdcOp::AccumulateRow => instr
+                .operands
+                .iter()
+                .skip(1)
+                .filter_map(Operand::as_value)
+                .collect(),
+            _ => instr.read_values().collect(),
+        }
+    }
+
+    /// Decide whether a `ParallelFor` body is row-independent: every
+    /// in-place matrix write is indexed by the loop variable (so iterations
+    /// touch disjoint rows), the row-written matrices are never read, and
+    /// every value the body both reads and writes is written before it is
+    /// read within one iteration (no cross-iteration dataflow). Returns the
+    /// row-written matrices when the body qualifies.
+    fn parallel_for_row_plan(&self, index: ValueId, body: &[HdcInstr]) -> Option<Vec<ValueId>> {
+        let mut row_targets: Vec<ValueId> = Vec::new();
+        for instr in body {
+            if matches!(instr.op, HdcOp::SetMatrixRow | HdcOp::AccumulateRow) {
+                let target = instr.operands.first().and_then(Operand::as_value)?;
+                match instr.operands.get(2) {
+                    Some(Operand::Value(v)) if *v == index => {}
+                    _ => return None,
+                }
+                if !row_targets.contains(&target) {
+                    row_targets.push(target);
+                }
+            }
+        }
+        if row_targets.is_empty() {
+            // Nothing durable is written per row; only the final iteration's
+            // values would survive. The sequential schedule is already
+            // optimal for that shape.
+            return None;
+        }
+        let written_anywhere: HashSet<ValueId> = body.iter().filter_map(|i| i.result).collect();
+        let mut written_so_far: HashSet<ValueId> = HashSet::new();
+        written_so_far.insert(index);
+        for instr in body {
+            for r in Self::analysis_reads(instr) {
+                if row_targets.contains(&r) {
+                    return None;
+                }
+                if written_anywhere.contains(&r) && !written_so_far.contains(&r) {
+                    return None;
+                }
+            }
+            if let Some(res) = instr.result {
+                if row_targets.contains(&res) {
+                    return None;
+                }
+                written_so_far.insert(res);
+            }
+        }
+        Some(row_targets)
+    }
+
+    /// Execute a row-independent `ParallelFor` through the rayon compat
+    /// layer: each instance runs against an `Arc` snapshot of the store
+    /// (reference-count bumps, no tensor copies) with its row writes
+    /// deferred to a log; afterwards the logs are merged in iteration order
+    /// and the final iteration's private values are installed, matching the
+    /// sequential end state exactly.
+    fn exec_parallel_for(
+        &mut self,
+        count: usize,
+        index: ValueId,
+        body: &[HdcInstr],
+        row_targets: Vec<ValueId>,
+    ) -> Result<()> {
+        struct IterOutcome {
+            writes: Vec<(ValueId, usize, HyperVector<f64>)>,
+            private: Vec<(ValueId, Value)>,
+            stats: ExecStats,
+        }
+        let private_slots: Vec<ValueId> = {
+            let mut out: Vec<ValueId> = body
+                .iter()
+                .flat_map(|i| i.written_values())
+                .filter(|v| !row_targets.contains(v))
+                .collect();
+            out.sort_unstable();
+            out.dedup();
+            out
+        };
+        let program = self.program;
+        let base_store = &self.store;
+        let batch_stages = self.batch_stages;
+        let targets = &row_targets;
+        let private = &private_slots;
+        let outcomes: Vec<Result<IterOutcome>> = (0..count)
+            .collect::<Vec<_>>()
+            .into_par_iter()
+            .map(|i| {
+                let mut scratch = Executor {
+                    program,
+                    store: base_store.clone(),
+                    stats: ExecStats::default(),
+                    batch_stages,
+                    parallel_loops: false,
+                    row_log: Some(RowLog {
+                        targets: targets.clone(),
+                        writes: Vec::new(),
+                    }),
+                };
+                scratch.set(index, Value::Scalar(i as f64));
+                scratch.exec_instrs(body)?;
+                let log = scratch.row_log.take().expect("row log installed above");
+                let private = private
+                    .iter()
+                    .filter_map(|id| scratch.store[id.index()].clone().map(|v| (*id, v)))
+                    .collect();
+                Ok(IterOutcome {
+                    writes: log.writes,
+                    private,
+                    stats: scratch.stats,
+                })
+            })
+            .collect();
+        let mut merged = Vec::with_capacity(outcomes.len());
+        for outcome in outcomes {
+            merged.push(outcome?);
+        }
+        let last = merged.len().saturating_sub(1);
+        for (i, outcome) in merged.into_iter().enumerate() {
+            self.stats.absorb(outcome.stats);
+            for (target, row, dense) in outcome.writes {
+                self.apply_row_write(target, row, &dense)?;
+            }
+            if i == last {
+                for (id, value) in outcome.private {
+                    self.store[id.index()] = Some(value);
+                }
+            }
+        }
+        // The sequential schedule leaves the final loop index behind.
+        self.set(index, Value::Scalar(count.saturating_sub(1) as f64));
+        Ok(())
+    }
+
+    /// Merge one deferred row write into the live store.
+    fn apply_row_write(
+        &mut self,
+        target: ValueId,
+        row: usize,
+        dense: &HyperVector<f64>,
+    ) -> Result<()> {
+        let cow = self.cow_bytes(target)?;
+        self.note_copy(cow);
+        match self.value_mut(target)? {
+            Value::BitMatrix(b) => Arc::make_mut(b).set_row(row, BitVector::from_dense(dense))?,
+            Value::Matrix(m) => Arc::make_mut(m).set_row(row, dense)?,
+            other => {
+                return Err(RuntimeError::TypeMismatch {
+                    context: "parallel_for row merge".to_string(),
+                    expected: "matrix",
+                    found: other.kind_name(),
+                })
+            }
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // stage execution
+    // ------------------------------------------------------------------
+
     fn exec_stage(&mut self, stage: &StageNode) -> Result<()> {
-        let queries = self
+        if self.batch_stages && self.exec_stage_batched(stage)? {
+            return Ok(());
+        }
+        // ----- per-sample sequential reference oracle -----
+        let (queries, copied) = self
             .value(stage.interface.queries)?
-            .to_dense_matrix("stage queries")?;
+            .dense_matrix("stage queries")?;
+        self.note_copy(copied);
         match stage.kind {
             StageKind::Encoding => {
                 let mut rows = Vec::with_capacity(queries.rows());
                 for r in 0..queries.rows() {
-                    self.set(stage.body_query, Value::Vector(queries.row_vector(r)?));
+                    let row = queries.row_vector(r)?;
+                    self.note_copy(row.dimension() * 8);
+                    self.set(stage.body_query, Value::vector(row));
                     self.exec_instrs(&stage.body)?;
                     self.stats.stage_samples += 1;
-                    rows.push(
-                        self.value(stage.body_result)?
-                            .to_dense_vector("encoding result")?,
-                    );
+                    let (v, copied) = self
+                        .value(stage.body_result)?
+                        .dense_vector("encoding result")?;
+                    self.note_copy(copied + v.dimension() * 8);
+                    rows.push(v.as_ref().clone());
                 }
                 self.set(
                     stage.interface.output,
-                    Value::Matrix(HyperMatrix::from_rows(rows)?),
+                    Value::matrix(HyperMatrix::from_rows(rows)?),
                 );
             }
             StageKind::Inference => {
                 let mut labels = Vec::with_capacity(queries.rows());
                 for r in 0..queries.rows() {
-                    self.set(stage.body_query, Value::Vector(queries.row_vector(r)?));
+                    let row = queries.row_vector(r)?;
+                    self.note_copy(row.dimension() * 8);
+                    self.set(stage.body_query, Value::vector(row));
                     self.exec_instrs(&stage.body)?;
                     self.stats.stage_samples += 1;
-                    let scores = self
+                    let (scores, copied) = self
                         .value(stage.body_result)?
-                        .to_dense_vector("stage scores")?;
+                        .dense_vector("stage scores")?;
+                    self.note_copy(copied);
                     let winner =
                         stage
                             .polarity
@@ -360,7 +684,7 @@ impl<'p> Executor<'p> {
                             )))?;
                     labels.push(winner);
                 }
-                self.set(stage.interface.output, Value::Indices(labels));
+                self.set(stage.interface.output, Value::indices(labels));
             }
             StageKind::Training { epochs } => {
                 let classes_id =
@@ -388,20 +712,22 @@ impl<'p> Executor<'p> {
                 // Keep a dense shadow of the class matrix for the duration of
                 // the stage so perceptron updates accumulate; re-binarized on
                 // exit if the slot is packed.
-                let dense_classes = self
-                    .value(classes_id)?
-                    .to_dense_matrix("training classes")?;
+                let (dense_classes, copied) =
+                    self.value(classes_id)?.dense_matrix("training classes")?;
+                self.note_copy(copied);
                 self.set_raw(classes_id, Value::Matrix(dense_classes));
                 for _epoch in 0..epochs {
                     #[allow(clippy::needless_range_loop)]
                     for r in 0..queries.rows() {
                         let sample = queries.row_vector(r)?;
-                        self.set(stage.body_query, Value::Vector(sample.clone()));
+                        self.note_copy(sample.dimension() * 8);
+                        self.set(stage.body_query, Value::vector(sample.clone()));
                         self.exec_instrs(&stage.body)?;
                         self.stats.stage_samples += 1;
-                        let scores = self
+                        let (scores, copied) = self
                             .value(stage.body_result)?
-                            .to_dense_vector("stage scores")?;
+                            .dense_vector("stage scores")?;
+                        self.note_copy(copied);
                         let pred =
                             stage
                                 .polarity
@@ -411,10 +737,13 @@ impl<'p> Executor<'p> {
                                 )))?;
                         let label = truth[r];
                         if pred != label {
+                            let cow = self.cow_bytes(classes_id)?;
+                            self.note_copy(cow);
                             match self.value_mut(classes_id)? {
                                 Value::Matrix(classes) => {
-                                    update_row_in_place(classes, label, &sample, 1.0)?;
-                                    update_row_in_place(classes, pred, &sample, -1.0)?;
+                                    let m = Arc::make_mut(classes);
+                                    update_row_in_place(m, label, &sample, 1.0)?;
+                                    update_row_in_place(m, pred, &sample, -1.0)?;
                                 }
                                 other => {
                                     return Err(RuntimeError::TypeMismatch {
@@ -427,16 +756,185 @@ impl<'p> Executor<'p> {
                         }
                     }
                 }
-                // Conform the trained matrix back to the declared kind.
+                // Conform the trained matrix back to the declared kind: one
+                // conversion, shared with the aliased output slot.
                 let trained = self.value(classes_id)?.clone();
-                self.set(classes_id, trained);
+                let declared = &self.program.value(classes_id).ty;
+                let (conformed, copied) = trained.conform_to_counted(declared);
+                self.note_copy(copied);
+                self.set_raw(classes_id, conformed.clone());
                 if stage.interface.output != classes_id {
-                    let trained = self.value(classes_id)?.clone();
-                    self.set(stage.interface.output, trained);
+                    self.set(stage.interface.output, conformed);
                 }
             }
         }
         Ok(())
+    }
+
+    /// Recognize a stage body the batched kernels can execute in one call.
+    /// Bodies that stage their intermediate results in integer-quantized
+    /// slots are left to the sequential oracle (its per-sample conform
+    /// would round; the batched kernels would not).
+    fn stage_batch_plan(&self, stage: &StageNode) -> Option<StagePlan> {
+        let float_or = |id: ValueId, allow_bit: bool| -> bool {
+            match self.program.value(id).ty {
+                ValueType::HyperVector { elem, .. } | ValueType::HyperMatrix { elem, .. } => {
+                    matches!(elem, ElementKind::F32 | ElementKind::F64)
+                        || (allow_bit && elem == ElementKind::Bit)
+                }
+                _ => false,
+            }
+        };
+        match stage.kind {
+            StageKind::Inference => {
+                let [instr] = stage.body.as_slice() else {
+                    return None;
+                };
+                let metric = match instr.op {
+                    HdcOp::CosineSimilarity => Metric::Cosine,
+                    HdcOp::HammingDistance => Metric::Hamming,
+                    _ => return None,
+                };
+                if instr.result != Some(stage.body_result) || !float_or(stage.body_result, false) {
+                    return None;
+                }
+                let a = instr.operands.first().and_then(Operand::as_value)?;
+                let b = instr.operands.get(1).and_then(Operand::as_value)?;
+                let classes = if a == stage.body_query && b != stage.body_query {
+                    b
+                } else if b == stage.body_query && a != stage.body_query {
+                    a
+                } else {
+                    return None;
+                };
+                Some(StagePlan::Inference {
+                    classes,
+                    metric,
+                    perf: instr.perforation.unwrap_or(Perforation::NONE),
+                })
+            }
+            StageKind::Encoding => {
+                let (mm, sign) = match stage.body.as_slice() {
+                    [mm] => (mm, None),
+                    [mm, sign] => (mm, Some(sign)),
+                    _ => return None,
+                };
+                if mm.op != HdcOp::MatMul {
+                    return None;
+                }
+                let input = mm.operands.first().and_then(Operand::as_value)?;
+                let proj = mm.operands.get(1).and_then(Operand::as_value)?;
+                if input != stage.body_query || proj == stage.body_query {
+                    return None;
+                }
+                let then_sign = match sign {
+                    None => {
+                        if mm.result != Some(stage.body_result)
+                            || !float_or(stage.body_result, false)
+                        {
+                            return None;
+                        }
+                        false
+                    }
+                    Some(s) => {
+                        let mid = mm.result?;
+                        if s.op != HdcOp::Sign
+                            || s.operands.first().and_then(Operand::as_value) != Some(mid)
+                            || s.result != Some(stage.body_result)
+                            || !float_or(mid, true)
+                            || !float_or(stage.body_result, true)
+                        {
+                            return None;
+                        }
+                        true
+                    }
+                };
+                Some(StagePlan::Encoding {
+                    proj,
+                    perf: mm.perforation.unwrap_or(Perforation::NONE),
+                    then_sign,
+                })
+            }
+            StageKind::Training { .. } => None,
+        }
+    }
+
+    /// Try to execute a stage as one batched kernel call. Returns `false`
+    /// (leaving the store untouched) when the body or the operand
+    /// representations don't fit the batched kernels.
+    fn exec_stage_batched(&mut self, stage: &StageNode) -> Result<bool> {
+        let Some(plan) = self.stage_batch_plan(stage) else {
+            return Ok(false);
+        };
+        match plan {
+            StagePlan::Inference {
+                classes,
+                metric,
+                perf,
+            } => {
+                let queries = self.value(stage.interface.queries)?.clone();
+                let classes_val = self.value(classes)?.clone();
+                let scores: HyperMatrix<f64> = match (&queries, &classes_val) {
+                    (Value::BitMatrix(q), Value::BitMatrix(c)) => {
+                        let h = hdc_core::batch::hamming_distance_batch(q, c, perf)?;
+                        self.stats.bit_kernel_ops += q.rows();
+                        match metric {
+                            Metric::Hamming => h,
+                            Metric::Cosine => {
+                                let visited = perf.visited_count(q.cols());
+                                h.map(|d| bipolar_cosine(d, visited))
+                            }
+                        }
+                    }
+                    (Value::Matrix(q), Value::Matrix(c)) => match metric {
+                        Metric::Cosine => {
+                            hdc_core::batch::cosine_similarity_batch(q.as_ref(), c.as_ref(), perf)?
+                        }
+                        Metric::Hamming => hdc_core::batch::hamming_distance_batch_dense(
+                            q.as_ref(),
+                            c.as_ref(),
+                            perf,
+                        )?,
+                    },
+                    // Mixed packed/dense operands: sequential oracle.
+                    _ => return Ok(false),
+                };
+                let rows = scores.rows();
+                let labels: Vec<usize> = scores
+                    .iter_rows()
+                    .map(|row| {
+                        stage.polarity.select(row).ok_or(RuntimeError::Core(
+                            hdc_core::HdcError::EmptyInput("stage scores"),
+                        ))
+                    })
+                    .collect::<Result<_>>()?;
+                self.stats.batched_kernel_ops += 1;
+                self.stats.stage_samples += rows;
+                self.stats.instructions_executed += rows;
+                self.set(stage.interface.output, Value::indices(labels));
+                Ok(true)
+            }
+            StagePlan::Encoding {
+                proj,
+                perf,
+                then_sign,
+            } => {
+                let queries = self.value(stage.interface.queries)?.clone();
+                let proj_val = self.value(proj)?.clone();
+                let (Value::Matrix(q), Value::Matrix(p)) = (&queries, &proj_val) else {
+                    return Ok(false);
+                };
+                let mut out = hdc_core::matmul::matmul_batch(q.as_ref(), p.as_ref(), perf)?;
+                if then_sign {
+                    out = out.sign();
+                }
+                self.stats.batched_kernel_ops += 1;
+                self.stats.stage_samples += q.rows();
+                self.stats.instructions_executed += stage.body.len() * q.rows();
+                self.set(stage.interface.output, Value::matrix(out));
+                Ok(true)
+            }
+        }
     }
 
     // ------------------------------------------------------------------
@@ -465,18 +963,18 @@ impl<'p> Executor<'p> {
                 };
                 let input = self.operand_value(instr, 0, "wrap_shift")?;
                 Some(match input {
-                    Value::Bits(b) => Value::Bits(b.wrap_shift(amount)),
+                    Value::Bits(b) => Value::bits(b.wrap_shift(amount)),
                     Value::BitMatrix(b) => {
                         let rows: hdc_core::Result<Vec<BitVector>> =
                             b.iter().map(|r| Ok(r.wrap_shift(amount))).collect();
-                        Value::BitMatrix(BitMatrix::from_rows(rows?)?)
+                        Value::bit_matrix(BitMatrix::from_rows(rows?)?)
                     }
-                    Value::Vector(v) => Value::Vector(v.wrap_shift(amount)),
+                    Value::Vector(v) => Value::vector(v.wrap_shift(amount)),
                     Value::Matrix(m) => {
                         let rows: Vec<HyperVector<f64>> = (0..m.rows())
                             .map(|r| Ok(m.row_vector(r)?.wrap_shift(amount)))
                             .collect::<Result<_>>()?;
-                        Value::Matrix(HyperMatrix::from_rows(rows)?)
+                        Value::matrix(HyperMatrix::from_rows(rows)?)
                     }
                     other => {
                         return Err(RuntimeError::TypeMismatch {
@@ -490,11 +988,12 @@ impl<'p> Executor<'p> {
             HdcOp::Sign => {
                 let input = self.operand_value(instr, 0, "sign")?;
                 Some(match input {
-                    // Packed values are bipolar by definition.
-                    Value::Bits(b) => Value::Bits(b.clone()),
-                    Value::BitMatrix(b) => Value::BitMatrix(b.clone()),
-                    Value::Vector(v) => Value::Vector(v.sign()),
-                    Value::Matrix(m) => Value::Matrix(m.sign()),
+                    // Packed values are bipolar by definition; sharing the
+                    // payload is free.
+                    Value::Bits(b) => Value::Bits(Arc::clone(b)),
+                    Value::BitMatrix(b) => Value::BitMatrix(Arc::clone(b)),
+                    Value::Vector(v) => Value::vector(v.sign()),
+                    Value::Matrix(m) => Value::matrix(m.sign()),
                     Value::Scalar(x) => Value::Scalar(if *x < 0.0 { -1.0 } else { 1.0 }),
                     other => {
                         return Err(RuntimeError::TypeMismatch {
@@ -508,13 +1007,13 @@ impl<'p> Executor<'p> {
             HdcOp::SignFlip => {
                 let input = self.operand_value(instr, 0, "sign_flip")?;
                 Some(match input {
-                    Value::Bits(b) => Value::Bits(b.sign_flip()),
+                    Value::Bits(b) => Value::bits(b.sign_flip()),
                     Value::BitMatrix(b) => {
                         let rows: Vec<BitVector> = b.iter().map(BitVector::sign_flip).collect();
-                        Value::BitMatrix(BitMatrix::from_rows(rows)?)
+                        Value::bit_matrix(BitMatrix::from_rows(rows)?)
                     }
-                    Value::Vector(v) => Value::Vector(v.sign_flip()),
-                    Value::Matrix(m) => Value::Matrix(m.sign_flip()),
+                    Value::Vector(v) => Value::vector(v.sign_flip()),
+                    Value::Matrix(m) => Value::matrix(m.sign_flip()),
                     Value::Scalar(x) => Value::Scalar(-x),
                     other => {
                         return Err(RuntimeError::TypeMismatch {
@@ -525,21 +1024,24 @@ impl<'p> Executor<'p> {
                     }
                 })
             }
-            HdcOp::AbsoluteValue => Some(self.unary_dense(
-                instr,
-                "abs",
-                |v| v.absolute_value(),
-                |m| m.absolute_value(),
-            )?),
+            HdcOp::AbsoluteValue => {
+                let (v, copied) =
+                    self.unary_dense(instr, "abs", |v| v.absolute_value(), |m| m.absolute_value())?;
+                self.note_copy(copied);
+                Some(v)
+            }
             HdcOp::CosineElementwise => {
-                Some(self.unary_dense(instr, "cos", |v| v.cosine(), |m| m.cosine())?)
+                let (v, copied) = self.unary_dense(instr, "cos", |v| v.cosine(), |m| m.cosine())?;
+                self.note_copy(copied);
+                Some(v)
             }
             HdcOp::Elementwise(op) => Some(self.elementwise(instr, *op)?),
             HdcOp::L2Norm => {
                 let input = self.operand_value(instr, 0, "l2norm")?.clone();
-                Some(match input {
+                Some(match &input {
                     Value::Matrix(_) | Value::BitMatrix(_) => {
-                        let m = input.to_dense_matrix("l2norm")?;
+                        let (m, copied) = input.dense_matrix("l2norm")?;
+                        self.note_copy(copied);
                         let norms: Vec<f64> = (0..m.rows())
                             .map(|r| {
                                 Ok(hdc_core::matmul::l2norm_perforated(
@@ -548,10 +1050,11 @@ impl<'p> Executor<'p> {
                                 )?)
                             })
                             .collect::<Result<_>>()?;
-                        Value::Vector(HyperVector::from_vec(norms))
+                        Value::vector(HyperVector::from_vec(norms))
                     }
                     other => {
-                        let v = other.to_dense_vector("l2norm")?;
+                        let (v, copied) = other.dense_vector("l2norm")?;
+                        self.note_copy(copied);
                         Value::Scalar(hdc_core::matmul::l2norm_perforated(&v, perf)?)
                     }
                 })
@@ -581,6 +1084,7 @@ impl<'p> Executor<'p> {
             HdcOp::TypeCast { .. } => {
                 // The cast itself is the store-side conversion: `set` below
                 // conforms to the result slot's declared (cast-to) kind.
+                // Cloning the operand is a reference-count bump.
                 Some(self.operand_value(instr, 0, "type_cast")?.clone())
             }
             HdcOp::ArgMin => Some(self.selection(instr, true)?),
@@ -588,32 +1092,54 @@ impl<'p> Executor<'p> {
             HdcOp::SetMatrixRow => {
                 let row = self.operand_index(instr, 2, "set_matrix_row")?;
                 let matrix_id = self.operand_value_id(instr, 0, "set_matrix_row")?;
-                let dense = self
-                    .operand_value(instr, 1, "set_matrix_row")?
-                    .to_dense_vector("set_matrix_row")?;
-                match self.value_mut(matrix_id)? {
-                    Value::BitMatrix(b) => {
-                        b.set_row(row, BitVector::from_dense(&dense))?;
-                    }
-                    Value::Matrix(m) => {
-                        m.set_row(row, &dense)?;
-                    }
-                    other => {
-                        return Err(RuntimeError::TypeMismatch {
-                            context: "set_matrix_row".to_string(),
-                            expected: "matrix",
-                            found: other.kind_name(),
-                        })
+                let src = self.operand_value(instr, 1, "set_matrix_row")?.clone();
+                let (dense, copied) = src.dense_vector("set_matrix_row")?;
+                self.note_copy(copied);
+                if self.row_log_covers(matrix_id) {
+                    let stored = match self.value(matrix_id)? {
+                        Value::BitMatrix(_) => dense.sign(),
+                        _ => dense.as_ref().clone(),
+                    };
+                    self.row_log
+                        .as_mut()
+                        .expect("covered implies installed")
+                        .writes
+                        .push((matrix_id, row, stored));
+                } else {
+                    let cow = self.cow_bytes(matrix_id)?;
+                    self.note_copy(cow);
+                    match self.value_mut(matrix_id)? {
+                        Value::BitMatrix(b) => {
+                            Arc::make_mut(b).set_row(row, BitVector::from_dense(dense.as_ref()))?;
+                        }
+                        Value::Matrix(m) => {
+                            Arc::make_mut(m).set_row(row, dense.as_ref())?;
+                        }
+                        other => {
+                            return Err(RuntimeError::TypeMismatch {
+                                context: "set_matrix_row".to_string(),
+                                expected: "matrix",
+                                found: other.kind_name(),
+                            })
+                        }
                     }
                 }
                 None
             }
             HdcOp::GetMatrixRow => {
                 let row = self.operand_index(instr, 1, "get_matrix_row")?;
-                let input = self.operand_value(instr, 0, "get_matrix_row")?;
-                Some(match input {
-                    Value::BitMatrix(b) => Value::Bits(b.row(row)?.clone()),
-                    Value::Matrix(m) => Value::Vector(m.row_vector(row)?),
+                let input = self.operand_value(instr, 0, "get_matrix_row")?.clone();
+                let (value, copied) = match &input {
+                    Value::BitMatrix(b) => {
+                        let r = b.row(row)?.clone();
+                        let bytes = r.storage_bytes();
+                        (Value::bits(r), bytes)
+                    }
+                    Value::Matrix(m) => {
+                        let r = m.row_vector(row)?;
+                        let bytes = r.dimension() * 8;
+                        (Value::vector(r), bytes)
+                    }
                     other => {
                         return Err(RuntimeError::TypeMismatch {
                             context: "get_matrix_row".to_string(),
@@ -621,56 +1147,90 @@ impl<'p> Executor<'p> {
                             found: other.kind_name(),
                         })
                     }
-                })
+                };
+                self.note_copy(copied);
+                Some(value)
             }
             HdcOp::MatrixTranspose => {
-                let m = self
-                    .operand_value(instr, 0, "transpose")?
-                    .to_dense_matrix("transpose")?;
-                Some(Value::Matrix(m.transpose()))
+                let input = self.operand_value(instr, 0, "transpose")?.clone();
+                let (m, copied) = input.dense_matrix("transpose")?;
+                self.note_copy(copied);
+                Some(Value::matrix(m.transpose()))
             }
             HdcOp::CosineSimilarity => Some(self.similarity(instr, perf, Metric::Cosine)?),
             HdcOp::HammingDistance => Some(self.similarity(instr, perf, Metric::Hamming)?),
             HdcOp::MatMul => {
-                let input = self.operand_value(instr, 0, "matmul")?;
-                let proj = self
-                    .operand_value(instr, 1, "matmul")?
-                    .to_dense_matrix("matmul projection")?;
-                Some(match input {
+                let input = self.operand_value(instr, 0, "matmul")?.clone();
+                let proj_src = self.operand_value(instr, 1, "matmul")?.clone();
+                let (proj, copied) = proj_src.dense_matrix("matmul projection")?;
+                self.note_copy(copied);
+                Some(match &input {
                     Value::Matrix(_) | Value::BitMatrix(_) => {
-                        let batch = input.to_dense_matrix("matmul input")?;
-                        Value::Matrix(hdc_core::matmul::matmul_batch(&batch, &proj, perf)?)
+                        let (batch, copied) = input.dense_matrix("matmul input")?;
+                        self.note_copy(copied);
+                        Value::matrix(hdc_core::matmul::matmul_batch(&batch, &proj, perf)?)
                     }
                     other => {
-                        let v = other.to_dense_vector("matmul input")?;
-                        Value::Vector(hdc_core::matmul::matvec(&proj, &v, perf)?)
+                        let (v, copied) = other.dense_vector("matmul input")?;
+                        self.note_copy(copied);
+                        Value::vector(hdc_core::matmul::matvec(&proj, &v, perf)?)
                     }
                 })
             }
             HdcOp::AccumulateRow => {
                 let row = self.operand_index(instr, 2, "accumulate_row")?;
                 let matrix_id = self.operand_value_id(instr, 0, "accumulate_row")?;
-                let add = self
-                    .operand_value(instr, 1, "accumulate_row")?
-                    .to_dense_vector("accumulate_row")?;
-                match self.value_mut(matrix_id)? {
-                    // A packed class matrix accumulates in bipolar space:
-                    // unpack the row, add, re-binarize by sign.
-                    Value::BitMatrix(b) => {
-                        let dense: HyperVector<f64> = b.row(row)?.to_dense();
-                        let sum = dense.zip_with(&add, |a, x| a + x)?;
-                        b.set_row(row, BitVector::from_dense(&sum.sign()))?;
-                    }
-                    Value::Matrix(m) => {
-                        let sum = m.row_vector(row)?.zip_with(&add, |a, x| a + x)?;
-                        m.set_row(row, &sum)?;
-                    }
-                    other => {
-                        return Err(RuntimeError::TypeMismatch {
-                            context: "accumulate_row".to_string(),
-                            expected: "matrix",
-                            found: other.kind_name(),
-                        })
+                let src = self.operand_value(instr, 1, "accumulate_row")?.clone();
+                let (add, copied) = src.dense_vector("accumulate_row")?;
+                self.note_copy(copied);
+                if self.row_log_covers(matrix_id) {
+                    let is_bit = matches!(self.value(matrix_id)?, Value::BitMatrix(_));
+                    let log = self.row_log.as_ref().expect("covered implies installed");
+                    let current: HyperVector<f64> = match log.latest(matrix_id, row) {
+                        Some(prev) => prev.clone(),
+                        None => match self.value(matrix_id)? {
+                            Value::BitMatrix(b) => b.row(row)?.to_dense(),
+                            Value::Matrix(m) => m.row_vector(row)?,
+                            other => {
+                                return Err(RuntimeError::TypeMismatch {
+                                    context: "accumulate_row".to_string(),
+                                    expected: "matrix",
+                                    found: other.kind_name(),
+                                })
+                            }
+                        },
+                    };
+                    let sum = current.zip_with(add.as_ref(), |a, x| a + x)?;
+                    let stored = if is_bit { sum.sign() } else { sum };
+                    self.row_log
+                        .as_mut()
+                        .expect("covered implies installed")
+                        .writes
+                        .push((matrix_id, row, stored));
+                } else {
+                    let cow = self.cow_bytes(matrix_id)?;
+                    self.note_copy(cow);
+                    match self.value_mut(matrix_id)? {
+                        // A packed class matrix accumulates in bipolar space:
+                        // unpack the row, add, re-binarize by sign.
+                        Value::BitMatrix(b) => {
+                            let bm = Arc::make_mut(b);
+                            let dense: HyperVector<f64> = bm.row(row)?.to_dense();
+                            let sum = dense.zip_with(add.as_ref(), |a, x| a + x)?;
+                            bm.set_row(row, BitVector::from_dense(&sum.sign()))?;
+                        }
+                        Value::Matrix(m) => {
+                            let mm = Arc::make_mut(m);
+                            let sum = mm.row_vector(row)?.zip_with(add.as_ref(), |a, x| a + x)?;
+                            mm.set_row(row, &sum)?;
+                        }
+                        other => {
+                            return Err(RuntimeError::TypeMismatch {
+                                context: "accumulate_row".to_string(),
+                                expected: "matrix",
+                                found: other.kind_name(),
+                            })
+                        }
                     }
                 }
                 None
@@ -697,24 +1257,24 @@ impl<'p> Executor<'p> {
 
     fn make_filled(&self, instr: &HdcInstr, fill: f64) -> Result<Value> {
         Ok(match self.result_type(instr)? {
-            ValueType::HyperVector { dim, .. } => Value::Vector(HyperVector::splat(dim, fill)),
+            ValueType::HyperVector { dim, .. } => Value::vector(HyperVector::splat(dim, fill)),
             ValueType::HyperMatrix { rows, cols, .. } => {
-                Value::Matrix(HyperMatrix::from_fn(rows, cols, |_, _| fill))
+                Value::matrix(HyperMatrix::from_fn(rows, cols, |_, _| fill))
             }
             ValueType::Scalar(_) => Value::Scalar(fill),
-            ValueType::IndexVector { len } => Value::Indices(vec![0; len]),
+            ValueType::IndexVector { len } => Value::indices(vec![0; len]),
         })
     }
 
     fn make_random(&self, instr: &HdcInstr, seed: u64, kind: RandomKind) -> Result<Value> {
         let mut rng = HdcRng::seed_from_u64(seed);
         Ok(match self.result_type(instr)? {
-            ValueType::HyperVector { dim, .. } => Value::Vector(match kind {
+            ValueType::HyperVector { dim, .. } => Value::vector(match kind {
                 RandomKind::Uniform => hdc_core::random::random_hypervector(dim, &mut rng),
                 RandomKind::Gaussian => hdc_core::random::gaussian_hypervector(dim, &mut rng),
                 RandomKind::Bipolar => hdc_core::random::bipolar_hypervector(dim, &mut rng),
             }),
-            ValueType::HyperMatrix { rows, cols, .. } => Value::Matrix(match kind {
+            ValueType::HyperMatrix { rows, cols, .. } => Value::matrix(match kind {
                 RandomKind::Uniform => hdc_core::random::random_hypermatrix(rows, cols, &mut rng),
                 RandomKind::Gaussian => {
                     hdc_core::random::gaussian_hypermatrix(rows, cols, &mut rng)
@@ -740,60 +1300,61 @@ impl<'p> Executor<'p> {
         context: &str,
         fv: impl Fn(&HyperVector<f64>) -> HyperVector<f64>,
         fm: impl Fn(&HyperMatrix<f64>) -> HyperMatrix<f64>,
-    ) -> Result<Value> {
+    ) -> Result<(Value, usize)> {
         let input = self.operand_value(instr, 0, context)?;
         Ok(match input {
             Value::Matrix(_) | Value::BitMatrix(_) => {
-                Value::Matrix(fm(&input.to_dense_matrix(context)?))
+                let (m, copied) = input.dense_matrix(context)?;
+                (Value::matrix(fm(&m)), copied)
             }
             Value::Scalar(x) => {
                 let v = fv(&HyperVector::from_vec(vec![*x]));
-                Value::Scalar(v.get(0)?)
+                (Value::Scalar(v.get(0)?), 0)
             }
-            other => Value::Vector(fv(&other.to_dense_vector(context)?)),
+            other => {
+                let (v, copied) = other.dense_vector(context)?;
+                (Value::vector(fv(&v)), copied)
+            }
         })
     }
 
     fn elementwise(&mut self, instr: &HdcInstr, op: ElementwiseOp) -> Result<Value> {
-        let lhs = self.operand_value(instr, 0, "elementwise")?;
-        let rhs = self.operand_value(instr, 1, "elementwise")?;
-        let mut bit_kernel = false;
-        let result = match (op, lhs, rhs) {
+        let lhs = self.operand_value(instr, 0, "elementwise")?.clone();
+        let rhs = self.operand_value(instr, 1, "elementwise")?.clone();
+        Ok(match (op, &lhs, &rhs) {
             // Binding (element-wise multiplication) of two packed bipolar
             // values is XOR on the packed words.
             (ElementwiseOp::Mul, Value::Bits(a), Value::Bits(b)) => {
-                bit_kernel = true;
-                Value::Bits(a.bind(b)?)
+                self.stats.bit_kernel_ops += 1;
+                Value::bits(a.bind(b)?)
             }
             (ElementwiseOp::Mul, Value::BitMatrix(a), Value::BitMatrix(b)) => {
-                bit_kernel = true;
+                self.stats.bit_kernel_ops += 1;
                 let rows: Vec<BitVector> = a
                     .iter()
                     .zip(b.iter())
                     .map(|(x, y)| x.bind(y))
                     .collect::<hdc_core::Result<_>>()?;
-                Value::BitMatrix(BitMatrix::from_rows(rows)?)
+                Value::bit_matrix(BitMatrix::from_rows(rows)?)
             }
             (_, Value::Scalar(a), Value::Scalar(b)) => Value::Scalar(op.apply(*a, *b)),
             (_, Value::Matrix(_) | Value::BitMatrix(_), _) => {
-                let a = lhs.to_dense_matrix("elementwise")?;
-                let b = rhs.to_dense_matrix("elementwise")?;
-                Value::Matrix(hdc_core::ops::elementwise_matrix(op, &a, &b)?)
+                let (a, ca) = lhs.dense_matrix("elementwise")?;
+                let (b, cb) = rhs.dense_matrix("elementwise")?;
+                self.note_copy(ca + cb);
+                Value::matrix(hdc_core::ops::elementwise_matrix(op, &a, &b)?)
             }
             _ => {
-                let a = lhs.to_dense_vector("elementwise")?;
-                let b = rhs.to_dense_vector("elementwise")?;
-                Value::Vector(hdc_core::ops::elementwise(op, &a, &b)?)
+                let (a, ca) = lhs.dense_vector("elementwise")?;
+                let (b, cb) = rhs.dense_vector("elementwise")?;
+                self.note_copy(ca + cb);
+                Value::vector(hdc_core::ops::elementwise(op, &a, &b)?)
             }
-        };
-        if bit_kernel {
-            self.stats.bit_kernel_ops += 1;
-        }
-        Ok(result)
+        })
     }
 
-    fn selection(&self, instr: &HdcInstr, minimize: bool) -> Result<Value> {
-        let input = self.operand_value(instr, 0, "selection")?;
+    fn selection(&mut self, instr: &HdcInstr, minimize: bool) -> Result<Value> {
+        let input = self.operand_value(instr, 0, "selection")?.clone();
         let pick = |slice: &[f64]| -> Option<usize> {
             if minimize {
                 hdc_core::ops::arg_min(slice)
@@ -801,14 +1362,16 @@ impl<'p> Executor<'p> {
                 hdc_core::ops::arg_max(slice)
             }
         };
-        Ok(match input {
+        Ok(match &input {
             Value::Matrix(_) | Value::BitMatrix(_) => {
-                let m = input.to_dense_matrix("selection")?;
+                let (m, copied) = input.dense_matrix("selection")?;
+                self.note_copy(copied);
                 let rows: Vec<usize> = m.iter_rows().map(|row| pick(row).unwrap_or(0)).collect();
-                Value::Indices(rows)
+                Value::indices(rows)
             }
             other => {
-                let v = other.to_dense_vector("selection")?;
+                let (v, copied) = other.dense_vector("selection")?;
+                self.note_copy(copied);
                 let idx = pick(v.as_slice()).ok_or(RuntimeError::Core(
                     hdc_core::HdcError::EmptyInput("arg_min/arg_max"),
                 ))?;
@@ -818,12 +1381,12 @@ impl<'p> Executor<'p> {
     }
 
     fn similarity(&mut self, instr: &HdcInstr, perf: Perforation, metric: Metric) -> Result<Value> {
-        let lhs = self.operand_value(instr, 0, "similarity")?;
-        let rhs = self.operand_value(instr, 1, "similarity")?;
-        let mut bit_kernel = true;
-        let result = match (lhs, rhs) {
+        let lhs = self.operand_value(instr, 0, "similarity")?.clone();
+        let rhs = self.operand_value(instr, 1, "similarity")?.clone();
+        Ok(match (&lhs, &rhs) {
             // Fast paths: both operands bit-packed.
             (Value::Bits(a), Value::Bits(b)) => {
+                self.stats.bit_kernel_ops += 1;
                 let h = a.hamming_distance(b, perf)?;
                 Value::Scalar(match metric {
                     Metric::Hamming => h,
@@ -831,8 +1394,9 @@ impl<'p> Executor<'p> {
                 })
             }
             (Value::Bits(q), Value::BitMatrix(m)) | (Value::BitMatrix(m), Value::Bits(q)) => {
+                self.stats.bit_kernel_ops += 1;
                 let h = m.hamming_distances(q, perf)?;
-                Value::Vector(match metric {
+                Value::vector(match metric {
                     Metric::Hamming => h,
                     Metric::Cosine => {
                         let v = perf.visited_count(q.dimension());
@@ -841,63 +1405,56 @@ impl<'p> Executor<'p> {
                 })
             }
             (Value::BitMatrix(a), Value::BitMatrix(b)) => {
-                let visited = perf.visited_count(a.cols());
-                let mut out = HyperMatrix::zeros(a.rows(), b.rows());
-                for (i, arow) in a.iter().enumerate() {
-                    for (j, brow) in b.iter().enumerate() {
-                        let h = arow.hamming_distance(brow, perf)?;
-                        let v = match metric {
-                            Metric::Hamming => h,
-                            Metric::Cosine => bipolar_cosine(h, visited),
-                        };
-                        out.set(i, j, v)?;
+                self.stats.bit_kernel_ops += 1;
+                self.stats.batched_kernel_ops += 1;
+                let h = hdc_core::batch::hamming_distance_batch(a, b, perf)?;
+                Value::matrix(match metric {
+                    Metric::Hamming => h,
+                    Metric::Cosine => {
+                        let visited = perf.visited_count(a.cols());
+                        h.map(|d| bipolar_cosine(d, visited))
                     }
-                }
-                Value::Matrix(out)
+                })
             }
             // Dense reference path (also covers mixed packed/dense operands;
             // the pure-bit combinations were all consumed above).
             (Value::Matrix(_) | Value::BitMatrix(_), Value::Matrix(_) | Value::BitMatrix(_)) => {
-                bit_kernel = false;
-                let a = lhs.to_dense_matrix("similarity")?;
-                let b = rhs.to_dense_matrix("similarity")?;
-                Value::Matrix(match metric {
+                let (a, ca) = lhs.dense_matrix("similarity")?;
+                let (b, cb) = rhs.dense_matrix("similarity")?;
+                self.note_copy(ca + cb);
+                Value::matrix(match metric {
                     Metric::Cosine => cosine_similarity_all_pairs(&a, &b, perf)?,
                     Metric::Hamming => hamming_distance_all_pairs(&a, &b, perf)?,
                 })
             }
             (Value::Matrix(_) | Value::BitMatrix(_), _) => {
-                bit_kernel = false;
-                let a = lhs.to_dense_matrix("similarity")?;
-                let q = rhs.to_dense_vector("similarity")?;
-                Value::Vector(match metric {
+                let (a, ca) = lhs.dense_matrix("similarity")?;
+                let (q, cq) = rhs.dense_vector("similarity")?;
+                self.note_copy(ca + cq);
+                Value::vector(match metric {
                     Metric::Cosine => cosine_similarity_matrix(&q, &a, perf)?,
                     Metric::Hamming => hamming_distance_matrix(&q, &a, perf)?,
                 })
             }
             (_, Value::Matrix(_) | Value::BitMatrix(_)) => {
-                bit_kernel = false;
-                let q = lhs.to_dense_vector("similarity")?;
-                let b = rhs.to_dense_matrix("similarity")?;
-                Value::Vector(match metric {
+                let (q, cq) = lhs.dense_vector("similarity")?;
+                let (b, cb) = rhs.dense_matrix("similarity")?;
+                self.note_copy(cq + cb);
+                Value::vector(match metric {
                     Metric::Cosine => cosine_similarity_matrix(&q, &b, perf)?,
                     Metric::Hamming => hamming_distance_matrix(&q, &b, perf)?,
                 })
             }
             _ => {
-                bit_kernel = false;
-                let a = lhs.to_dense_vector("similarity")?;
-                let b = rhs.to_dense_vector("similarity")?;
+                let (a, ca) = lhs.dense_vector("similarity")?;
+                let (b, cb) = rhs.dense_vector("similarity")?;
+                self.note_copy(ca + cb);
                 Value::Scalar(match metric {
                     Metric::Cosine => cosine_similarity(&a, &b, perf)?,
                     Metric::Hamming => hamming_distance(&a, &b, perf)?,
                 })
             }
-        };
-        if bit_kernel {
-            self.stats.bit_kernel_ops += 1;
-        }
-        Ok(result)
+        })
     }
 }
 

@@ -12,9 +12,41 @@
 //!   and full `red_perf` (reduction perforation) support.
 //! * [`Value`] — the runtime representation of a value slot: scalar, dense
 //!   hypervector/hypermatrix, bit-packed vector/matrix, or index vector.
+//!   Tensor payloads are `Arc`-shared, so moving values between slots,
+//!   snapshotting the store, and collecting outputs never copy a tensor.
 //! * [`Outputs`] — typed access to the program's output slots after a run.
 //! * [`ExecStats`] — execution counters (instructions, stage samples, bit
-//!   kernel dispatches).
+//!   kernel dispatches, batched kernel calls, tensor bytes copied).
+//!
+//! # Batched execution
+//!
+//! The executor runs stage loops in one of two modes:
+//!
+//! * **Batched** (the default): an `inference_loop` whose body is a single
+//!   `hamming_distance` / `cossim` reduction of the sample against a
+//!   loop-invariant class matrix is executed as one matrix-level kernel
+//!   call from [`hdc_core::batch`] over the whole sample matrix — the
+//!   binarized configuration never unpacks a tensor, so
+//!   [`ExecStats::tensor_bytes_copied`] stays at zero. An `encoding_loop`
+//!   whose body is `matmul` (optionally followed by `sign`) is likewise
+//!   executed as one batched matmul. Stage bodies that don't match these
+//!   shapes (extra instructions, integer-quantized intermediates, mixed
+//!   packed/dense operands) automatically take the sequential path.
+//!   `ParallelFor` nodes whose bodies pass a row-independence analysis run
+//!   their instances through the rayon compat layer against `Arc` store
+//!   snapshots.
+//! * **Sequential** ([`Executor::set_batched_stages`]`(false)` /
+//!   [`Executor::set_parallel_loops`]`(false)`): one interpreter pass per
+//!   sample, exactly the PR-1 reference semantics. This path stays the
+//!   *reference oracle*: the batched kernels are bit-identical to it (the
+//!   popcounts are exact integers and the dense kernels accumulate in the
+//!   same element order), and the `batched_equivalence` integration tests
+//!   assert both paths produce identical outputs so any future kernel
+//!   change that breaks equivalence is caught immediately.
+//!
+//! Training loops always run sequentially — perceptron updates are
+//! order-dependent, so there is no batched schedule that preserves the
+//! reference semantics.
 //!
 //! # Example
 //!
@@ -43,9 +75,9 @@
 //!     HyperMatrix::from_rows(vec![target.clone(), target.sign_flip()]).unwrap();
 //!
 //! let mut exec = Executor::new(&program).unwrap();
-//! exec.bind("features", Value::Vector(x)).unwrap();
-//! exec.bind("rp", Value::Matrix(proj.matrix().clone())).unwrap();
-//! exec.bind("classes", Value::Matrix(classes_data)).unwrap();
+//! exec.bind("features", Value::vector(x)).unwrap();
+//! exec.bind("rp", Value::matrix(proj.matrix().clone())).unwrap();
+//! exec.bind("classes", Value::matrix(classes_data)).unwrap();
 //! let outputs = exec.run().unwrap();
 //! assert_eq!(outputs.scalar(label).unwrap(), 0.0);
 //! ```
@@ -81,7 +113,7 @@ mod tests {
         b.mark_output(r);
         let p = b.finish();
         let mut exec = Executor::new(&p).unwrap();
-        exec.bind("a", Value::Vector(HyperVector::from_vec(input)))
+        exec.bind("a", Value::vector(HyperVector::from_vec(input)))
             .unwrap();
         (exec.run().unwrap(), r)
     }
@@ -122,12 +154,12 @@ mod tests {
         let mut exec = Executor::new(&p).unwrap();
         exec.bind(
             "x",
-            Value::Vector(HyperVector::from_vec(vec![4.0, 6.0, 9.0])),
+            Value::vector(HyperVector::from_vec(vec![4.0, 6.0, 9.0])),
         )
         .unwrap();
         exec.bind(
             "y",
-            Value::Vector(HyperVector::from_vec(vec![2.0, 3.0, 3.0])),
+            Value::vector(HyperVector::from_vec(vec![2.0, 3.0, 3.0])),
         )
         .unwrap();
         let out = exec.run().unwrap();
@@ -188,12 +220,12 @@ mod tests {
         let mut exec = Executor::new(&p).unwrap();
         exec.bind(
             "v",
-            Value::Vector(HyperVector::from_vec(vec![3.0, -4.0, 0.0, 5.0])),
+            Value::vector(HyperVector::from_vec(vec![3.0, -4.0, 0.0, 5.0])),
         )
         .unwrap();
         exec.bind(
             "m",
-            Value::Matrix(
+            Value::matrix(
                 HyperMatrix::from_flat(2, 4, vec![5.0, 1.0, 2.0, 0.5, 9.0, 3.0, -1.0, 4.0])
                     .unwrap(),
             ),
@@ -223,12 +255,12 @@ mod tests {
         let mut exec = Executor::new(&p).unwrap();
         exec.bind(
             "m",
-            Value::Matrix(HyperMatrix::from_flat(2, 3, vec![0.0; 6]).unwrap()),
+            Value::matrix(HyperMatrix::from_flat(2, 3, vec![0.0; 6]).unwrap()),
         )
         .unwrap();
         exec.bind(
             "v",
-            Value::Vector(HyperVector::from_vec(vec![1.0, 2.0, 3.0])),
+            Value::vector(HyperVector::from_vec(vec![1.0, 2.0, 3.0])),
         )
         .unwrap();
         let out = exec.run().unwrap();
@@ -247,7 +279,7 @@ mod tests {
         let mut exec = Executor::new(&p).unwrap();
         exec.bind(
             "v",
-            Value::Vector(HyperVector::from_vec(vec![1.6, -300.0, 2.2])),
+            Value::vector(HyperVector::from_vec(vec![1.6, -300.0, 2.2])),
         )
         .unwrap();
         let out = exec.run().unwrap();
@@ -268,8 +300,8 @@ mod tests {
         let qv: HyperVector<f64> = hdc_core::random::bipolar_hypervector(8, &mut rng);
         let mm: HyperMatrix<f64> = hdc_core::random::bipolar_hypermatrix(3, 8, &mut rng);
         let mut exec = Executor::new(&p).unwrap();
-        exec.bind("q", Value::Vector(qv.clone())).unwrap();
-        exec.bind("m", Value::Matrix(mm.clone())).unwrap();
+        exec.bind("q", Value::vector(qv.clone())).unwrap();
+        exec.bind("m", Value::matrix(mm.clone())).unwrap();
         let out = exec.run().unwrap();
         let expect_cs = cosine_similarity_matrix(&qv, &mm, Perforation::NONE).unwrap();
         let expect_hd = hamming_distance_matrix(&qv, &mm, Perforation::NONE).unwrap();
@@ -290,8 +322,8 @@ mod tests {
         let flipped = ones.sign_flip();
         let mm = HyperMatrix::from_rows(vec![ones.clone(), flipped]).unwrap();
         let mut exec = Executor::new(&p).unwrap();
-        exec.bind("q", Value::Vector(ones)).unwrap();
-        exec.bind("m", Value::Matrix(mm)).unwrap();
+        exec.bind("q", Value::vector(ones)).unwrap();
+        exec.bind("m", Value::matrix(mm)).unwrap();
         let out = exec.run().unwrap();
         // Only 4 of 8 positions visited; similarity distances not rescaled.
         assert_eq!(out.vector(d).unwrap().as_slice(), &[0.0, 4.0]);
@@ -315,8 +347,8 @@ mod tests {
         let qv: HyperVector<f64> = hdc_core::random::random_hypervector(128, &mut rng);
         let mm: HyperMatrix<f64> = hdc_core::random::random_hypermatrix(4, 128, &mut rng);
         let mut exec = Executor::new(&p).unwrap();
-        exec.bind("q", Value::Vector(qv.clone())).unwrap();
-        exec.bind("m", Value::Matrix(mm.clone())).unwrap();
+        exec.bind("q", Value::vector(qv.clone())).unwrap();
+        exec.bind("m", Value::matrix(mm.clone())).unwrap();
         let out = exec.run().unwrap();
         assert!(exec.stats().bit_kernel_ops >= 1, "popcount path used");
         // Reference: dense sign + hamming.
@@ -340,8 +372,8 @@ mod tests {
         let xv: HyperVector<f64> = hdc_core::random::random_hypervector(64, &mut rng);
         let yv: HyperVector<f64> = hdc_core::random::random_hypervector(64, &mut rng);
         let mut exec = Executor::new(&p).unwrap();
-        exec.bind("x", Value::Vector(xv.clone())).unwrap();
-        exec.bind("y", Value::Vector(yv.clone())).unwrap();
+        exec.bind("x", Value::vector(xv.clone())).unwrap();
+        exec.bind("y", Value::vector(yv.clone())).unwrap();
         let out = exec.run().unwrap();
         assert!(exec.stats().bit_kernel_ops >= 1);
         let expect = xv.sign().zip_with(&yv.sign(), |a, b| a * b).unwrap();
@@ -363,8 +395,8 @@ mod tests {
         let mut rng = HdcRng::seed_from_u64(5);
         let mm: HyperMatrix<f64> = hdc_core::random::random_hypermatrix(4, 8, &mut rng);
         let mut exec = Executor::new(&p).unwrap();
-        exec.bind("m", Value::Matrix(mm.clone())).unwrap();
-        exec.bind("out", Value::Matrix(HyperMatrix::zeros(4, 8)))
+        exec.bind("m", Value::matrix(mm.clone())).unwrap();
+        exec.bind("out", Value::matrix(HyperMatrix::zeros(4, 8)))
             .unwrap();
         let out = exec.run().unwrap();
         assert_eq!(out.matrix(out_m).unwrap(), mm.sign());
@@ -409,14 +441,14 @@ mod tests {
         let mut exec = Executor::new(&p).unwrap();
         exec.bind(
             "features",
-            Value::Matrix(HyperMatrix::from_rows(feature_rows).unwrap()),
+            Value::matrix(HyperMatrix::from_rows(feature_rows).unwrap()),
         )
         .unwrap();
-        exec.bind("rp", Value::Matrix(proj.matrix().clone()))
+        exec.bind("rp", Value::matrix(proj.matrix().clone()))
             .unwrap();
         exec.bind(
             "classes",
-            Value::Matrix(HyperMatrix::from_rows(class_rows).unwrap()),
+            Value::matrix(HyperMatrix::from_rows(class_rows).unwrap()),
         )
         .unwrap();
         let out = exec.run().unwrap();
@@ -468,11 +500,11 @@ mod tests {
         let mut exec = Executor::new(&p).unwrap();
         exec.bind(
             "queries",
-            Value::Matrix(HyperMatrix::from_rows(rows).unwrap()),
+            Value::matrix(HyperMatrix::from_rows(rows).unwrap()),
         )
         .unwrap();
-        exec.bind("labels", Value::Indices(truth.clone())).unwrap();
-        exec.bind("classes", Value::Matrix(HyperMatrix::zeros(2, dim)))
+        exec.bind("labels", Value::indices(truth.clone())).unwrap();
+        exec.bind("classes", Value::matrix(HyperMatrix::zeros(2, dim)))
             .unwrap();
         let out = exec.run().unwrap();
         assert_eq!(out.indices(preds).unwrap(), truth.as_slice());
@@ -498,7 +530,7 @@ mod tests {
         let p = b.finish();
         let mut exec = Executor::new(&p).unwrap();
         let err = exec
-            .bind("v", Value::Vector(HyperVector::zeros(5)))
+            .bind("v", Value::vector(HyperVector::zeros(5)))
             .unwrap_err();
         assert!(matches!(err, RuntimeError::ShapeMismatch { .. }));
     }
@@ -548,9 +580,9 @@ mod tests {
             b.mark_output(r);
             let p = b.finish();
             let mut exec = Executor::new(&p).unwrap();
-            exec.bind("x", Value::Vector(HyperVector::from_vec(vec![8.0, 6.0])))
+            exec.bind("x", Value::vector(HyperVector::from_vec(vec![8.0, 6.0])))
                 .unwrap();
-            exec.bind("y", Value::Vector(HyperVector::from_vec(vec![2.0, 3.0])))
+            exec.bind("y", Value::vector(HyperVector::from_vec(vec![2.0, 3.0])))
                 .unwrap();
             let out = exec.run().unwrap();
             assert_eq!(

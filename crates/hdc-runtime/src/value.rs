@@ -7,30 +7,66 @@
 //! kind hold packed [`BitVector`] / [`BitMatrix`] payloads, which is what
 //! lets the executor dispatch the XOR/popcount Hamming kernels on the
 //! binarized path.
+//!
+//! Tensor payloads are **`Arc`-backed**: cloning a [`Value`] bumps a
+//! reference count instead of copying the tensor, so the executor can move
+//! operands around, snapshot the store for parallel loops, and return
+//! outputs without ever duplicating a megabyte hypermatrix. Copies happen
+//! only when a value crosses a representation boundary (pack/unpack/
+//! quantize) or when a shared payload must be mutated in place
+//! (copy-on-write); both report the bytes they materialized so the executor
+//! can account for them in
+//! [`ExecStats::tensor_bytes_copied`](crate::ExecStats).
 
 use crate::error::{Result, RuntimeError};
 use hdc_core::element::ElementKind;
 use hdc_core::{BitMatrix, BitVector, HyperMatrix, HyperVector};
 use hdc_ir::types::ValueType;
+use std::sync::Arc;
 
-/// A runtime value.
+/// A runtime value. Tensor payloads are shared via [`Arc`]; `clone` is O(1).
 #[derive(Debug, Clone, PartialEq)]
 pub enum Value {
     /// A scalar (scores, loop indices, scalar arg-min results).
     Scalar(f64),
     /// A dense hypervector.
-    Vector(HyperVector<f64>),
+    Vector(Arc<HyperVector<f64>>),
     /// A dense hypermatrix.
-    Matrix(HyperMatrix<f64>),
+    Matrix(Arc<HyperMatrix<f64>>),
     /// A bit-packed bipolar hypervector (binarized slot).
-    Bits(BitVector),
+    Bits(Arc<BitVector>),
     /// A bit-packed bipolar hypermatrix (binarized slot).
-    BitMatrix(BitMatrix),
+    BitMatrix(Arc<BitMatrix>),
     /// An index vector (labels, cluster assignments).
-    Indices(Vec<usize>),
+    Indices(Arc<Vec<usize>>),
 }
 
 impl Value {
+    /// Wrap a dense hypervector.
+    pub fn vector(v: HyperVector<f64>) -> Self {
+        Value::Vector(Arc::new(v))
+    }
+
+    /// Wrap a dense hypermatrix.
+    pub fn matrix(m: HyperMatrix<f64>) -> Self {
+        Value::Matrix(Arc::new(m))
+    }
+
+    /// Wrap a bit-packed hypervector.
+    pub fn bits(b: BitVector) -> Self {
+        Value::Bits(Arc::new(b))
+    }
+
+    /// Wrap a bit-packed hypermatrix.
+    pub fn bit_matrix(b: BitMatrix) -> Self {
+        Value::BitMatrix(Arc::new(b))
+    }
+
+    /// Wrap an index vector.
+    pub fn indices(v: Vec<usize>) -> Self {
+        Value::Indices(Arc::new(v))
+    }
+
     /// Short name of the runtime kind, for error messages.
     pub fn kind_name(&self) -> &'static str {
         match self {
@@ -68,27 +104,67 @@ impl Value {
     }
 
     /// View the value as a dense `f64` hypervector, unpacking bit vectors.
+    /// Always copies; the executor's hot paths use [`Value::dense_vector`]
+    /// instead.
     ///
     /// # Errors
     ///
     /// Returns a type mismatch for scalars, matrices and index vectors.
     pub fn to_dense_vector(&self, context: &str) -> Result<HyperVector<f64>> {
         match self {
-            Value::Vector(v) => Ok(v.clone()),
+            Value::Vector(v) => Ok(v.as_ref().clone()),
             Value::Bits(b) => Ok(b.to_dense()),
             other => Err(mismatch(context, "vector", other)),
         }
     }
 
     /// View the value as a dense `f64` hypermatrix, unpacking bit matrices.
+    /// Always copies; the executor's hot paths use [`Value::dense_matrix`]
+    /// instead.
     ///
     /// # Errors
     ///
     /// Returns a type mismatch for scalars, vectors and index vectors.
     pub fn to_dense_matrix(&self, context: &str) -> Result<HyperMatrix<f64>> {
         match self {
-            Value::Matrix(m) => Ok(m.clone()),
+            Value::Matrix(m) => Ok(m.as_ref().clone()),
             Value::BitMatrix(b) => Ok(b.to_dense()),
+            other => Err(mismatch(context, "matrix", other)),
+        }
+    }
+
+    /// The value as a shared dense hypervector. For a dense payload this is
+    /// a reference-count bump (zero bytes copied); for a packed payload the
+    /// unpacked copy is materialized and its size reported.
+    ///
+    /// # Errors
+    ///
+    /// Returns a type mismatch for scalars, matrices and index vectors.
+    pub fn dense_vector(&self, context: &str) -> Result<(Arc<HyperVector<f64>>, usize)> {
+        match self {
+            Value::Vector(v) => Ok((Arc::clone(v), 0)),
+            Value::Bits(b) => {
+                let dense: HyperVector<f64> = b.to_dense();
+                let bytes = dense.dimension() * 8;
+                Ok((Arc::new(dense), bytes))
+            }
+            other => Err(mismatch(context, "vector", other)),
+        }
+    }
+
+    /// The value as a shared dense hypermatrix (see [`Value::dense_vector`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns a type mismatch for scalars, vectors and index vectors.
+    pub fn dense_matrix(&self, context: &str) -> Result<(Arc<HyperMatrix<f64>>, usize)> {
+        match self {
+            Value::Matrix(m) => Ok((Arc::clone(m), 0)),
+            Value::BitMatrix(b) => {
+                let dense: HyperMatrix<f64> = b.to_dense();
+                let bytes = dense.rows() * dense.cols() * 8;
+                Ok((Arc::new(dense), bytes))
+            }
             other => Err(mismatch(context, "matrix", other)),
         }
     }
@@ -98,42 +174,106 @@ impl Value {
         matches!(self, Value::Bits(_) | Value::BitMatrix(_))
     }
 
+    /// Whether the tensor payload is shared with another `Value` (mutating
+    /// it in place would trigger a copy-on-write).
+    pub fn payload_shared(&self) -> bool {
+        match self {
+            Value::Scalar(_) => false,
+            Value::Vector(v) => Arc::strong_count(v) > 1,
+            Value::Matrix(m) => Arc::strong_count(m) > 1,
+            Value::Bits(b) => Arc::strong_count(b) > 1,
+            Value::BitMatrix(b) => Arc::strong_count(b) > 1,
+            Value::Indices(v) => Arc::strong_count(v) > 1,
+        }
+    }
+
+    /// Size of the payload in bytes (what a full copy would cost).
+    pub fn tensor_bytes(&self) -> usize {
+        match self {
+            Value::Scalar(_) => 0,
+            Value::Vector(v) => v.dimension() * 8,
+            Value::Matrix(m) => m.rows() * m.cols() * 8,
+            Value::Bits(b) => b.storage_bytes(),
+            Value::BitMatrix(b) => b.storage_bytes(),
+            Value::Indices(v) => v.len() * std::mem::size_of::<usize>(),
+        }
+    }
+
     /// Coerce a computed value into the representation `declared` calls
     /// for: pack tensors into bit types for `Bit` slots, unpack when a dense
     /// slot receives packed data, and quantize elements for integer kinds.
     pub fn conform_to(self, declared: &ValueType) -> Value {
+        self.conform_to_counted(declared).0
+    }
+
+    /// [`Value::conform_to`], also reporting the bytes materialized by the
+    /// conversion (`0` when the value already matches the declared
+    /// representation).
+    pub fn conform_to_counted(self, declared: &ValueType) -> (Value, usize) {
         match declared {
             ValueType::HyperVector {
                 elem: ElementKind::Bit,
                 ..
             } => match self {
-                Value::Bits(b) => Value::Bits(b),
-                Value::Vector(v) => Value::Bits(BitVector::from_dense(&v)),
-                other => other,
+                Value::Bits(b) => (Value::Bits(b), 0),
+                Value::Vector(v) => {
+                    let packed = BitVector::from_dense(v.as_ref());
+                    let bytes = packed.storage_bytes();
+                    (Value::bits(packed), bytes)
+                }
+                other => (other, 0),
             },
             ValueType::HyperMatrix {
                 elem: ElementKind::Bit,
                 ..
             } => match self {
-                Value::BitMatrix(b) => Value::BitMatrix(b),
-                Value::Matrix(m) => Value::BitMatrix(BitMatrix::from_dense(&m)),
-                other => other,
+                Value::BitMatrix(b) => (Value::BitMatrix(b), 0),
+                Value::Matrix(m) => {
+                    let packed = BitMatrix::from_dense(m.as_ref());
+                    let bytes = packed.storage_bytes();
+                    (Value::bit_matrix(packed), bytes)
+                }
+                other => (other, 0),
             },
             ValueType::HyperVector { elem, .. } => match self {
-                Value::Bits(b) => Value::Vector(b.to_dense()),
-                Value::Vector(v) => Value::Vector(quantize_vector(v, *elem)),
-                other => other,
+                Value::Bits(b) => {
+                    let dense: HyperVector<f64> = b.to_dense();
+                    let bytes = dense.dimension() * 8;
+                    (Value::vector(dense), bytes)
+                }
+                Value::Vector(v) => {
+                    if elem.is_float() {
+                        (Value::Vector(v), 0)
+                    } else {
+                        let quantized = v.map(|x| quantize(x, *elem));
+                        let bytes = quantized.dimension() * 8;
+                        (Value::vector(quantized), bytes)
+                    }
+                }
+                other => (other, 0),
             },
             ValueType::HyperMatrix { elem, .. } => match self {
-                Value::BitMatrix(b) => Value::Matrix(b.to_dense()),
-                Value::Matrix(m) => Value::Matrix(quantize_matrix(m, *elem)),
-                other => other,
+                Value::BitMatrix(b) => {
+                    let dense: HyperMatrix<f64> = b.to_dense();
+                    let bytes = dense.rows() * dense.cols() * 8;
+                    (Value::matrix(dense), bytes)
+                }
+                Value::Matrix(m) => {
+                    if elem.is_float() {
+                        (Value::Matrix(m), 0)
+                    } else {
+                        let quantized = m.map(|x| quantize(x, *elem));
+                        let bytes = quantized.rows() * quantized.cols() * 8;
+                        (Value::matrix(quantized), bytes)
+                    }
+                }
+                other => (other, 0),
             },
             ValueType::Scalar(elem) => match self {
-                Value::Scalar(x) => Value::Scalar(quantize(x, *elem)),
-                other => other,
+                Value::Scalar(x) => (Value::Scalar(quantize(x, *elem)), 0),
+                other => (other, 0),
             },
-            ValueType::IndexVector { .. } => self,
+            ValueType::IndexVector { .. } => (self, 0),
         }
     }
 
@@ -195,34 +335,19 @@ pub fn quantize(x: f64, kind: ElementKind) -> f64 {
     }
 }
 
-fn quantize_vector(v: HyperVector<f64>, kind: ElementKind) -> HyperVector<f64> {
-    if kind.is_float() {
-        v
-    } else {
-        v.map(|x| quantize(x, kind))
-    }
-}
-
-fn quantize_matrix(m: HyperMatrix<f64>, kind: ElementKind) -> HyperMatrix<f64> {
-    if kind.is_float() {
-        m
-    } else {
-        m.map(|x| quantize(x, kind))
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
     fn conform_packs_for_bit_slots() {
-        let v = Value::Vector(HyperVector::from_vec(vec![1.0, -2.0, 0.5, -0.1]));
+        let v = Value::vector(HyperVector::from_vec(vec![1.0, -2.0, 0.5, -0.1]));
         let declared = ValueType::HyperVector {
             elem: ElementKind::Bit,
             dim: 4,
         };
-        let packed = v.conform_to(&declared);
+        let (packed, copied) = v.conform_to_counted(&declared);
+        assert!(copied > 0, "packing materializes a new payload");
         match packed {
             Value::Bits(b) => {
                 assert_eq!(b.get(0).unwrap(), 1);
@@ -239,16 +364,16 @@ mod tests {
             elem: ElementKind::F32,
             dim: 3,
         };
-        let dense = Value::Bits(bits).conform_to(&declared);
+        let dense = Value::bits(bits).conform_to(&declared);
         assert_eq!(
             dense,
-            Value::Vector(HyperVector::from_vec(vec![-1.0, 1.0, -1.0]))
+            Value::vector(HyperVector::from_vec(vec![-1.0, 1.0, -1.0]))
         );
     }
 
     #[test]
     fn conform_quantizes_integer_kinds() {
-        let v = Value::Vector(HyperVector::from_vec(vec![1.6, -300.0, 2.2]));
+        let v = Value::vector(HyperVector::from_vec(vec![1.6, -300.0, 2.2]));
         let declared = ValueType::HyperVector {
             elem: ElementKind::I8,
             dim: 3,
@@ -262,8 +387,54 @@ mod tests {
     }
 
     #[test]
+    fn conform_is_free_for_matching_representations() {
+        let v = Value::vector(HyperVector::zeros(64));
+        let declared = ValueType::HyperVector {
+            elem: ElementKind::F64,
+            dim: 64,
+        };
+        let (_, copied) = v.conform_to_counted(&declared);
+        assert_eq!(copied, 0);
+        let b = Value::bits(BitVector::zeros(64));
+        let bit_slot = ValueType::HyperVector {
+            elem: ElementKind::Bit,
+            dim: 64,
+        };
+        let (_, copied) = b.conform_to_counted(&bit_slot);
+        assert_eq!(copied, 0);
+    }
+
+    #[test]
+    fn clone_shares_payloads() {
+        let v = Value::matrix(HyperMatrix::zeros(8, 8));
+        assert!(!v.payload_shared());
+        let copy = v.clone();
+        assert!(v.payload_shared());
+        assert!(copy.payload_shared());
+        drop(copy);
+        assert!(!v.payload_shared());
+        assert_eq!(v.tensor_bytes(), 8 * 8 * 8);
+    }
+
+    #[test]
+    fn dense_accessors_report_copies() {
+        let v = Value::vector(HyperVector::zeros(16));
+        let (shared, copied) = v.dense_vector("ctx").unwrap();
+        assert_eq!(copied, 0);
+        assert_eq!(shared.dimension(), 16);
+        let b = Value::bits(BitVector::zeros(16));
+        let (unpacked, copied) = b.dense_vector("ctx").unwrap();
+        assert_eq!(copied, 16 * 8);
+        assert_eq!(unpacked.dimension(), 16);
+        let m = Value::bit_matrix(BitMatrix::zeros(2, 16));
+        let (dense, copied) = m.dense_matrix("ctx").unwrap();
+        assert_eq!(copied, 2 * 16 * 8);
+        assert_eq!((dense.rows(), dense.cols()), (2, 16));
+    }
+
+    #[test]
     fn shape_checks() {
-        let v = Value::Vector(HyperVector::zeros(8));
+        let v = Value::vector(HyperVector::zeros(8));
         assert!(v.shape_matches(&ValueType::HyperVector {
             elem: ElementKind::F32,
             dim: 8
@@ -273,7 +444,7 @@ mod tests {
             dim: 9
         }));
         assert!(!v.shape_matches(&ValueType::Scalar(ElementKind::F32)));
-        let i = Value::Indices(vec![1, 2, 3]);
+        let i = Value::indices(vec![1, 2, 3]);
         assert!(i.shape_matches(&ValueType::IndexVector { len: 3 }));
     }
 
@@ -283,7 +454,9 @@ mod tests {
         assert!(v.as_scalar("ctx").is_ok());
         assert!(v.as_indices("ctx").is_err());
         assert!(v.to_dense_vector("ctx").is_err());
-        let b = Value::Bits(BitVector::zeros(4));
+        assert!(v.dense_vector("ctx").is_err());
+        assert!(v.dense_matrix("ctx").is_err());
+        let b = Value::bits(BitVector::zeros(4));
         assert_eq!(b.to_dense_vector("ctx").unwrap().dimension(), 4);
         assert!(b.is_packed());
         assert_eq!(b.describe(), "bit-vector[4]");

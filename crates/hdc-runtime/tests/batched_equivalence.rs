@@ -1,0 +1,342 @@
+//! Equivalence property tests: the batched stage execution path and the
+//! parallel `ParallelFor` schedule must produce outputs identical to the
+//! per-sample sequential reference oracle, across dense/binarized ×
+//! perforated/unperforated configurations — and the batched binarized
+//! inference path must perform **zero** tensor copies.
+
+use hdc_core::element::ElementKind;
+use hdc_core::prelude::*;
+use hdc_ir::builder::ProgramBuilder;
+use hdc_ir::program::{Program, ValueId};
+use hdc_ir::stage::ScorePolarity;
+use hdc_runtime::{ExecStats, Executor, Value};
+
+const DIM: usize = 192;
+const CLASSES: usize = 7;
+const QUERIES: usize = 23;
+
+#[derive(Clone, Copy, Debug)]
+enum Metric {
+    Hamming,
+    Cosine,
+}
+
+/// `(begin, end, stride)` red_perf annotations exercised by every case:
+/// dense, strided (half the elements), and a segment that straddles a
+/// 64-bit word boundary.
+fn perforations() -> Vec<Option<(usize, usize, usize)>> {
+    vec![None, Some((0, DIM, 2)), Some((30, 150, 1))]
+}
+
+fn build_inference(
+    binarized: bool,
+    metric: Metric,
+    perf: Option<(usize, usize, usize)>,
+) -> (Program, ValueId) {
+    let elem = if binarized {
+        ElementKind::Bit
+    } else {
+        ElementKind::F64
+    };
+    let mut b = ProgramBuilder::new("equiv_infer");
+    let q = b.input_matrix("queries", elem, QUERIES, DIM);
+    let c = b.input_matrix("classes", elem, CLASSES, DIM);
+    let polarity = match metric {
+        Metric::Hamming => ScorePolarity::Distance,
+        Metric::Cosine => ScorePolarity::Similarity,
+    };
+    let preds = b.inference_loop("infer", q, c, polarity, |b, s| {
+        let d = match metric {
+            Metric::Hamming => b.hamming_distance(s, c),
+            Metric::Cosine => b.cossim(s, c),
+        };
+        if let Some((begin, end, stride)) = perf {
+            b.red_perf(d, begin, end, stride);
+        }
+        d
+    });
+    b.mark_output(preds);
+    (b.finish(), preds)
+}
+
+fn inference_data(binarized: bool) -> (Value, Value) {
+    let mut rng = HdcRng::seed_from_u64(0xE9);
+    let queries: HyperMatrix<f64> = hdc_core::random::bipolar_hypermatrix(QUERIES, DIM, &mut rng);
+    let classes: HyperMatrix<f64> = hdc_core::random::bipolar_hypermatrix(CLASSES, DIM, &mut rng);
+    if binarized {
+        (
+            Value::bit_matrix(BitMatrix::from_dense(&queries)),
+            Value::bit_matrix(BitMatrix::from_dense(&classes)),
+        )
+    } else {
+        (Value::matrix(queries), Value::matrix(classes))
+    }
+}
+
+fn run_inference(
+    program: &Program,
+    preds: ValueId,
+    queries: &Value,
+    classes: &Value,
+    batched: bool,
+) -> (Vec<usize>, ExecStats) {
+    let mut exec = Executor::new(program).unwrap();
+    exec.set_batched_stages(batched);
+    exec.set_parallel_loops(batched);
+    exec.bind("queries", queries.clone()).unwrap();
+    exec.bind("classes", classes.clone()).unwrap();
+    let out = exec.run().unwrap();
+    (out.indices(preds).unwrap().to_vec(), exec.stats())
+}
+
+#[test]
+fn batched_inference_matches_sequential_across_configs() {
+    for binarized in [false, true] {
+        for metric in [Metric::Hamming, Metric::Cosine] {
+            for perf in perforations() {
+                let (program, preds) = build_inference(binarized, metric, perf);
+                let (queries, classes) = inference_data(binarized);
+                let (batched, b_stats) = run_inference(&program, preds, &queries, &classes, true);
+                let (sequential, s_stats) =
+                    run_inference(&program, preds, &queries, &classes, false);
+                assert_eq!(
+                    batched, sequential,
+                    "binarized={binarized} metric={metric:?} perf={perf:?}"
+                );
+                assert_eq!(
+                    b_stats.batched_kernel_ops, 1,
+                    "batched path used one matrix-level kernel call"
+                );
+                assert_eq!(
+                    s_stats.batched_kernel_ops, 0,
+                    "sequential oracle stays per-sample"
+                );
+                assert_eq!(
+                    b_stats.stage_samples, QUERIES,
+                    "batched stages still account per sample"
+                );
+                assert_eq!(s_stats.stage_samples, QUERIES);
+            }
+        }
+    }
+}
+
+#[test]
+fn batched_binarized_inference_is_zero_copy() {
+    for perf in perforations() {
+        let (program, preds) = build_inference(true, Metric::Hamming, perf);
+        let (queries, classes) = inference_data(true);
+        let (batched, b_stats) = run_inference(&program, preds, &queries, &classes, true);
+        let (sequential, s_stats) = run_inference(&program, preds, &queries, &classes, false);
+        assert_eq!(batched, sequential);
+        assert_eq!(
+            b_stats.tensor_bytes_copied, 0,
+            "batched binarized inference must not copy a single tensor byte (perf={perf:?})"
+        );
+        assert!(
+            s_stats.tensor_bytes_copied > 0,
+            "the per-sample oracle unpacks and stages rows"
+        );
+        // The popcount kernels served every sample on both paths.
+        assert_eq!(b_stats.bit_kernel_ops, QUERIES);
+        assert_eq!(s_stats.bit_kernel_ops, QUERIES);
+    }
+}
+
+#[test]
+fn batched_encoding_matches_sequential() {
+    const FEATURES: usize = 24;
+    const ENC_DIM: usize = 96;
+    const SAMPLES: usize = 9;
+    for perf in [None, Some((0, FEATURES, 2))] {
+        let mut b = ProgramBuilder::new("equiv_encode");
+        let features = b.input_matrix("features", ElementKind::F64, SAMPLES, FEATURES);
+        let rp = b.input_matrix("rp", ElementKind::F64, ENC_DIM, FEATURES);
+        let encoded = b.encoding_loop("encode", features, ENC_DIM, |b, q| {
+            let e = b.matmul(q, rp);
+            if let Some((begin, end, stride)) = perf {
+                b.red_perf(e, begin, end, stride);
+            }
+            b.sign(e)
+        });
+        b.mark_output(encoded);
+        let program = b.finish();
+
+        let mut rng = HdcRng::seed_from_u64(0x5EED);
+        let fm: HyperMatrix<f64> =
+            hdc_core::random::gaussian_hypermatrix(SAMPLES, FEATURES, &mut rng);
+        let pm: HyperMatrix<f64> =
+            hdc_core::random::bipolar_hypermatrix(ENC_DIM, FEATURES, &mut rng);
+
+        let run = |batched: bool| {
+            let mut exec = Executor::new(&program).unwrap();
+            exec.set_batched_stages(batched);
+            exec.bind("features", Value::matrix(fm.clone())).unwrap();
+            exec.bind("rp", Value::matrix(pm.clone())).unwrap();
+            let out = exec.run().unwrap();
+            (out.matrix(encoded).unwrap(), exec.stats())
+        };
+        let (batched, b_stats) = run(true);
+        let (sequential, s_stats) = run(false);
+        assert_eq!(batched, sequential, "perf={perf:?}");
+        assert_eq!(b_stats.batched_kernel_ops, 1);
+        assert_eq!(s_stats.batched_kernel_ops, 0);
+        assert_eq!(b_stats.stage_samples, SAMPLES);
+    }
+}
+
+#[test]
+fn stage_bodies_outside_the_pattern_fall_back_to_sequential() {
+    // An inference body with an extra elementwise op is not a single-kernel
+    // pattern; the executor must take the per-sample path (and still be
+    // correct).
+    let mut b = ProgramBuilder::new("fallback");
+    let q = b.input_matrix("queries", ElementKind::F64, 6, 32);
+    let c = b.input_matrix("classes", ElementKind::F64, 3, 32);
+    let preds = b.inference_loop("infer", q, c, ScorePolarity::Distance, |b, s| {
+        let d = b.hamming_distance(s, c);
+        b.add(d, d)
+    });
+    b.mark_output(preds);
+    let program = b.finish();
+    let mut rng = HdcRng::seed_from_u64(3);
+    let qm: HyperMatrix<f64> = hdc_core::random::bipolar_hypermatrix(6, 32, &mut rng);
+    let cm: HyperMatrix<f64> = hdc_core::random::bipolar_hypermatrix(3, 32, &mut rng);
+    let run = |batched: bool| {
+        let mut exec = Executor::new(&program).unwrap();
+        exec.set_batched_stages(batched);
+        exec.bind("queries", Value::matrix(qm.clone())).unwrap();
+        exec.bind("classes", Value::matrix(cm.clone())).unwrap();
+        let out = exec.run().unwrap();
+        (out.indices(preds).unwrap().to_vec(), exec.stats())
+    };
+    let (with_batching, stats) = run(true);
+    let (without, _) = run(false);
+    assert_eq!(with_batching, without);
+    assert_eq!(stats.batched_kernel_ops, 0, "pattern must not match");
+}
+
+#[test]
+fn parallel_for_matches_sequential_schedule() {
+    const ROWS: usize = 5;
+    const COLS: usize = 48;
+    let mut b = ProgramBuilder::new("par_rows");
+    let m = b.input_matrix("m", ElementKind::F64, ROWS, COLS);
+    let out_m = b.input_matrix("out", ElementKind::F64, ROWS, COLS);
+    b.mark_output(out_m);
+    b.parallel_for("rows", ROWS, |b, idx| {
+        let row = b.get_matrix_row_dyn(m, idx);
+        let shifted = b.wrap_shift(row, 3);
+        let s = b.sign(shifted);
+        b.set_matrix_row_dyn(out_m, s, idx);
+    });
+    let program = b.finish();
+    let mut rng = HdcRng::seed_from_u64(11);
+    let mm: HyperMatrix<f64> = hdc_core::random::gaussian_hypermatrix(ROWS, COLS, &mut rng);
+    let run = |parallel: bool| {
+        let mut exec = Executor::new(&program).unwrap();
+        exec.set_parallel_loops(parallel);
+        exec.bind("m", Value::matrix(mm.clone())).unwrap();
+        exec.bind("out", Value::matrix(HyperMatrix::zeros(ROWS, COLS)))
+            .unwrap();
+        let out = exec.run().unwrap();
+        out.matrix(out_m).unwrap()
+    };
+    assert_eq!(run(true), run(false));
+}
+
+#[test]
+fn parallel_for_accumulate_rows_matches_sequential() {
+    const ROWS: usize = 4;
+    const COLS: usize = 40;
+    let mut b = ProgramBuilder::new("par_acc");
+    let m = b.input_matrix("m", ElementKind::F64, ROWS, COLS);
+    let acc = b.input_matrix("acc", ElementKind::F64, ROWS, COLS);
+    b.mark_output(acc);
+    b.parallel_for("acc_rows", ROWS, |b, idx| {
+        let row = b.get_matrix_row_dyn(m, idx);
+        // Two accumulations into the same row: the second must observe the
+        // first, on both schedules.
+        b.accumulate_row(acc, row, idx);
+        b.accumulate_row(acc, row, idx);
+    });
+    let program = b.finish();
+    let mut rng = HdcRng::seed_from_u64(13);
+    let mm: HyperMatrix<f64> = hdc_core::random::gaussian_hypermatrix(ROWS, COLS, &mut rng);
+    let base: HyperMatrix<f64> = hdc_core::random::gaussian_hypermatrix(ROWS, COLS, &mut rng);
+    let run = |parallel: bool| {
+        let mut exec = Executor::new(&program).unwrap();
+        exec.set_parallel_loops(parallel);
+        exec.bind("m", Value::matrix(mm.clone())).unwrap();
+        exec.bind("acc", Value::matrix(base.clone())).unwrap();
+        let out = exec.run().unwrap();
+        out.matrix(acc).unwrap()
+    };
+    assert_eq!(run(true), run(false));
+}
+
+#[test]
+fn cross_iteration_dependences_fall_back_to_sequential() {
+    // accumulate_row at a *fixed* row is a reduction across iterations —
+    // the row-independence analysis must reject it and the sequential
+    // schedule must run (results identical whether the toggle is on or
+    // off).
+    const COLS: usize = 16;
+    let mut b = ProgramBuilder::new("par_reduce");
+    let m = b.input_matrix("m", ElementKind::F64, 4, COLS);
+    let acc = b.input_matrix("acc", ElementKind::F64, 1, COLS);
+    b.mark_output(acc);
+    b.parallel_for("reduce", 4, |b, idx| {
+        let row = b.get_matrix_row_dyn(m, idx);
+        b.accumulate_row(acc, row, 0i64);
+    });
+    let program = b.finish();
+    let mut rng = HdcRng::seed_from_u64(17);
+    let mm: HyperMatrix<f64> = hdc_core::random::gaussian_hypermatrix(4, COLS, &mut rng);
+    let run = |parallel: bool| {
+        let mut exec = Executor::new(&program).unwrap();
+        exec.set_parallel_loops(parallel);
+        exec.bind("m", Value::matrix(mm.clone())).unwrap();
+        exec.bind("acc", Value::matrix(HyperMatrix::zeros(1, COLS)))
+            .unwrap();
+        let out = exec.run().unwrap();
+        out.matrix(acc).unwrap()
+    };
+    assert_eq!(run(true), run(false));
+    // And the fallback really did reduce: row 0 is the column sum of m.
+    let reduced = run(true);
+    for cidx in 0..COLS {
+        let expect: f64 = (0..4).map(|r| mm.get(r, cidx).unwrap()).sum();
+        assert!((reduced.get(0, cidx).unwrap() - expect).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn binarized_pipeline_equivalence_through_passes() {
+    // Compile a sign-annotated inference program through automatic
+    // binarization, then check batched == sequential on the binarized form.
+    let mut b = ProgramBuilder::new("binarize_equiv");
+    let q = b.input_matrix("queries", ElementKind::F64, QUERIES, DIM);
+    let c = b.input_matrix("classes", ElementKind::F64, CLASSES, DIM);
+    let qs = b.sign(q);
+    let cs = b.sign(c);
+    let preds = b.inference_loop("infer", qs, cs, ScorePolarity::Distance, |b, s| {
+        b.hamming_distance(s, cs)
+    });
+    b.mark_output(preds);
+    let mut program = b.finish();
+    hdc_passes::binarize(&mut program, &hdc_passes::BinarizeOptions::default());
+
+    let mut rng = HdcRng::seed_from_u64(0xB1AB);
+    let qm: HyperMatrix<f64> = hdc_core::random::gaussian_hypermatrix(QUERIES, DIM, &mut rng);
+    let cm: HyperMatrix<f64> = hdc_core::random::gaussian_hypermatrix(CLASSES, DIM, &mut rng);
+    let run = |batched: bool| {
+        let mut exec = Executor::new(&program).unwrap();
+        exec.set_batched_stages(batched);
+        exec.bind("queries", Value::matrix(qm.clone())).unwrap();
+        exec.bind("classes", Value::matrix(cm.clone())).unwrap();
+        let out = exec.run().unwrap();
+        out.indices(preds).unwrap().to_vec()
+    };
+    assert_eq!(run(true), run(false));
+}

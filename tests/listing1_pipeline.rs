@@ -97,10 +97,10 @@ fn run_compiled(
     fx: &Fixture,
 ) -> (usize, hpvm_hdc::runtime::ExecStats) {
     let mut exec = Executor::new(program).unwrap();
-    exec.bind("features", Value::Vector(fx.features.clone()))
+    exec.bind("features", Value::vector(fx.features.clone()))
         .unwrap();
-    exec.bind("rp", Value::Matrix(fx.rp.clone())).unwrap();
-    exec.bind("classes", Value::Matrix(fx.classes.clone()))
+    exec.bind("rp", Value::matrix(fx.rp.clone())).unwrap();
+    exec.bind("classes", Value::matrix(fx.classes.clone()))
         .unwrap();
     let outputs = exec.run().unwrap();
     (outputs.scalar(label).unwrap() as usize, exec.stats())
