@@ -1,0 +1,277 @@
+//! HD classification with iterative retraining.
+//!
+//! The canonical HDC learning pipeline (the paper's HD-Classification
+//! application): random-projection encode, bootstrap class hypervectors by
+//! perceptron-style retraining, binarize, classify. The whole pipeline is
+//! one IR program — two `encoding_loop` stages (train and test sets), a
+//! `training_loop` whose per-sample body scores against the live class
+//! matrix, a `sign` binarization of the trained classes, and an
+//! `inference_loop` over the test set:
+//!
+//! ```text
+//! train_x ──► encoding_loop ──► training_loop(epochs) ──► sign ─┐
+//! test_x  ──► encoding_loop ───────────────────────────────────► inference_loop ──► labels
+//! ```
+//!
+//! Retraining semantics (inside `training_loop`, per epoch, per sample): on
+//! a misprediction the encoded sample is **added** to the true class row and
+//! **subtracted** from the predicted class row. Starting from a zero class
+//! matrix, the first epoch degenerates to one-shot bundling (everything
+//! mispredicts), and later epochs correct the boundary errors bundling
+//! leaves behind — [`ClassificationApp::epoch_sweep`] exposes the resulting
+//! accuracy-vs-epochs curve, which the `app_equivalence` suite requires to
+//! improve.
+
+use crate::{ExecMode, Result};
+use hdc_core::element::ElementKind;
+use hdc_datasets::Dataset;
+use hdc_ir::builder::ProgramBuilder;
+use hdc_ir::program::{Program, ValueId};
+use hdc_ir::stage::ScorePolarity;
+use hdc_passes::{compile, CompileOptions, CompileReport};
+use hdc_runtime::{ExecStats, Executor, Value};
+
+/// The compiled classification application.
+#[derive(Debug)]
+pub struct ClassificationApp {
+    dataset: Dataset,
+    program: Program,
+    report: CompileReport,
+    preds: ValueId,
+    dim: usize,
+    epochs: usize,
+    /// Inputs pre-wrapped as Arc-backed [`Value`]s so every [`run`] binds
+    /// by reference-count bump instead of deep-copying the dataset — the
+    /// perf harness times `run` end to end.
+    ///
+    /// [`run`]: ClassificationApp::run
+    train_x: Value,
+    test_x: Value,
+    train_y: Value,
+}
+
+/// The outcome of one classification run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassificationRun {
+    /// Predicted class per test sample.
+    pub predictions: Vec<usize>,
+    /// Fraction of test predictions matching ground truth.
+    pub accuracy: f64,
+    /// Executor counters for the run.
+    pub stats: ExecStats,
+}
+
+impl ClassificationApp {
+    /// Build the classification program for `dataset` at hypervector
+    /// dimension `dim` with `epochs` retraining epochs, and compile it
+    /// through the default pass pipeline (binarization on).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AppError::Compile`](crate::AppError::Compile) if the pass
+    /// pipeline rejects the program.
+    pub fn new(dataset: Dataset, dim: usize, epochs: usize) -> Result<Self> {
+        Self::with_options(dataset, dim, epochs, &CompileOptions::default())
+    }
+
+    /// [`ClassificationApp::new`] with explicit compile options (e.g. the
+    /// dense baseline configuration).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AppError::Compile`](crate::AppError::Compile) if the pass
+    /// pipeline rejects the program.
+    pub fn with_options(
+        dataset: Dataset,
+        dim: usize,
+        epochs: usize,
+        options: &CompileOptions,
+    ) -> Result<Self> {
+        let (mut program, preds) = build_program(&dataset, dim, epochs);
+        let report = compile(&mut program, options)?;
+        let train_x = Value::matrix(dataset.train.features.clone());
+        let test_x = Value::matrix(dataset.test.features.clone());
+        let train_y = Value::indices(dataset.train.labels.clone());
+        Ok(ClassificationApp {
+            dataset,
+            program,
+            report,
+            preds,
+            dim,
+            epochs,
+            train_x,
+            test_x,
+            train_y,
+        })
+    }
+
+    /// The compiled IR program.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// The pass pipeline's compile report.
+    pub fn compile_report(&self) -> &CompileReport {
+        &self.report
+    }
+
+    /// The dataset the app classifies.
+    pub fn dataset(&self) -> &Dataset {
+        &self.dataset
+    }
+
+    /// Hypervector dimension the app encodes into.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of retraining epochs the program performs.
+    pub fn epochs(&self) -> usize {
+        self.epochs
+    }
+
+    /// Execute the app under the given mode.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AppError::Runtime`](crate::AppError::Runtime) if execution
+    /// fails.
+    pub fn run(&self, mode: ExecMode) -> Result<ClassificationRun> {
+        let mut exec = Executor::new(&self.program)?;
+        exec.set_batched_stages(mode.is_batched());
+        exec.set_parallel_loops(mode.is_batched());
+        exec.bind("train_features", self.train_x.clone())?;
+        exec.bind("test_features", self.test_x.clone())?;
+        exec.bind("train_labels", self.train_y.clone())?;
+        let out = exec.run()?;
+        let predictions = out.indices(self.preds)?.to_vec();
+        Ok(ClassificationRun {
+            accuracy: self.dataset.test_accuracy(&predictions),
+            predictions,
+            stats: exec.stats(),
+        })
+    }
+
+    /// Test accuracy as a function of retraining epochs: one compiled
+    /// program per entry of `epochs`, all sharing the dataset and the
+    /// (builder-deterministic) projection matrix, run batched. This is the
+    /// retraining curve of the paper's Figure 7-style evaluations.
+    ///
+    /// # Errors
+    ///
+    /// Propagates compile or runtime failures from any entry.
+    pub fn epoch_sweep(dataset: &Dataset, dim: usize, epochs: &[usize]) -> Result<Vec<f64>> {
+        epochs
+            .iter()
+            .map(|&e| {
+                let app = ClassificationApp::new(dataset.clone(), dim, e)?;
+                Ok(app.run(ExecMode::Batched)?.accuracy)
+            })
+            .collect()
+    }
+}
+
+/// Build the (uncompiled) classification program. The projection matrix is
+/// created in-program from the builder's deterministic seed sequence, so
+/// every program built for the same dataset shape shares it.
+fn build_program(dataset: &Dataset, dim: usize, epochs: usize) -> (Program, ValueId) {
+    let features = dataset.meta.features;
+    let classes = dataset.meta.classes;
+    let n_train = dataset.train.len();
+    let n_test = dataset.test.len();
+    let mut b = ProgramBuilder::new("hd_classification");
+    let train_x = b.input_matrix("train_features", ElementKind::F64, n_train, features);
+    let test_x = b.input_matrix("test_features", ElementKind::F64, n_test, features);
+    let train_y = b.input_indices("train_labels", n_train);
+    let rp = b.random_bipolar_matrix(ElementKind::F64, dim, features);
+    b.name_value(rp, "rp_matrix");
+    let class_hvs = b.zero_matrix(ElementKind::F64, classes, dim);
+    b.name_value(class_hvs, "class_hvs");
+    let enc_train = b.encoding_loop("encode_train", train_x, dim, |b, q| {
+        let e = b.matmul(q, rp);
+        b.sign(e)
+    });
+    let enc_test = b.encoding_loop("encode_test", test_x, dim, |b, q| {
+        let e = b.matmul(q, rp);
+        b.sign(e)
+    });
+    b.training_loop(
+        "retrain",
+        enc_train,
+        train_y,
+        class_hvs,
+        epochs,
+        ScorePolarity::Similarity,
+        |b, q| b.cossim(q, class_hvs),
+    );
+    // Binarize the trained model: the automatic-binarization pass turns
+    // this into the 1-bit class memory, and Hamming inference below into
+    // the XOR/popcount batched kernel.
+    let class_bits = b.sign(class_hvs);
+    b.name_value(class_bits, "class_bits");
+    let preds = b.inference_loop(
+        "infer",
+        enc_test,
+        class_bits,
+        ScorePolarity::Distance,
+        |b, q| b.hamming_distance(q, class_bits),
+    );
+    b.mark_output(preds);
+    (b.finish(), preds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdc_core::element::ElementKind as EK;
+    use hdc_datasets::synthetic::{isolet_like, IsoletParams};
+    use hdc_ir::program::NodeBody;
+
+    fn small_dataset() -> Dataset {
+        isolet_like(&IsoletParams {
+            classes: 4,
+            features: 32,
+            train_per_class: 6,
+            test_per_class: 3,
+            noise: 1.2,
+            seed: 11,
+        })
+    }
+
+    #[test]
+    fn program_has_four_stages_and_binarizes() {
+        let app = ClassificationApp::new(small_dataset(), 256, 2).unwrap();
+        let stages = app
+            .program()
+            .nodes()
+            .iter()
+            .filter(|n| matches!(n.body, NodeBody::Stage(_)))
+            .count();
+        assert_eq!(stages, 4, "encode x2, retrain, infer");
+        // The pass pipeline binarized the encoded matrices and the class
+        // bits.
+        assert!(app.compile_report().binarize().unwrap().binarized_values >= 3);
+        let bit_slots = app.program().binarized_value_count();
+        assert!(
+            bit_slots >= 3,
+            "encoded train/test + class bits, got {bit_slots}"
+        );
+        // The raw feature inputs stay dense.
+        let train_x = app
+            .program()
+            .values()
+            .iter()
+            .find(|v| v.name == "train_features")
+            .unwrap();
+        assert_eq!(train_x.ty.element_kind(), Some(EK::F64));
+    }
+
+    #[test]
+    fn runs_and_produces_one_label_per_test_sample() {
+        let app = ClassificationApp::new(small_dataset(), 256, 2).unwrap();
+        let run = app.run(ExecMode::Batched).unwrap();
+        assert_eq!(run.predictions.len(), app.dataset().test.len());
+        assert!(run.predictions.iter().all(|&p| p < 4));
+        assert!(run.stats.batched_kernel_ops > 0, "stages batched");
+    }
+}

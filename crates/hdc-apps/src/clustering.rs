@@ -1,0 +1,264 @@
+//! HD clustering: hypervector centroids with assign / update rounds.
+//!
+//! The HDC analogue of k-means (the paper's HD-Clustering application):
+//! samples are encoded once, centroids live as bipolar hypervectors, and
+//! each round (1) assigns every sample to its most similar centroid with an
+//! `inference_loop` and (2) rebuilds each centroid by bundling its members
+//! and re-binarizing:
+//!
+//! ```text
+//! samples ──► encoding_loop ──► [assign ──► accumulate-by-assignment ──► sign]×T ──► assign
+//! ```
+//!
+//! The update loop is expressed with the granular intrinsics — a
+//! `parallel_for` over samples gathering each sample's assignment
+//! (`get_element`) and accumulating its encoded row into the new centroid
+//! accumulator (`accumulate_row`) — plus a `type_cast` precision barrier so
+//! automatic binarization keeps the *accumulator* in full precision while
+//! the centroids themselves binarize. The previous centroid is blended into
+//! the accumulator before the `sign`, which keeps empty clusters stable
+//! instead of collapsing them to a constant vector.
+//!
+//! The number of rounds is a compile-time constant: the builder unrolls the
+//! assign/update sequence into the dataflow graph, one stage + loop node
+//! pair per round.
+
+use crate::{ExecMode, Result};
+use hdc_core::element::ElementKind;
+use hdc_datasets::Dataset;
+use hdc_ir::builder::ProgramBuilder;
+use hdc_ir::program::{Program, ValueId};
+use hdc_ir::stage::ScorePolarity;
+use hdc_passes::{compile, CompileOptions, CompileReport};
+use hdc_runtime::{ExecStats, Executor, Value};
+
+/// The compiled clustering application.
+#[derive(Debug)]
+pub struct ClusteringApp {
+    dataset: Dataset,
+    program: Program,
+    report: CompileReport,
+    assignments: ValueId,
+    k: usize,
+    rounds: usize,
+    /// Samples pre-wrapped as an Arc-backed [`Value`] so every
+    /// [`run`](ClusteringApp::run) binds by reference-count bump.
+    samples: Value,
+}
+
+/// The outcome of one clustering run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusteringRun {
+    /// Final cluster assignment per sample (values in `0..k`).
+    pub assignments: Vec<usize>,
+    /// Cluster purity against the dataset's ground-truth labels: each
+    /// cluster votes its majority label; purity is the fraction of samples
+    /// covered by their cluster's majority.
+    pub purity: f64,
+    /// Executor counters for the run.
+    pub stats: ExecStats,
+}
+
+impl ClusteringApp {
+    /// Build and compile the clustering program: cluster the **training
+    /// split** of `dataset` into `meta.classes` clusters at hypervector
+    /// dimension `dim`, running `rounds` assign/update rounds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AppError::Compile`](crate::AppError::Compile) if the pass
+    /// pipeline rejects the program.
+    pub fn new(dataset: Dataset, dim: usize, rounds: usize) -> Result<Self> {
+        let k = dataset.meta.classes;
+        let (mut program, assignments) = build_program(&dataset, dim, k, rounds);
+        let report = compile(&mut program, &CompileOptions::default())?;
+        let samples = Value::matrix(dataset.train.features.clone());
+        Ok(ClusteringApp {
+            dataset,
+            program,
+            report,
+            assignments,
+            k,
+            rounds,
+            samples,
+        })
+    }
+
+    /// The compiled IR program.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// The pass pipeline's compile report.
+    pub fn compile_report(&self) -> &CompileReport {
+        &self.report
+    }
+
+    /// The dataset whose training split is clustered.
+    pub fn dataset(&self) -> &Dataset {
+        &self.dataset
+    }
+
+    /// Number of clusters.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of assign/update rounds unrolled into the program.
+    pub fn rounds(&self) -> usize {
+        self.rounds
+    }
+
+    /// Execute the app under the given mode.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AppError::Runtime`](crate::AppError::Runtime) if execution
+    /// fails.
+    pub fn run(&self, mode: ExecMode) -> Result<ClusteringRun> {
+        let mut exec = Executor::new(&self.program)?;
+        exec.set_batched_stages(mode.is_batched());
+        exec.set_parallel_loops(mode.is_batched());
+        exec.bind("samples", self.samples.clone())?;
+        let out = exec.run()?;
+        let assignments = out.indices(self.assignments)?.to_vec();
+        Ok(ClusteringRun {
+            purity: purity(&assignments, &self.dataset.train.labels, self.k),
+            assignments,
+            stats: exec.stats(),
+        })
+    }
+}
+
+/// Cluster purity: each cluster is credited its majority ground-truth
+/// label's count; purity is the covered fraction. `1.0` means every cluster
+/// is label-pure; `1 / classes` is chance level.
+pub fn purity(assignments: &[usize], truth: &[usize], k: usize) -> f64 {
+    assert_eq!(assignments.len(), truth.len(), "one assignment per sample");
+    if assignments.is_empty() {
+        return 0.0;
+    }
+    let classes = truth.iter().copied().max().map_or(1, |m| m + 1);
+    let mut counts = vec![vec![0usize; classes]; k];
+    for (&a, &t) in assignments.iter().zip(truth) {
+        counts[a][t] += 1;
+    }
+    let covered: usize = counts
+        .iter()
+        .map(|c| c.iter().copied().max().unwrap_or(0))
+        .sum();
+    covered as f64 / assignments.len() as f64
+}
+
+fn build_program(dataset: &Dataset, dim: usize, k: usize, rounds: usize) -> (Program, ValueId) {
+    let features = dataset.meta.features;
+    let n = dataset.train.len();
+    assert!(k >= 1 && k <= n, "need 1..=samples clusters, got {k}");
+    let mut b = ProgramBuilder::new("hd_clustering");
+    let samples = b.input_matrix("samples", ElementKind::F64, n, features);
+    let rp = b.random_bipolar_matrix(ElementKind::F64, dim, features);
+    b.name_value(rp, "rp_matrix");
+    let encoded = b.encoding_loop("encode", samples, dim, |b, q| {
+        let e = b.matmul(q, rp);
+        b.sign(e)
+    });
+    // Seed centroids from the first k encoded samples (the deterministic
+    // k-means++-free initialization the HDC clustering apps use).
+    let seed_centroids = b.zero_matrix(ElementKind::F64, k, dim);
+    b.name_value(seed_centroids, "centroids_0");
+    for i in 0..k {
+        let row = b.get_matrix_row(encoded, i as i64);
+        b.set_matrix_row(seed_centroids, row, i as i64);
+    }
+    let mut centroids = seed_centroids;
+    for round in 0..rounds {
+        let assign = b.inference_loop(
+            &format!("assign_{round}"),
+            encoded,
+            centroids,
+            ScorePolarity::Similarity,
+            |b, q| b.cossim(q, centroids),
+        );
+        // Bundle each cluster's members. The type_cast is a binarization
+        // barrier: the accumulator must stay full precision so member
+        // counts add exactly before the final sign.
+        let acc = b.zero_matrix(ElementKind::F64, k, dim);
+        b.name_value(acc, &format!("cluster_acc_{round}"));
+        b.parallel_for(&format!("update_{round}"), n, |b, idx| {
+            let row = b.get_matrix_row_dyn(encoded, idx);
+            let row_dense = b.type_cast(row, ElementKind::F64);
+            let cluster = b.get_element_dyn(assign, idx);
+            b.accumulate_row(acc, row_dense, cluster);
+        });
+        // Blend in the previous centroid: majority vote with the old
+        // centroid as tie-breaker, and empty clusters keep their centroid.
+        let previous = b.type_cast(centroids, ElementKind::F64);
+        let blended = b.add(acc, previous);
+        centroids = b.sign(blended);
+        b.name_value(centroids, &format!("centroids_{}", round + 1));
+    }
+    let assignments = b.inference_loop(
+        "assign_final",
+        encoded,
+        centroids,
+        ScorePolarity::Similarity,
+        |b, q| b.cossim(q, centroids),
+    );
+    b.mark_output(assignments);
+    (b.finish(), assignments)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdc_datasets::synthetic::{isolet_like, IsoletParams};
+    use hdc_ir::program::NodeBody;
+
+    fn small_dataset() -> Dataset {
+        isolet_like(&IsoletParams {
+            classes: 3,
+            features: 24,
+            train_per_class: 8,
+            test_per_class: 1,
+            noise: 0.8,
+            seed: 23,
+        })
+    }
+
+    #[test]
+    fn purity_metric() {
+        // Perfect clustering up to label permutation scores 1.0.
+        assert_eq!(purity(&[1, 1, 0, 0], &[0, 0, 1, 1], 2), 1.0);
+        assert_eq!(purity(&[0, 0, 0, 0], &[0, 0, 1, 1], 2), 0.5);
+        assert_eq!(purity(&[], &[], 2), 0.0);
+    }
+
+    #[test]
+    fn program_unrolls_rounds() {
+        let app = ClusteringApp::new(small_dataset(), 128, 2).unwrap();
+        let stages = app
+            .program()
+            .nodes()
+            .iter()
+            .filter(|n| matches!(n.body, NodeBody::Stage(_)))
+            .count();
+        // encode + (assign x rounds) + final assign.
+        assert_eq!(stages, 1 + 2 + 1);
+        let loops = app
+            .program()
+            .nodes()
+            .iter()
+            .filter(|n| matches!(n.body, NodeBody::ParallelFor { .. }))
+            .count();
+        assert_eq!(loops, 2, "one update loop per round");
+    }
+
+    #[test]
+    fn assignments_cover_samples() {
+        let app = ClusteringApp::new(small_dataset(), 128, 2).unwrap();
+        let run = app.run(ExecMode::Batched).unwrap();
+        assert_eq!(run.assignments.len(), app.dataset().train.len());
+        assert!(run.assignments.iter().all(|&a| a < app.k()));
+        assert!(run.purity > 0.0);
+    }
+}

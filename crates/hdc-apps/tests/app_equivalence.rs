@@ -1,0 +1,206 @@
+//! Application-level equivalence and quality gates.
+//!
+//! Every application must produce *identical* outputs under the batched
+//! executor (matrix-level kernels, parallel loops) and the per-sample
+//! sequential reference oracle — this is the app-level extension of the
+//! kernel-level `batched_equivalence` suite in `hdc-runtime`. On top of
+//! equivalence, each app must clear a quality floor on its seeded synthetic
+//! workload (accuracy / purity / recall), and the retraining app must show
+//! the point of retraining: test accuracy improves with epochs.
+
+use hdc_apps::classification::ClassificationApp;
+use hdc_apps::clustering::ClusteringApp;
+use hdc_apps::matching::MatchingApp;
+use hdc_apps::ExecMode;
+use hdc_datasets::synthetic::{
+    emg_like, hyperoms_like, isolet_like, EmgParams, HyperOmsParams, IsoletParams,
+};
+use hdc_datasets::Dataset;
+
+const DIM: usize = 1024;
+
+fn isolet() -> Dataset {
+    isolet_like(&IsoletParams {
+        classes: 8,
+        features: 96,
+        train_per_class: 20,
+        test_per_class: 12,
+        noise: 2.0,
+        seed: 0xA11,
+    })
+}
+
+fn emg() -> Dataset {
+    emg_like(&EmgParams {
+        gestures: 5,
+        channels: 4,
+        window: 32,
+        train_per_class: 10,
+        test_per_class: 5,
+        noise: 0.7,
+        phase_jitter: 0.6,
+        seed: 0xE3,
+    })
+}
+
+fn spectra() -> Dataset {
+    hyperoms_like(&HyperOmsParams {
+        library_size: 48,
+        bins: 300,
+        peaks: 20,
+        queries_per_entry: 2,
+        ..HyperOmsParams::default()
+    })
+}
+
+// ---------------------------------------------------------------------------
+// classification
+// ---------------------------------------------------------------------------
+
+#[test]
+fn classification_batched_matches_sequential() {
+    let app = ClassificationApp::new(isolet(), DIM, 3).unwrap();
+    let batched = app.run(ExecMode::Batched).unwrap();
+    let sequential = app.run(ExecMode::Sequential).unwrap();
+    assert_eq!(
+        batched.predictions, sequential.predictions,
+        "batched and sequential classification must agree"
+    );
+    assert_eq!(batched.accuracy, sequential.accuracy);
+    // The batched mode actually engaged the matrix-level kernels; the
+    // sequential oracle must not.
+    assert!(
+        batched.stats.batched_kernel_ops >= 3,
+        "two encodes + inference"
+    );
+    assert_eq!(sequential.stats.batched_kernel_ops, 0);
+}
+
+#[test]
+fn retraining_improves_test_accuracy_across_epochs() {
+    // On this seeded workload the curve is exactly [0.875, ~0.948, ~0.948]:
+    // epoch 1 (≈ one-shot bundling) leaves boundary errors that later
+    // epochs' perceptron updates correct. Everything is deterministic, so
+    // the margin (7 of 96 test samples) cannot flake.
+    let dataset = isolet();
+    let curve = ClassificationApp::epoch_sweep(&dataset, DIM, &[1, 4, 8]).unwrap();
+    assert!(
+        curve[0] < 1.0,
+        "epoch-1 accuracy {curve:?} leaves no headroom — raise dataset noise"
+    );
+    assert!(
+        curve[2] - curve[0] > 0.03,
+        "retraining must improve accuracy by a real margin: curve {curve:?}"
+    );
+    assert!(
+        curve[2] > 0.9,
+        "retrained accuracy too low on separable clusters: curve {curve:?}"
+    );
+}
+
+#[test]
+fn classification_handles_emg_windows_too() {
+    // Scenario diversity: the same app binary classifies the EMG-style
+    // windowed time series.
+    let app = ClassificationApp::new(emg(), DIM, 3).unwrap();
+    let batched = app.run(ExecMode::Batched).unwrap();
+    let sequential = app.run(ExecMode::Sequential).unwrap();
+    assert_eq!(batched.predictions, sequential.predictions);
+    assert!(
+        batched.accuracy > 0.6,
+        "EMG gesture accuracy {} too low",
+        batched.accuracy
+    );
+}
+
+// ---------------------------------------------------------------------------
+// clustering
+// ---------------------------------------------------------------------------
+
+#[test]
+fn clustering_batched_matches_sequential() {
+    let dataset = isolet_like(&IsoletParams {
+        classes: 4,
+        features: 64,
+        train_per_class: 16,
+        test_per_class: 1,
+        noise: 0.9,
+        seed: 0xC1,
+    });
+    let app = ClusteringApp::new(dataset, DIM, 3).unwrap();
+    let batched = app.run(ExecMode::Batched).unwrap();
+    let sequential = app.run(ExecMode::Sequential).unwrap();
+    assert_eq!(
+        batched.assignments, sequential.assignments,
+        "batched and sequential clustering must agree"
+    );
+    assert!(
+        batched.purity > 0.85,
+        "purity {} too low for well-separated clusters",
+        batched.purity
+    );
+    // Round structure: every assign stage batches, the update loops do not
+    // (their row writes are indexed by the assignment, not the loop index).
+    assert!(
+        batched.stats.batched_kernel_ops >= 4,
+        "encode + 3 assigns + final"
+    );
+    assert_eq!(sequential.stats.batched_kernel_ops, 0);
+}
+
+// ---------------------------------------------------------------------------
+// top-k spectral matching
+// ---------------------------------------------------------------------------
+
+#[test]
+fn matching_batched_matches_sequential() {
+    let app = MatchingApp::new(spectra(), DIM, 5).unwrap();
+    let batched = app.run(ExecMode::Batched).unwrap();
+    let sequential = app.run(ExecMode::Sequential).unwrap();
+    assert_eq!(
+        batched.candidates, sequential.candidates,
+        "batched and sequential top-k candidates must agree"
+    );
+    assert_eq!(batched.best, sequential.best);
+    assert_eq!(batched.recall_at_k, sequential.recall_at_k);
+    // The sequential oracle must be genuinely kernel-free: the all-pairs
+    // similarity and the top-k selection fall back to the dense reference
+    // paths, not just the stage loops.
+    assert_eq!(sequential.stats.batched_kernel_ops, 0);
+}
+
+#[test]
+fn matching_recovers_sources_in_top_k() {
+    let app = MatchingApp::new(spectra(), DIM, 5).unwrap();
+    let run = app.run(ExecMode::Batched).unwrap();
+    assert!(
+        run.recall_at_k > 0.9,
+        "recall@5 {} too low — queries are noisy copies of library entries",
+        run.recall_at_k
+    );
+    assert!(
+        run.recall_at_1 > 0.6,
+        "recall@1 {} too low",
+        run.recall_at_1
+    );
+    assert!(run.recall_at_k >= run.recall_at_1);
+    // Structure: k candidates per query, headed by the arg_max winner.
+    let k = app.k();
+    assert_eq!(run.candidates.len(), app.dataset().test.len() * k);
+    for (i, &best) in run.best.iter().enumerate() {
+        assert_eq!(run.candidates[i * k], best);
+    }
+}
+
+#[test]
+fn matching_top_k_runs_as_batched_selection_kernel() {
+    let app = MatchingApp::new(spectra(), DIM, 5).unwrap();
+    let run = app.run(ExecMode::Batched).unwrap();
+    // Two batched encodes + the all-pairs bit similarity + the top-k
+    // selection kernel.
+    assert!(
+        run.stats.batched_kernel_ops >= 4,
+        "expected batched encode/similarity/top-k kernels, got {}",
+        run.stats.batched_kernel_ops
+    );
+}

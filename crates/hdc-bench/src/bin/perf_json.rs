@@ -1,30 +1,35 @@
 //! `perf_json`: the machine-readable performance harness.
 //!
-//! Runs a fixed inference workload grid — dims {2048, 10240} × classes
-//! {26, 100} × dense/binarized × perforation {1.0, 0.5} — through the
-//! `hdc-runtime` executor twice per configuration: once on the per-sample
-//! sequential reference oracle and once on the batched matrix-level kernel
-//! path. Each record checks that the two paths produced identical
-//! classification outputs, then emits timing and copy-accounting data as
-//! JSON (default `BENCH_results.json`), establishing the perf-trajectory
-//! snapshot every future PR is measured against.
+//! Two workload families, each run through the `hdc-runtime` executor twice
+//! per configuration — once on the per-sample sequential reference oracle
+//! and once on the batched matrix-level kernel path — with identical
+//! outputs asserted before any timing is recorded:
 //!
-//! Usage:
+//! * the **kernel grid** (`records`): a fixed inference grid, dims
+//!   {2048, 10240} × classes {26, 100} × dense/binarized × perforation
+//!   {1.0, 0.5};
+//! * the **application suite** (`apps`): the three `hdc-apps` workloads
+//!   (classification with retraining, clustering, top-k spectral matching)
+//!   on their seeded `hdc-datasets` generators, compiled through the full
+//!   pass pipeline.
 //!
-//! ```text
-//! cargo run --release -p hdc-bench --bin perf_json              # full grid
-//! cargo run --release -p hdc-bench --bin perf_json -- --smoke   # tiny CI grid
-//! cargo run --release -p hdc-bench --bin perf_json -- --out my.json
-//! ```
+//! Results land as JSON (default `BENCH_results.json`), establishing the
+//! perf-trajectory snapshot every future PR is measured against. Run
+//! `perf_json --help` for the flag and schema reference.
 //!
 //! Exit code is non-zero if any configuration's batched outputs diverge
-//! from the sequential oracle, so wiring the smoke grid into CI keeps both
-//! the JSON emitter and the equivalence guarantee from rotting.
+//! from the sequential oracle (or a flag is unrecognized), so wiring the
+//! smoke grid into CI keeps the JSON emitter, the app suite, and the
+//! equivalence guarantee from rotting.
 
 #![forbid(unsafe_code)]
 
+use hdc_apps::{ClassificationApp, ClusteringApp, ExecMode, MatchingApp};
 use hdc_core::element::ElementKind;
 use hdc_core::prelude::*;
+use hdc_datasets::synthetic::{
+    emg_like, hyperoms_like, isolet_like, EmgParams, HyperOmsParams, IsoletParams,
+};
 use hdc_ir::builder::ProgramBuilder;
 use hdc_ir::program::{Program, ValueId};
 use hdc_ir::stage::ScorePolarity;
@@ -230,6 +235,198 @@ fn measure(cfg: Config, reps: usize) -> Record {
     }
 }
 
+// ---------------------------------------------------------------------------
+// application suite
+// ---------------------------------------------------------------------------
+
+/// One measured application workload.
+struct AppRecord {
+    app: &'static str,
+    dataset: &'static str,
+    dim: usize,
+    /// Samples the timed output covers (test samples, clustered samples, or
+    /// queries).
+    samples: usize,
+    quality_metric: &'static str,
+    quality: f64,
+    sequential_ms: f64,
+    batched_ms: f64,
+    outputs_match: bool,
+    batched_stats: ExecStats,
+    sequential_stats: ExecStats,
+}
+
+/// Time `run` in both executor modes (`reps` times each, best wall-clock),
+/// and compare outputs. `run` returns `(predictions, quality, stats)`.
+fn time_app(
+    reps: usize,
+    run: impl Fn(ExecMode) -> (Vec<usize>, f64, ExecStats),
+) -> (f64, f64, bool, f64, ExecStats, ExecStats) {
+    let mut best = [f64::INFINITY; 2];
+    let mut outputs: [Vec<usize>; 2] = [Vec::new(), Vec::new()];
+    let mut quality = 0.0;
+    let mut stats = [ExecStats::default(); 2];
+    for (slot, mode) in [ExecMode::Sequential, ExecMode::Batched]
+        .into_iter()
+        .enumerate()
+    {
+        for _ in 0..reps.max(1) {
+            let start = Instant::now();
+            let (preds, q, s) = run(mode);
+            best[slot] = best[slot].min(start.elapsed().as_secs_f64() * 1e3);
+            outputs[slot] = preds;
+            quality = q;
+            stats[slot] = s;
+        }
+    }
+    let matches = outputs[0] == outputs[1];
+    (best[0], best[1], matches, quality, stats[0], stats[1])
+}
+
+fn measure_classification(smoke: bool, reps: usize) -> AppRecord {
+    let (params, dim, epochs) = if smoke {
+        (
+            IsoletParams {
+                classes: 4,
+                features: 64,
+                train_per_class: 4,
+                test_per_class: 2,
+                noise: 1.5,
+                seed: 0xA11,
+            },
+            256,
+            2,
+        )
+    } else {
+        (IsoletParams::default(), 2048, 3)
+    };
+    let dataset = isolet_like(&params);
+    let samples = dataset.test.len();
+    let app = ClassificationApp::new(dataset, dim, epochs).expect("app compiles");
+    let (sequential_ms, batched_ms, outputs_match, quality, sequential_stats, batched_stats) =
+        time_app(reps, |mode| {
+            let run = app.run(mode).expect("classification executes");
+            (run.predictions, run.accuracy, run.stats)
+        });
+    AppRecord {
+        app: "classification_retrain",
+        dataset: "isolet-like",
+        dim,
+        samples,
+        quality_metric: "test_accuracy",
+        quality,
+        sequential_ms,
+        batched_ms,
+        outputs_match,
+        batched_stats,
+        sequential_stats,
+    }
+}
+
+fn measure_clustering(smoke: bool, reps: usize) -> AppRecord {
+    let (params, dim, rounds) = if smoke {
+        (
+            EmgParams {
+                gestures: 3,
+                channels: 2,
+                window: 16,
+                train_per_class: 6,
+                test_per_class: 1,
+                noise: 0.5,
+                phase_jitter: 0.5,
+                seed: 0xC1,
+            },
+            256,
+            2,
+        )
+    } else {
+        (
+            EmgParams {
+                gestures: 8,
+                channels: 4,
+                window: 64,
+                train_per_class: 24,
+                test_per_class: 1,
+                noise: 0.6,
+                phase_jitter: 0.5,
+                seed: 0xC1,
+            },
+            2048,
+            3,
+        )
+    };
+    let dataset = emg_like(&params);
+    let samples = dataset.train.len();
+    let app = ClusteringApp::new(dataset, dim, rounds).expect("app compiles");
+    let (sequential_ms, batched_ms, outputs_match, quality, sequential_stats, batched_stats) =
+        time_app(reps, |mode| {
+            let run = app.run(mode).expect("clustering executes");
+            (run.assignments, run.purity, run.stats)
+        });
+    AppRecord {
+        app: "clustering",
+        dataset: "emg-like",
+        dim,
+        samples,
+        quality_metric: "purity",
+        quality,
+        sequential_ms,
+        batched_ms,
+        outputs_match,
+        batched_stats,
+        sequential_stats,
+    }
+}
+
+fn measure_matching(smoke: bool, reps: usize) -> AppRecord {
+    let (params, dim, k) = if smoke {
+        (
+            HyperOmsParams {
+                library_size: 16,
+                bins: 80,
+                peaks: 8,
+                queries_per_entry: 1,
+                ..HyperOmsParams::default()
+            },
+            256,
+            3,
+        )
+    } else {
+        (
+            HyperOmsParams {
+                library_size: 256,
+                bins: 400,
+                peaks: 24,
+                queries_per_entry: 2,
+                ..HyperOmsParams::default()
+            },
+            2048,
+            10,
+        )
+    };
+    let dataset = hyperoms_like(&params);
+    let samples = dataset.test.len();
+    let app = MatchingApp::new(dataset, dim, k).expect("app compiles");
+    let (sequential_ms, batched_ms, outputs_match, quality, sequential_stats, batched_stats) =
+        time_app(reps, |mode| {
+            let run = app.run(mode).expect("matching executes");
+            (run.candidates, run.recall_at_k, run.stats)
+        });
+    AppRecord {
+        app: "spectral_matching_topk",
+        dataset: "hyperoms-like",
+        dim,
+        samples,
+        quality_metric: "recall_at_k",
+        quality,
+        sequential_ms,
+        batched_ms,
+        outputs_match,
+        batched_stats,
+        sequential_stats,
+    }
+}
+
 fn json_escape_free(s: &str) -> &str {
     // All strings we emit are static identifiers; assert rather than escape.
     assert!(
@@ -275,37 +472,153 @@ fn record_json(r: &Record) -> String {
     )
 }
 
-fn emit_json(records: &[Record], smoke: bool) -> String {
+fn app_json(r: &AppRecord) -> String {
+    let speedup = r.sequential_ms / r.batched_ms;
+    format!(
+        concat!(
+            "    {{\n",
+            "      \"app\": \"{}\",\n",
+            "      \"dataset\": \"{}\",\n",
+            "      \"dim\": {},\n",
+            "      \"samples\": {},\n",
+            "      \"quality_metric\": \"{}\",\n",
+            "      \"quality\": {:.4},\n",
+            "      \"sequential_ms\": {:.3},\n",
+            "      \"batched_ms\": {:.3},\n",
+            "      \"speedup\": {:.2},\n",
+            "      \"outputs_match\": {},\n",
+            "      \"sequential_tensor_bytes_copied\": {},\n",
+            "      \"batched_tensor_bytes_copied\": {},\n",
+            "      \"batched_kernel_ops\": {}\n",
+            "    }}"
+        ),
+        json_escape_free(r.app),
+        json_escape_free(r.dataset),
+        r.dim,
+        r.samples,
+        json_escape_free(r.quality_metric),
+        r.quality,
+        r.sequential_ms,
+        r.batched_ms,
+        speedup,
+        r.outputs_match,
+        r.sequential_stats.tensor_bytes_copied,
+        r.batched_stats.tensor_bytes_copied,
+        r.batched_stats.batched_kernel_ops,
+    )
+}
+
+fn emit_json(records: &[Record], apps: &[AppRecord], smoke: bool) -> String {
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
     let rows: Vec<String> = records.iter().map(record_json).collect();
+    let app_rows: Vec<String> = apps.iter().map(app_json).collect();
     format!(
         concat!(
             "{{\n",
-            "  \"schema\": \"hdc-bench/perf_json/v1\",\n",
+            "  \"schema\": \"hdc-bench/perf_json/v2\",\n",
             "  \"workload\": \"batched_inference_vs_sequential\",\n",
             "  \"grid\": \"{}\",\n",
             "  \"cores\": {},\n",
             "  \"command\": \"cargo run --release -p hdc-bench --bin perf_json\",\n",
-            "  \"records\": [\n{}\n  ]\n",
+            "  \"records\": [\n{}\n  ],\n",
+            "  \"apps\": [\n{}\n  ]\n",
             "}}\n"
         ),
         if smoke { "smoke" } else { "full" },
         cores,
-        rows.join(",\n")
+        rows.join(",\n"),
+        app_rows.join(",\n")
     )
 }
 
+const HELP: &str = "\
+perf_json — the hpvm-hdc machine-readable performance harness
+
+Runs the fixed inference kernel grid (dims {2048, 10240} x classes {26, 100}
+x dense/binarized x perforation {1.0, 0.5}) and the three hdc-apps workloads
+(classification with retraining, clustering, top-k spectral matching), each
+once on the sequential reference oracle (per-sample stage loops, dense
+reference reductions, per-row selection) and once on the batched kernel
+path, asserting identical outputs before recording timings.
+
+USAGE:
+    cargo run --release -p hdc-bench --bin perf_json [-- OPTIONS]
+
+OPTIONS:
+    --smoke        Run the tiny CI grid instead of the full grid: 256-dim
+                   kernels and miniature app datasets, one rep. Finishes in
+                   seconds; used by the CI workflow.
+    --out <PATH>   Write the JSON report to PATH (default:
+                   BENCH_results.json).
+    -h, --help     Print this help and exit.
+
+OUTPUT (schema \"hdc-bench/perf_json/v2\"):
+    {
+      \"schema\": \"hdc-bench/perf_json/v2\",
+      \"grid\": \"full\" | \"smoke\",
+      \"cores\": <host cores>,
+      \"records\": [  // kernel grid, one object per configuration
+        { \"dim\", \"classes\", \"queries\",       // workload shape
+          \"representation\", \"metric\",         // binarized+hamming | dense+cosine
+          \"perforation_fraction\",             // red_perf visit fraction
+          \"sequential_ms\", \"batched_ms\", \"speedup\",
+          \"outputs_match\",                    // batched == sequential labels
+          \"sequential_tensor_bytes_copied\", \"batched_tensor_bytes_copied\",
+          \"batched_kernel_ops\" } ],
+      \"apps\": [     // application suite, one object per app
+        { \"app\", \"dataset\", \"dim\", \"samples\",
+          \"quality_metric\", \"quality\",        // accuracy / purity / recall@k
+          \"sequential_ms\", \"batched_ms\", \"speedup\", \"outputs_match\",
+          \"sequential_tensor_bytes_copied\", \"batched_tensor_bytes_copied\",
+          \"batched_kernel_ops\" } ]
+    }
+
+Exit status: 0 on success, 1 if any batched output diverged from the
+sequential oracle, 2 on a usage error.";
+
+struct Args {
+    smoke: bool,
+    out_path: String,
+}
+
+/// Parse flags strictly: unknown flags are an error (exit 2), not silently
+/// ignored.
+fn parse_args(args: &[String]) -> std::result::Result<Args, String> {
+    let mut smoke = false;
+    let mut out_path = "BENCH_results.json".to_string();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => {
+                out_path = it
+                    .next()
+                    .ok_or_else(|| "--out requires a path argument".to_string())?
+                    .clone();
+            }
+            "--help" | "-h" => {
+                println!("{HELP}");
+                std::process::exit(0);
+            }
+            other => {
+                return Err(format!(
+                    "unrecognized argument `{other}` (run with --help for usage)"
+                ))
+            }
+        }
+    }
+    Ok(Args { smoke, out_path })
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let smoke = args.iter().any(|a| a == "--smoke");
-    let out_path = args
-        .iter()
-        .position(|a| a == "--out")
-        .and_then(|i| args.get(i + 1))
-        .cloned()
-        .unwrap_or_else(|| "BENCH_results.json".to_string());
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let args = parse_args(&raw).unwrap_or_else(|msg| {
+        eprintln!("error: {msg}");
+        std::process::exit(2);
+    });
+    let smoke = args.smoke;
     let reps = if smoke { 1 } else { 2 };
     let grid = if smoke { smoke_grid() } else { full_grid() };
 
@@ -337,9 +650,38 @@ fn main() {
         records.push(record);
     }
 
-    let json = emit_json(&records, smoke);
-    std::fs::write(&out_path, json).expect("write results file");
-    println!("\nwrote {out_path}");
+    println!(
+        "\n{:>24} {:>14} {:>6} {:>14} {:>12} {:>8} {:>16}  match",
+        "app", "dataset", "dim", "sequential_ms", "batched_ms", "speedup", "quality"
+    );
+    let apps = vec![
+        measure_classification(smoke, reps),
+        measure_clustering(smoke, reps),
+        measure_matching(smoke, reps),
+    ];
+    for record in &apps {
+        all_match &= record.outputs_match;
+        println!(
+            "{:>24} {:>14} {:>6} {:>14.3} {:>12.3} {:>7.2}x {:>12}={:.3}  {}",
+            record.app,
+            record.dataset,
+            record.dim,
+            record.sequential_ms,
+            record.batched_ms,
+            record.sequential_ms / record.batched_ms,
+            record.quality_metric,
+            record.quality,
+            if record.outputs_match {
+                "ok"
+            } else {
+                "MISMATCH"
+            }
+        );
+    }
+
+    let json = emit_json(&records, &apps, smoke);
+    std::fs::write(&args.out_path, json).expect("write results file");
+    println!("\nwrote {}", args.out_path);
     if !all_match {
         eprintln!("error: batched outputs diverged from the sequential oracle");
         std::process::exit(1);

@@ -223,6 +223,46 @@ pub fn hamming_distance_batch_dense<T: Element>(
     HyperMatrix::from_rows(rows)
 }
 
+/// Per-row top-`k` selection over a score matrix (one row of scores per
+/// query), flattened row-major: entry `q * k + j` is the index of query
+/// `q`'s `j`-th best (largest) score. This is the batched form of
+/// [`crate::ops::arg_top_k`] used by `arg_top_k` on hypermatrix operands —
+/// spectral matching scores a whole query batch against a library in one
+/// all-pairs similarity call and then selects every row's top matches here.
+///
+/// Selection per row is exactly [`crate::ops::arg_top_k`] (descending score,
+/// ties to the lower index), so the batched result is bit-identical to
+/// looping the per-sample kernel. Rows are processed through the rayon
+/// compat layer.
+///
+/// # Errors
+///
+/// Returns an invalid-input error when `k` is zero or exceeds the number of
+/// score columns (a top-k past the candidate count is a program bug, not a
+/// clamp).
+pub fn arg_top_k_batch<T: Element>(scores: &HyperMatrix<T>, k: usize) -> Result<Vec<usize>> {
+    if k == 0 || k > scores.cols() {
+        return Err(HdcError::IndexOutOfBounds {
+            index: k,
+            len: scores.cols(),
+        });
+    }
+    let rows: Vec<&[T]> = scores.iter_rows().collect();
+    let picked: Vec<Vec<usize>> = rows
+        .into_par_iter()
+        .map(|row| crate::ops::arg_top_k(row, k))
+        .collect();
+    // arg_top_k skips incomparable (NaN) scores; a short row would make the
+    // flattened row-major layout ragged, so reject it explicitly.
+    if let Some(short) = picked.iter().find(|p| p.len() < k) {
+        return Err(HdcError::IndexOutOfBounds {
+            index: k,
+            len: short.len(),
+        });
+    }
+    Ok(picked.into_iter().flatten().collect())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -327,6 +367,36 @@ mod tests {
         let c = BitMatrix::from_rows(vec![BitVector::zeros(0)]).unwrap();
         let out = hamming_distance_batch(&q, &c, Perforation::NONE).unwrap();
         assert_eq!(out.rows(), 0);
+    }
+
+    #[test]
+    fn top_k_batch_matches_per_row_selection() {
+        let mut rng = HdcRng::seed_from_u64(0x0709);
+        let scores: HyperMatrix<f64> = random::gaussian_hypermatrix(9, 23, &mut rng);
+        for k in [1, 3, 23] {
+            let flat = arg_top_k_batch(&scores, k).unwrap();
+            assert_eq!(flat.len(), 9 * k);
+            for r in 0..9 {
+                let expect = crate::ops::arg_top_k(scores.row(r).unwrap(), k);
+                assert_eq!(
+                    &flat[r * k..(r + 1) * k],
+                    expect.as_slice(),
+                    "row {r} k {k}"
+                );
+            }
+        }
+        // k = 1 agrees with per-row arg_max.
+        assert_eq!(
+            arg_top_k_batch(&scores, 1).unwrap(),
+            crate::ops::arg_max_rows(&scores)
+        );
+    }
+
+    #[test]
+    fn top_k_batch_rejects_bad_k() {
+        let scores = HyperMatrix::<f64>::zeros(2, 4);
+        assert!(arg_top_k_batch(&scores, 0).is_err());
+        assert!(arg_top_k_batch(&scores, 5).is_err());
     }
 
     #[test]

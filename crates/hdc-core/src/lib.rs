@@ -53,7 +53,9 @@ pub mod perforation;
 pub mod random;
 pub mod similarity;
 
-pub use batch::{cosine_similarity_batch, hamming_distance_batch, hamming_distance_batch_dense};
+pub use batch::{
+    arg_top_k_batch, cosine_similarity_batch, hamming_distance_batch, hamming_distance_batch_dense,
+};
 pub use binary::{BitMatrix, BitVector};
 pub use element::Element;
 pub use error::{HdcError, Result};
@@ -65,7 +67,8 @@ pub use random::HdcRng;
 /// Commonly used items, for glob import in examples and applications.
 pub mod prelude {
     pub use crate::batch::{
-        cosine_similarity_batch, hamming_distance_batch, hamming_distance_batch_dense,
+        arg_top_k_batch, cosine_similarity_batch, hamming_distance_batch,
+        hamming_distance_batch_dense,
     };
     pub use crate::binary::{BitMatrix, BitVector};
     pub use crate::element::Element;
@@ -75,7 +78,7 @@ pub mod prelude {
     pub use crate::error::{HdcError, Result};
     pub use crate::hypermatrix::HyperMatrix;
     pub use crate::hypervector::HyperVector;
-    pub use crate::ops::{arg_max, arg_min};
+    pub use crate::ops::{arg_max, arg_min, arg_top_k};
     pub use crate::perforation::Perforation;
     pub use crate::random::HdcRng;
     pub use crate::similarity::{

@@ -151,6 +151,31 @@ pub fn arg_max<T: PartialOrd + Copy>(values: &[T]) -> Option<usize> {
     best.map(|(i, _)| i)
 }
 
+/// Indices of the `k` largest elements of a slice (`arg_top_k`), in
+/// descending score order. Ties resolve to the lower index, and incomparable
+/// values (NaN) are skipped, matching [`arg_max`]. When fewer than `k`
+/// comparable elements exist, all of them are returned (the result may be
+/// shorter than `k`).
+///
+/// Scores that are distances (lower is better) should be negated (or
+/// `sign_flip`ped) before selection, exactly as `arg_min` relates to
+/// `arg_max`.
+pub fn arg_top_k<T: PartialOrd + Copy>(values: &[T], k: usize) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..values.len())
+        .filter(|&i| values[i].partial_cmp(&values[i]).is_some())
+        .collect();
+    // Sort by (score descending, index ascending): a total, deterministic
+    // order, so batched and per-sample selection agree bit-for-bit.
+    order.sort_by(|&a, &b| {
+        values[b]
+            .partial_cmp(&values[a])
+            .expect("incomparable values filtered above")
+            .then(a.cmp(&b))
+    });
+    order.truncate(k);
+    order
+}
+
 /// Per-row `arg_min` of a hypermatrix, as used by batched inference.
 pub fn arg_min_rows<T: Element>(matrix: &HyperMatrix<T>) -> Vec<usize> {
     matrix
@@ -218,6 +243,23 @@ mod tests {
     fn arg_min_skips_nan() {
         let v = [f32::NAN, 2.0, 1.0];
         assert_eq!(arg_min(&v), Some(2));
+    }
+
+    #[test]
+    fn arg_top_k_orders_and_breaks_ties_deterministically() {
+        let v = [0.5f64, 2.0, 1.0, 2.0, -3.0];
+        assert_eq!(arg_top_k(&v, 3), vec![1, 3, 2]);
+        // k = 1 agrees with arg_max; ties resolve to the first occurrence.
+        assert_eq!(arg_top_k(&v, 1), vec![arg_max(&v).unwrap()]);
+        // Requesting more than available returns everything, sorted.
+        assert_eq!(arg_top_k(&v, 10), vec![1, 3, 2, 0, 4]);
+        assert_eq!(arg_top_k::<f64>(&[], 3), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn arg_top_k_skips_nan() {
+        let v = [f64::NAN, 2.0, 3.0];
+        assert_eq!(arg_top_k(&v, 2), vec![2, 1]);
     }
 
     #[test]

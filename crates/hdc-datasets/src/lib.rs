@@ -1,0 +1,206 @@
+//! # hdc-datasets
+//!
+//! Reproducible synthetic workloads for the HPVM-HDC application suite.
+//!
+//! The paper evaluates its compiler on a suite of HDC applications driven by
+//! real datasets (ISOLET speech features, EMG gesture windows, HyperOMS mass
+//! spectra). The build environment for this reproduction is offline, so this
+//! crate generates *statistically analogous* workloads from seeded RNG:
+//! every generator is deterministic given its parameter struct, and the
+//! parameters encode the structure that makes the workload interesting
+//! (class separation vs. noise, temporal structure, spectral sparsity).
+//!
+//! All generators return the same shape of data, a [`Dataset`]:
+//!
+//! * [`synthetic::isolet_like`] — Gaussian class clusters in feature space
+//!   (ISOLET-style classification: separable but noisy; nearest-centroid is
+//!   good, not perfect, leaving headroom for retraining to close).
+//! * [`synthetic::emg_like`] — windowed multi-channel time series
+//!   (EMG-style gesture recognition: each class is a set of per-channel
+//!   oscillation parameters; samples are flattened windows cut at random
+//!   phases).
+//! * [`synthetic::hyperoms_like`] — sparse non-negative spectra
+//!   (HyperOMS-style spectral library search: `train` is the library,
+//!   `test` holds noisy re-measurements; each test label names the library
+//!   entry it was derived from, which top-k matching should recover).
+//!
+//! # Example
+//!
+//! ```
+//! use hdc_datasets::synthetic::{isolet_like, IsoletParams};
+//!
+//! let ds = isolet_like(&IsoletParams::default());
+//! assert_eq!(ds.train.features.cols(), ds.meta.features);
+//! assert_eq!(ds.train.labels.len(), ds.train.features.rows());
+//! assert!(ds.train.labels.iter().all(|&l| l < ds.meta.classes));
+//! // Deterministic: the same parameters regenerate the same data.
+//! assert_eq!(ds.train.features, isolet_like(&IsoletParams::default()).train.features);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use hdc_core::HyperMatrix;
+
+pub mod synthetic;
+
+/// One labelled split of a dataset: a feature matrix (one sample per row)
+/// plus a ground-truth label per row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Split {
+    /// Sample features, one row per sample.
+    pub features: HyperMatrix<f64>,
+    /// Ground-truth labels, `labels[i]` for row `i`. For classification
+    /// workloads these are class indices; for spectral matching they index
+    /// the library entry the sample was derived from.
+    pub labels: Vec<usize>,
+}
+
+impl Split {
+    /// Number of samples in the split.
+    pub fn len(&self) -> usize {
+        self.features.rows()
+    }
+
+    /// Whether the split holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.features.rows() == 0
+    }
+}
+
+/// Descriptive metadata attached to a generated dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetMeta {
+    /// Workload name (`"isolet-like"`, `"emg-like"`, `"hyperoms-like"`).
+    pub name: &'static str,
+    /// Number of distinct labels (classes, gestures, or library entries).
+    pub classes: usize,
+    /// Feature-vector length (columns of the feature matrices).
+    pub features: usize,
+    /// The RNG seed the data was generated from.
+    pub seed: u64,
+}
+
+/// A generated workload: train and test splits plus metadata.
+///
+/// The contract every generator upholds:
+///
+/// * `train.features.cols() == test.features.cols() == meta.features`
+/// * every label is `< meta.classes`
+/// * regeneration with identical parameters reproduces the data exactly
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    /// Training split (for spectral matching: the reference library).
+    pub train: Split,
+    /// Held-out test split (for spectral matching: the noisy queries).
+    pub test: Split,
+    /// Workload metadata.
+    pub meta: DatasetMeta,
+}
+
+impl Dataset {
+    /// Fraction of `predictions` equal to the test-split ground truth —
+    /// the accuracy metric every classification app reports.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `predictions` and the test split differ in length.
+    pub fn test_accuracy(&self, predictions: &[usize]) -> f64 {
+        assert_eq!(
+            predictions.len(),
+            self.test.labels.len(),
+            "one prediction per test sample"
+        );
+        if predictions.is_empty() {
+            return 0.0;
+        }
+        let hits = predictions
+            .iter()
+            .zip(&self.test.labels)
+            .filter(|(p, t)| p == t)
+            .count();
+        hits as f64 / predictions.len() as f64
+    }
+
+    /// Fraction of test samples whose ground-truth label appears in their
+    /// top-`k` candidate list (`recall@k`). `flat_top_k` is the flattened
+    /// row-major layout `arg_top_k` produces: sample `i`'s candidates at
+    /// `[i*k, (i+1)*k)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flat_top_k` is not exactly `test.len() * k` entries.
+    pub fn test_recall_at_k(&self, flat_top_k: &[usize], k: usize) -> f64 {
+        assert_eq!(
+            flat_top_k.len(),
+            self.test.labels.len() * k,
+            "k candidates per test sample"
+        );
+        if self.test.labels.is_empty() {
+            return 0.0;
+        }
+        let hits = self
+            .test
+            .labels
+            .iter()
+            .enumerate()
+            .filter(|(i, truth)| flat_top_k[i * k..(i + 1) * k].contains(truth))
+            .count();
+        hits as f64 / self.test.labels.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Dataset {
+        Dataset {
+            train: Split {
+                features: HyperMatrix::zeros(2, 3),
+                labels: vec![0, 1],
+            },
+            test: Split {
+                features: HyperMatrix::zeros(4, 3),
+                labels: vec![0, 1, 1, 0],
+            },
+            meta: DatasetMeta {
+                name: "tiny",
+                classes: 2,
+                features: 3,
+                seed: 0,
+            },
+        }
+    }
+
+    #[test]
+    fn accuracy_counts_hits() {
+        let ds = tiny();
+        assert_eq!(ds.test_accuracy(&[0, 1, 1, 0]), 1.0);
+        assert_eq!(ds.test_accuracy(&[0, 1, 0, 1]), 0.5);
+        assert_eq!(ds.test_accuracy(&[1, 0, 0, 1]), 0.0);
+    }
+
+    #[test]
+    fn recall_at_k_scans_candidate_lists() {
+        let ds = tiny();
+        // k = 2: truth in either slot counts. Truths are [0, 1, 1, 0].
+        assert_eq!(ds.test_recall_at_k(&[0, 1, 0, 1, 0, 1, 0, 1], 2), 1.0);
+        assert_eq!(ds.test_recall_at_k(&[0, 0, 0, 0, 0, 0, 0, 0], 2), 0.5);
+        assert_eq!(ds.test_recall_at_k(&[1, 1, 0, 0, 0, 0, 1, 1], 2), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "one prediction per test sample")]
+    fn accuracy_rejects_length_mismatch() {
+        tiny().test_accuracy(&[0]);
+    }
+
+    #[test]
+    fn split_len() {
+        let ds = tiny();
+        assert_eq!(ds.train.len(), 2);
+        assert_eq!(ds.test.len(), 4);
+        assert!(!ds.train.is_empty());
+    }
+}

@@ -1,0 +1,457 @@
+//! Seeded synthetic workload generators.
+//!
+//! Each generator mirrors the *structure* of one of the paper's evaluation
+//! datasets — what makes the workload easy or hard for an HDC pipeline —
+//! without shipping the data itself: Gaussian class clusters for ISOLET-style
+//! classification, parameterized oscillations for EMG-style gesture windows,
+//! and sparse peak lists for HyperOMS-style spectral matching. Everything is
+//! derived from the seed in the parameter struct, so two calls with equal
+//! parameters return identical [`Dataset`]s on every platform.
+
+use crate::{Dataset, DatasetMeta, Split};
+use hdc_core::{HdcRng, HyperMatrix, HyperVector};
+use rand::{Rng, SeedableRng};
+use rand_distr::{Distribution, StandardNormal};
+
+/// Parameters for [`isolet_like`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IsoletParams {
+    /// Number of classes (ISOLET: 26 spoken letters).
+    pub classes: usize,
+    /// Feature-vector length (ISOLET: 617 acoustic features).
+    pub features: usize,
+    /// Training samples generated per class.
+    pub train_per_class: usize,
+    /// Test samples generated per class.
+    pub test_per_class: usize,
+    /// Standard deviation of the per-sample Gaussian noise added to the
+    /// unit-variance class centroid. Around `2.0` the classes overlap
+    /// enough that one-shot bundling mispredicts and retraining has signal
+    /// to learn from; below `1.0` the task is nearly trivial.
+    pub noise: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for IsoletParams {
+    fn default() -> Self {
+        IsoletParams {
+            classes: 26,
+            features: 617,
+            train_per_class: 8,
+            test_per_class: 4,
+            noise: 2.0,
+            seed: 0x150_1e7,
+        }
+    }
+}
+
+/// ISOLET-like classification: each class is a Gaussian cluster.
+///
+/// Class centroids are standard-normal vectors; every sample is its class
+/// centroid plus `noise`-scaled Gaussian noise. Samples are emitted in
+/// round-robin class order (`0, 1, …, classes-1, 0, …`) so sequential
+/// training sees an interleaved label stream rather than one class at a
+/// time.
+pub fn isolet_like(params: &IsoletParams) -> Dataset {
+    let mut rng = HdcRng::seed_from_u64(params.seed);
+    let centroids: Vec<HyperVector<f64>> = (0..params.classes)
+        .map(|_| gaussian_vector(params.features, &mut rng))
+        .collect();
+    let draw_split = |per_class: usize, rng: &mut HdcRng| -> Split {
+        let mut rows = Vec::with_capacity(per_class * params.classes);
+        let mut labels = Vec::with_capacity(per_class * params.classes);
+        for _ in 0..per_class {
+            for (class, centroid) in centroids.iter().enumerate() {
+                let noise = gaussian_vector(params.features, rng);
+                let sample = centroid
+                    .zip_with(&noise, |c, n| c + params.noise * n)
+                    .expect("matching dimensions by construction");
+                rows.push(sample);
+                labels.push(class);
+            }
+        }
+        Split {
+            features: HyperMatrix::from_rows(rows).expect("equal row dims"),
+            labels,
+        }
+    };
+    let train = draw_split(params.train_per_class, &mut rng);
+    let test = draw_split(params.test_per_class, &mut rng);
+    Dataset {
+        train,
+        test,
+        meta: DatasetMeta {
+            name: "isolet-like",
+            classes: params.classes,
+            features: params.features,
+            seed: params.seed,
+        },
+    }
+}
+
+/// Parameters for [`emg_like`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EmgParams {
+    /// Number of gesture classes.
+    pub gestures: usize,
+    /// Number of EMG electrode channels.
+    pub channels: usize,
+    /// Timesteps per window; the feature vector flattens
+    /// `channels * window` samples.
+    pub window: usize,
+    /// Training windows generated per gesture.
+    pub train_per_class: usize,
+    /// Test windows generated per gesture.
+    pub test_per_class: usize,
+    /// Standard deviation of the additive measurement noise (signal
+    /// amplitudes are in `[0.5, 1.5]`).
+    pub noise: f64,
+    /// Maximum random phase offset (radians) at which a window is cut.
+    /// Segmented gesture data is roughly onset-aligned, so the default is a
+    /// small jitter; `std::f64::consts::TAU` makes windows fully
+    /// phase-random (much harder — phase-sensitive encodings then carry no
+    /// class signal).
+    pub phase_jitter: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for EmgParams {
+    fn default() -> Self {
+        EmgParams {
+            gestures: 5,
+            channels: 4,
+            window: 64,
+            train_per_class: 12,
+            test_per_class: 6,
+            noise: 0.8,
+            phase_jitter: 0.5,
+            seed: 0xE36,
+        }
+    }
+}
+
+/// EMG-like gesture windows: multi-channel oscillations cut near onset.
+///
+/// Each gesture assigns every channel an amplitude, frequency and phase;
+/// a window sample is the flattened `channels x window` signal evaluated
+/// from a random start offset within `phase_jitter` radians of onset, with
+/// additive Gaussian noise. Unlike [`isolet_like`] the intra-class
+/// variation is *structured* (phase shift plus noise), which is exactly
+/// what wrap-shift-tolerant HDC encodings are built for.
+pub fn emg_like(params: &EmgParams) -> Dataset {
+    let features = params.channels * params.window;
+    let mut rng = HdcRng::seed_from_u64(params.seed);
+    // Per-gesture, per-channel oscillation parameters.
+    struct ChannelWave {
+        amplitude: f64,
+        frequency: f64,
+        phase: f64,
+    }
+    let profiles: Vec<Vec<ChannelWave>> = (0..params.gestures)
+        .map(|_| {
+            (0..params.channels)
+                .map(|_| ChannelWave {
+                    amplitude: rng.gen_range(0.5..=1.5),
+                    frequency: rng.gen_range(1.0..=8.0),
+                    phase: rng.gen_range(0.0..=std::f64::consts::TAU),
+                })
+                .collect()
+        })
+        .collect();
+    let window = params.window;
+    let draw_split = |per_class: usize, rng: &mut HdcRng| -> Split {
+        let mut rows = Vec::with_capacity(per_class * params.gestures);
+        let mut labels = Vec::with_capacity(per_class * params.gestures);
+        for _ in 0..per_class {
+            for (gesture, profile) in profiles.iter().enumerate() {
+                let start = rng.gen_range(0.0..=params.phase_jitter.max(f64::MIN_POSITIVE));
+                let mut row = Vec::with_capacity(features);
+                for wave in profile {
+                    for t in 0..window {
+                        let angle =
+                            start + wave.phase + wave.frequency * (t as f64 / window as f64);
+                        let n: f64 = StandardNormal.sample(rng);
+                        row.push(wave.amplitude * angle.sin() + params.noise * n);
+                    }
+                }
+                rows.push(HyperVector::from_vec(row));
+                labels.push(gesture);
+            }
+        }
+        Split {
+            features: HyperMatrix::from_rows(rows).expect("equal row dims"),
+            labels,
+        }
+    };
+    let train = draw_split(params.train_per_class, &mut rng);
+    let test = draw_split(params.test_per_class, &mut rng);
+    Dataset {
+        train,
+        test,
+        meta: DatasetMeta {
+            name: "emg-like",
+            classes: params.gestures,
+            features,
+            seed: params.seed,
+        },
+    }
+}
+
+/// Parameters for [`hyperoms_like`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HyperOmsParams {
+    /// Number of reference spectra in the library (= number of labels).
+    pub library_size: usize,
+    /// Number of m/z bins per spectrum (the feature length).
+    pub bins: usize,
+    /// Peaks per library spectrum (spectra are sparse:
+    /// `peaks / bins` is the fill fraction).
+    pub peaks: usize,
+    /// Noisy query spectra generated per library entry.
+    pub queries_per_entry: usize,
+    /// Multiplicative intensity jitter applied to every surviving query
+    /// peak (`1 ± jitter`).
+    pub intensity_jitter: f64,
+    /// Probability that a query drops each library peak.
+    pub dropout: f64,
+    /// Spurious peaks added to each query at random bins.
+    pub spurious_peaks: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for HyperOmsParams {
+    fn default() -> Self {
+        HyperOmsParams {
+            library_size: 64,
+            bins: 400,
+            peaks: 24,
+            queries_per_entry: 2,
+            intensity_jitter: 0.3,
+            dropout: 0.15,
+            spurious_peaks: 4,
+            seed: 0x0515,
+        }
+    }
+}
+
+/// HyperOMS-like spectral matching: a sparse reference library plus noisy
+/// re-measurements.
+///
+/// `train` holds the library — each row a sparse non-negative spectrum
+/// (random peak bins with intensities in `[0.2, 1.0]`), labelled by its own
+/// index. `test` holds `queries_per_entry` derived queries per entry: peaks
+/// survive with probability `1 - dropout`, surviving intensities are
+/// jittered, and `spurious_peaks` extra peaks contaminate random bins. The
+/// matching task is to recover each query's source entry within its top-k
+/// candidates.
+pub fn hyperoms_like(params: &HyperOmsParams) -> Dataset {
+    assert!(
+        params.peaks <= params.bins,
+        "cannot place {} peaks in {} bins",
+        params.peaks,
+        params.bins
+    );
+    let mut rng = HdcRng::seed_from_u64(params.seed);
+    // Library: peak positions are drawn without replacement per spectrum.
+    let mut library_rows = Vec::with_capacity(params.library_size);
+    let mut library_peaks: Vec<Vec<(usize, f64)>> = Vec::with_capacity(params.library_size);
+    for _ in 0..params.library_size {
+        let mut positions = Vec::with_capacity(params.peaks);
+        while positions.len() < params.peaks {
+            let bin = rng.gen_range(0..params.bins);
+            if !positions.contains(&bin) {
+                positions.push(bin);
+            }
+        }
+        let peaks: Vec<(usize, f64)> = positions
+            .into_iter()
+            .map(|bin| (bin, rng.gen_range(0.2..=1.0)))
+            .collect();
+        let mut row = vec![0.0; params.bins];
+        for &(bin, intensity) in &peaks {
+            row[bin] = intensity;
+        }
+        library_rows.push(HyperVector::from_vec(row));
+        library_peaks.push(peaks);
+    }
+    let train = Split {
+        features: HyperMatrix::from_rows(library_rows).expect("equal row dims"),
+        labels: (0..params.library_size).collect(),
+    };
+    // Queries: noisy copies, interleaved over the library.
+    let mut query_rows = Vec::with_capacity(params.library_size * params.queries_per_entry);
+    let mut query_labels = Vec::with_capacity(query_rows.capacity());
+    for _ in 0..params.queries_per_entry {
+        for (entry, peaks) in library_peaks.iter().enumerate() {
+            let mut row = vec![0.0; params.bins];
+            for &(bin, intensity) in peaks {
+                if rng.gen_bool(1.0 - params.dropout) {
+                    let jitter = rng
+                        .gen_range(1.0 - params.intensity_jitter..=1.0 + params.intensity_jitter);
+                    row[bin] = (intensity * jitter).max(0.0);
+                }
+            }
+            for _ in 0..params.spurious_peaks {
+                let bin = rng.gen_range(0..params.bins);
+                row[bin] = rng.gen_range(0.2..=1.0);
+            }
+            query_rows.push(HyperVector::from_vec(row));
+            query_labels.push(entry);
+        }
+    }
+    let test = Split {
+        features: HyperMatrix::from_rows(query_rows).expect("equal row dims"),
+        labels: query_labels,
+    };
+    Dataset {
+        train,
+        test,
+        meta: DatasetMeta {
+            name: "hyperoms-like",
+            classes: params.library_size,
+            features: params.bins,
+            seed: params.seed,
+        },
+    }
+}
+
+fn gaussian_vector(dim: usize, rng: &mut HdcRng) -> HyperVector<f64> {
+    HyperVector::from_fn(dim, |_| StandardNormal.sample(rng))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_isolet() -> IsoletParams {
+        IsoletParams {
+            classes: 6,
+            features: 40,
+            train_per_class: 5,
+            test_per_class: 3,
+            noise: 1.0,
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn isolet_shapes_and_determinism() {
+        let p = small_isolet();
+        let ds = isolet_like(&p);
+        assert_eq!(ds.train.features.rows(), 30);
+        assert_eq!(ds.test.features.rows(), 18);
+        assert_eq!(ds.train.features.cols(), 40);
+        assert_eq!(ds.meta.classes, 6);
+        assert!(ds.train.labels.iter().all(|&l| l < 6));
+        // Labels interleave classes round-robin.
+        assert_eq!(&ds.train.labels[..6], &[0, 1, 2, 3, 4, 5]);
+        assert_eq!(ds, isolet_like(&p));
+        // A different seed changes the data.
+        let other = isolet_like(&IsoletParams { seed: 43, ..p });
+        assert_ne!(ds.train.features, other.train.features);
+    }
+
+    #[test]
+    fn isolet_clusters_are_separable_by_nearest_centroid() {
+        let ds = isolet_like(&small_isolet());
+        // Recover centroids from train, classify test by cosine similarity.
+        let classes = ds.meta.classes;
+        let f = ds.meta.features;
+        let mut centroids = vec![vec![0.0f64; f]; classes];
+        for (row, &label) in ds.train.features.iter_rows().zip(&ds.train.labels) {
+            for (acc, &x) in centroids[label].iter_mut().zip(row) {
+                *acc += x;
+            }
+        }
+        let mut hits = 0;
+        for (row, &label) in ds.test.features.iter_rows().zip(&ds.test.labels) {
+            let best = centroids
+                .iter()
+                .enumerate()
+                .max_by(|(_, a), (_, b)| {
+                    let sa: f64 = a.iter().zip(row).map(|(c, x)| c * x).sum();
+                    let sb: f64 = b.iter().zip(row).map(|(c, x)| c * x).sum();
+                    sa.partial_cmp(&sb).unwrap()
+                })
+                .map(|(i, _)| i)
+                .unwrap();
+            hits += usize::from(best == label);
+        }
+        let accuracy = hits as f64 / ds.test.labels.len() as f64;
+        assert!(
+            accuracy > 0.8,
+            "nearest-centroid accuracy {accuracy} too low — clusters not separable"
+        );
+    }
+
+    #[test]
+    fn emg_shapes_and_determinism() {
+        let p = EmgParams {
+            gestures: 3,
+            channels: 2,
+            window: 16,
+            train_per_class: 4,
+            test_per_class: 2,
+            noise: 0.5,
+            phase_jitter: 0.4,
+            seed: 7,
+        };
+        let ds = emg_like(&p);
+        assert_eq!(ds.meta.features, 32);
+        assert_eq!(ds.train.features.rows(), 12);
+        assert_eq!(ds.test.features.rows(), 6);
+        assert_eq!(ds, emg_like(&p));
+        // Signals are bounded: amplitude <= 1.5 plus noise tails.
+        assert!(ds
+            .train
+            .features
+            .as_slice()
+            .iter()
+            .all(|x| x.abs() < 1.5 + 6.0 * p.noise));
+    }
+
+    #[test]
+    fn hyperoms_library_is_sparse_and_queries_match_sources() {
+        let p = HyperOmsParams {
+            library_size: 20,
+            bins: 100,
+            peaks: 8,
+            queries_per_entry: 3,
+            ..HyperOmsParams::default()
+        };
+        let ds = hyperoms_like(&p);
+        assert_eq!(ds.train.features.rows(), 20);
+        assert_eq!(ds.test.features.rows(), 60);
+        assert_eq!(ds.train.labels, (0..20).collect::<Vec<_>>());
+        // Library spectra are non-negative and sparse (exactly `peaks`
+        // non-zeros per row).
+        for row in ds.train.features.iter_rows() {
+            assert!(row.iter().all(|&x| x >= 0.0));
+            assert_eq!(row.iter().filter(|&&x| x > 0.0).count(), 8);
+        }
+        // Each query overlaps its source spectrum more than a random other
+        // entry on average (dot product in peak space).
+        let dot = |a: &[f64], b: &[f64]| -> f64 { a.iter().zip(b).map(|(x, y)| x * y).sum() };
+        let mut own = 0.0;
+        let mut other = 0.0;
+        for (q, &label) in ds.test.features.iter_rows().zip(&ds.test.labels) {
+            own += dot(q, ds.train.features.row(label).unwrap());
+            other += dot(q, ds.train.features.row((label + 1) % 20).unwrap());
+        }
+        assert!(own > 4.0 * other, "queries must resemble their sources");
+        assert_eq!(ds, hyperoms_like(&p));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot place")]
+    fn hyperoms_rejects_impossible_peak_counts() {
+        hyperoms_like(&HyperOmsParams {
+            bins: 4,
+            peaks: 10,
+            ..HyperOmsParams::default()
+        });
+    }
+}

@@ -304,15 +304,27 @@ impl ProgramBuilder {
 
     /// `get_element(tensor, row [, col])`.
     pub fn get_element(&mut self, input: ValueId, row: i64, col: Option<i64>) -> ValueId {
+        let mut operands: Vec<Operand> = vec![input.into(), row.into()];
+        if let Some(c) = col {
+            operands.push(c.into());
+        }
+        self.get_element_operands(input, operands)
+    }
+
+    /// `get_element(tensor, row)` with a dynamic row index (e.g. a
+    /// parallel-loop instance id), as used when gathering per-sample labels
+    /// or cluster assignments inside a loop body.
+    pub fn get_element_dyn(&mut self, input: ValueId, row: impl Into<Operand>) -> ValueId {
+        let operands = vec![input.into(), row.into()];
+        self.get_element_operands(input, operands)
+    }
+
+    fn get_element_operands(&mut self, input: ValueId, operands: Vec<Operand>) -> ValueId {
         let elem = self
             .value_type(input)
             .element_kind()
             .unwrap_or(ElementKind::F32);
         let result = self.temp(ValueType::Scalar(elem));
-        let mut operands: Vec<Operand> = vec![input.into(), row.into()];
-        if let Some(c) = col {
-            operands.push(c.into());
-        }
         self.emit(HdcInstr::new(HdcOp::GetElement, operands, Some(result)));
         result
     }
@@ -334,6 +346,20 @@ impl ProgramBuilder {
             _ => ValueType::Scalar(ElementKind::I32),
         };
         self.emit_unary(HdcOp::ArgMax, input, ty)
+    }
+
+    /// `arg_top_k(input, k)`: indices of the `k` largest elements, in
+    /// descending score order. A hypervector of scores yields `k` indices;
+    /// a hypermatrix (one row of scores per sample) yields the per-row
+    /// top-k flattened row-major (`rows * k` indices, sample `i`'s matches
+    /// at `[i*k, (i+1)*k)`). Distance scores should be `sign_flip`ped
+    /// first, exactly as `arg_min` relates to `arg_max`.
+    pub fn arg_top_k(&mut self, input: ValueId, k: usize) -> ValueId {
+        let ty = match self.value_type(input) {
+            ValueType::HyperMatrix { rows, .. } => ValueType::IndexVector { len: rows * k },
+            _ => ValueType::IndexVector { len: k },
+        };
+        self.emit_unary(HdcOp::ArgTopK { k }, input, ty)
     }
 
     /// `get_matrix_row(matrix, row_idx)` with an immediate row index.

@@ -10,6 +10,8 @@ use hdc_core::ops::ElementwiseOp;
 /// `inference_loop`), which are represented structurally as
 /// [`crate::StageNode`]s, and `red_perf`, which is represented as a
 /// [`hdc_core::Perforation`] annotation on the instruction it applies to.
+/// [`HdcOp::ArgTopK`] extends Table 1 with the top-k selection the
+/// spectral-matching workloads (HyperOMS-style) need.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum HdcOp {
     /// `hypervector()` / `hypermatrix()`: produce a zero-initialised tensor.
@@ -57,6 +59,14 @@ pub enum HdcOp {
     ArgMin,
     /// `arg_max(input)`: index of the maximum (per row for matrices).
     ArgMax,
+    /// `arg_top_k(input, k)`: indices of the `k` largest elements in
+    /// descending score order (per row for matrices, flattened row-major).
+    /// The top-k generalization of `arg_max`, used by spectral-matching
+    /// workloads that report the best `k` library candidates per query.
+    ArgTopK {
+        /// Number of indices selected (per row).
+        k: usize,
+    },
     /// `set_matrix_row(matrix, new_row, row_idx)`.
     SetMatrixRow,
     /// `get_matrix_row(matrix, row_idx)`.
@@ -121,7 +131,7 @@ impl HdcOp {
             | HdcOp::GetMatrixRow
             | HdcOp::MatrixTranspose
             | HdcOp::AccumulateRow => OpCategory::DataMovement,
-            HdcOp::ArgMin | HdcOp::ArgMax => OpCategory::Selection,
+            HdcOp::ArgMin | HdcOp::ArgMax | HdcOp::ArgTopK { .. } => OpCategory::Selection,
         }
     }
 
@@ -170,6 +180,7 @@ impl HdcOp {
             HdcOp::TypeCast { .. } => "hdc.type_cast",
             HdcOp::ArgMin => "hdc.arg_min",
             HdcOp::ArgMax => "hdc.arg_max",
+            HdcOp::ArgTopK { .. } => "hdc.arg_top_k",
             HdcOp::SetMatrixRow => "hdc.set_matrix_row",
             HdcOp::GetMatrixRow => "hdc.get_matrix_row",
             HdcOp::MatrixTranspose => "hdc.transpose",
@@ -188,7 +199,10 @@ impl HdcOp {
 
 impl std::fmt::Display for HdcOp {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(self.mnemonic())
+        match self {
+            HdcOp::ArgTopK { k } => write!(f, "{}<{k}>", self.mnemonic()),
+            _ => f.write_str(self.mnemonic()),
+        }
     }
 }
 
@@ -203,6 +217,7 @@ mod tests {
         assert_eq!(HdcOp::Zero.category(), OpCategory::Creation);
         assert_eq!(HdcOp::GetMatrixRow.category(), OpCategory::DataMovement);
         assert_eq!(HdcOp::ArgMin.category(), OpCategory::Selection);
+        assert_eq!(HdcOp::ArgTopK { k: 5 }.category(), OpCategory::Selection);
         assert_eq!(
             HdcOp::Elementwise(ElementwiseOp::Add).category(),
             OpCategory::Elementwise
@@ -256,6 +271,7 @@ mod tests {
             },
             HdcOp::ArgMin,
             HdcOp::ArgMax,
+            HdcOp::ArgTopK { k: 1 },
             HdcOp::SetMatrixRow,
             HdcOp::GetMatrixRow,
             HdcOp::MatrixTranspose,

@@ -114,6 +114,44 @@ impl<'a> Checker<'a> {
             HdcOp::WrapShift | HdcOp::GetMatrixRow => {
                 expect(self, n == 2, format!("{op}: expected 2 operands, got {n}"));
             }
+            HdcOp::ArgTopK { k } => {
+                expect(self, n == 1, format!("{op}: expected 1 operand, got {n}"));
+                let k = *k;
+                if k == 0 {
+                    self.err(node, format!("{op}: k must be at least 1"));
+                }
+                // k may not exceed the number of candidate scores (the
+                // vector length / matrix column count), and the result must
+                // be an index vector sized k (vector) or rows*k (matrix).
+                if let Some(input_ty) = self.operand_value_ty(instr, 0) {
+                    let (candidates, expected_len) = match input_ty {
+                        ValueType::HyperVector { dim, .. } => (Some(dim), Some(k)),
+                        ValueType::HyperMatrix { rows, cols, .. } => (Some(cols), Some(rows * k)),
+                        _ => (None, None),
+                    };
+                    match candidates {
+                        Some(c) if k > c => self.err(
+                            node,
+                            format!("{op}: k = {k} exceeds the {c} candidate scores"),
+                        ),
+                        None => self.err(
+                            node,
+                            format!("{op}: operand must be a hypervector or hypermatrix"),
+                        ),
+                        _ => {}
+                    }
+                    if let (Some(expected), Some(r)) = (expected_len, instr.result) {
+                        match self.value_ty(r) {
+                            Some(ValueType::IndexVector { len }) if len == expected => {}
+                            Some(other) => self.err(
+                                node,
+                                format!("{op}: result must be indices<{expected}>, got {other}"),
+                            ),
+                            None => {}
+                        }
+                    }
+                }
+            }
             HdcOp::GetElement => {
                 expect(
                     self,
@@ -531,6 +569,62 @@ mod tests {
         });
         let err = verify(&p).unwrap_err();
         assert!(err.to_string().contains("red_perf"));
+    }
+
+    #[test]
+    fn arg_top_k_rules() {
+        // Well-formed: builder-produced top-k over a score matrix verifies.
+        let mut b = ProgramBuilder::new("topk_ok");
+        let scores = b.input_matrix("scores", ElementKind::F32, 10, 64);
+        let picks = b.arg_top_k(scores, 5);
+        b.mark_output(picks);
+        verify(&b.finish()).unwrap();
+
+        // k larger than the candidate count is rejected.
+        let mut b = ProgramBuilder::new("topk_big");
+        let scores = b.input_vector("scores", ElementKind::F32, 4);
+        let picks = b.arg_top_k(scores, 9);
+        b.mark_output(picks);
+        let err = verify(&b.finish()).unwrap_err();
+        assert!(err.to_string().contains("exceeds the 4 candidate scores"));
+
+        // k = 0 is rejected.
+        let mut b = ProgramBuilder::new("topk_zero");
+        let scores = b.input_vector("scores", ElementKind::F32, 4);
+        let picks = b.arg_top_k(scores, 0);
+        b.mark_output(picks);
+        let err = verify(&b.finish()).unwrap_err();
+        assert!(err.to_string().contains("k must be at least 1"));
+
+        // A result slot with the wrong length is rejected.
+        let mut p = Program::new("topk_len");
+        let scores = p.add_value(ValueInfo {
+            name: "scores".into(),
+            ty: ValueType::HyperMatrix {
+                elem: ElementKind::F32,
+                rows: 3,
+                cols: 8,
+            },
+            role: ValueRole::Input,
+        });
+        let out = p.add_value(ValueInfo {
+            name: "out".into(),
+            ty: ValueType::IndexVector { len: 5 },
+            role: ValueRole::Output,
+        });
+        p.add_node(Node {
+            name: "n".into(),
+            target: Target::Cpu,
+            body: NodeBody::Leaf {
+                instrs: vec![HdcInstr::new(
+                    HdcOp::ArgTopK { k: 2 },
+                    vec![scores.into()],
+                    Some(out),
+                )],
+            },
+        });
+        let err = verify(&p).unwrap_err();
+        assert!(err.to_string().contains("result must be indices<6>"));
     }
 
     #[test]

@@ -8,7 +8,8 @@
 
 use hdc_core::element::ElementKind;
 use hdc_ir::ops::HdcOp;
-use hdc_ir::program::{Program, ValueId};
+use hdc_ir::program::{NodeBody, Program, ValueId};
+use hdc_ir::stage::StageKind;
 use std::collections::HashSet;
 
 /// Options controlling the binarization pass.
@@ -113,7 +114,9 @@ pub fn binarize(program: &mut Program, options: &BinarizeOptions) -> BinarizeRep
                         }
                     }
                 }
-                HdcOp::ArgMin | HdcOp::ArgMax | HdcOp::GetElement => {}
+                // Selection and indexing produce indices/scalars, not
+                // bipolar tensors; taint stops here.
+                HdcOp::ArgMin | HdcOp::ArgMax | HdcOp::ArgTopK { .. } | HdcOp::GetElement => {}
                 // Type casts are precision barriers: the user explicitly
                 // requested a representation.
                 HdcOp::TypeCast { .. } => {}
@@ -121,6 +124,26 @@ pub fn binarize(program: &mut Program, options: &BinarizeOptions) -> BinarizeRep
                     for v in tensor_inputs.iter().chain(tensor_outputs.iter()) {
                         changed |= tainted.insert(*v);
                     }
+                }
+            }
+        }
+        // Taint also flows through stage interfaces, which connect values
+        // structurally rather than through instructions: the executor copies
+        // rows of `interface.queries` into `body_query` every iteration, and
+        // an encoding stage assembles `interface.output` from the per-sample
+        // `body_result`. (Inference/training outputs are index vectors /
+        // aliases of the class matrix, so only encoding propagates to its
+        // output.)
+        for node in program.nodes() {
+            if let NodeBody::Stage(stage) = &node.body {
+                let mut flow = |from: ValueId, to: ValueId, changed: &mut bool| {
+                    if tainted.contains(&from) && program.value(to).ty.is_tensor() {
+                        *changed |= tainted.insert(to);
+                    }
+                };
+                flow(stage.interface.queries, stage.body_query, &mut changed);
+                if matches!(stage.kind, StageKind::Encoding) {
+                    flow(stage.body_result, stage.interface.output, &mut changed);
                 }
             }
         }
@@ -319,6 +342,37 @@ mod tests {
         let report = binarize(&mut p, &BinarizeOptions::default());
         assert!(report.binarized_values >= 2);
         assert_eq!(p.value(classes_b).ty.element_kind(), Some(ElementKind::Bit));
+        verify(&p).unwrap();
+    }
+
+    #[test]
+    fn taint_flows_through_stage_interfaces() {
+        // A sign-terminated encoding body binarizes the stage's output
+        // matrix, and a downstream inference stage fed by that matrix gets a
+        // binarized per-sample query slot.
+        let mut b = ProgramBuilder::new("stage_flow");
+        let features = b.input_matrix("features", ElementKind::F64, 12, 20);
+        let rp = b.input_matrix("rp", ElementKind::F64, 64, 20);
+        let classes = b.input_matrix("classes", ElementKind::F64, 3, 64);
+        let classes_b = b.sign(classes);
+        let encoded = b.encoding_loop("encode", features, 64, |b, q| {
+            let e = b.matmul(q, rp);
+            b.sign(e)
+        });
+        let preds = b.inference_loop(
+            "infer",
+            encoded,
+            classes_b,
+            hdc_ir::stage::ScorePolarity::Distance,
+            |b, q| b.hamming_distance(q, classes_b),
+        );
+        b.mark_output(preds);
+        let mut p = b.finish();
+        binarize(&mut p, &BinarizeOptions::default());
+        assert_eq!(p.value(encoded).ty.element_kind(), Some(ElementKind::Bit));
+        // Raw features and the projection stay full precision.
+        assert_eq!(p.value(features).ty.element_kind(), Some(ElementKind::F64));
+        assert_eq!(p.value(rp).ty.element_kind(), Some(ElementKind::F64));
         verify(&p).unwrap();
     }
 

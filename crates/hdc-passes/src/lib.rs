@@ -2,7 +2,7 @@
 //!
 //! Compiler transformations over HPVM-HDC IR (paper §4.2 / §4.3):
 //!
-//! * [`binarize`] — automatic binarization propagation (Algorithm 1): a
+//! * [`binarize`](mod@binarize) — automatic binarization propagation (Algorithm 1): a
 //!   taint analysis seeded at `sign` operations that rewrites tainted
 //!   hypervectors and hypermatrices to a 1-bit element representation.
 //! * [`perforation`] — reduction perforation: attach `red_perf` descriptors

@@ -208,6 +208,28 @@ pub fn lower_instr(program: &Program, instr: &HdcInstr) -> LoopNest {
                 has_reduction: true,
             }
         }
+        HdcOp::ArgTopK { k } => {
+            // Per-row selection maintaining a k-entry best list: the scan
+            // over candidates is sequential, each step costs ~log2(k)
+            // comparisons against the heap of current bests.
+            let (rows, dim) = tensor_dims(in0.unwrap_or(ValueType::Scalar(ElementKind::F32)));
+            LoopNest {
+                op: instr.op,
+                loops: vec![
+                    LoopDim {
+                        extent: rows,
+                        parallel: true,
+                    },
+                    LoopDim {
+                        extent: dim,
+                        parallel: false,
+                    },
+                ],
+                flops_per_iter: 1.0 + (k.max(1) as f64).log2(),
+                bytes_per_iter: bytes0,
+                has_reduction: true,
+            }
+        }
         HdcOp::MatrixTranspose => {
             let (rows, cols) = tensor_dims(in0.unwrap_or(ValueType::Scalar(ElementKind::F32)));
             LoopNest {

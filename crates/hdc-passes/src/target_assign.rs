@@ -104,6 +104,10 @@ pub fn accelerator_supports(op: &HdcOp) -> bool {
         HdcOp::Elementwise(ElementwiseOp::Div)
         | HdcOp::CosineElementwise
         | HdcOp::Gaussian { .. } => false,
+        // The accelerators' compare-accumulate reduction trees emit a single
+        // best-match index; multi-candidate top-k selection needs a
+        // programmable device.
+        HdcOp::ArgTopK { .. } => false,
         HdcOp::TypeCast { to } => !to.is_float(),
         _ => true,
     }
@@ -282,6 +286,7 @@ mod tests {
         assert!(!accelerator_supports(&HdcOp::Elementwise(
             ElementwiseOp::Div
         )));
+        assert!(!accelerator_supports(&HdcOp::ArgTopK { k: 3 }));
         assert!(!accelerator_supports(&HdcOp::CosineElementwise));
         assert!(!accelerator_supports(&HdcOp::Gaussian { seed: 1 }));
         assert!(!accelerator_supports(&HdcOp::TypeCast {

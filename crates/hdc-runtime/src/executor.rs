@@ -235,9 +235,11 @@ impl<'p> Executor<'p> {
         })
     }
 
-    /// Enable or disable batched stage execution (default: enabled).
-    /// Disabling forces every stage through the per-sample sequential
-    /// reference oracle.
+    /// Enable or disable batched execution (default: enabled). Disabling
+    /// forces every stage through the per-sample sequential reference
+    /// oracle, and the matrix-level instruction fast paths (all-pairs
+    /// bit-packed similarity, batched `arg_top_k` selection) through their
+    /// dense reference / per-row forms.
     pub fn set_batched_stages(&mut self, enabled: bool) -> &mut Self {
         self.batch_stages = enabled;
         self
@@ -1089,6 +1091,7 @@ impl<'p> Executor<'p> {
             }
             HdcOp::ArgMin => Some(self.selection(instr, true)?),
             HdcOp::ArgMax => Some(self.selection(instr, false)?),
+            HdcOp::ArgTopK { k } => Some(self.top_k_selection(instr, *k)?),
             HdcOp::SetMatrixRow => {
                 let row = self.operand_index(instr, 2, "set_matrix_row")?;
                 let matrix_id = self.operand_value_id(instr, 0, "set_matrix_row")?;
@@ -1380,6 +1383,39 @@ impl<'p> Executor<'p> {
         })
     }
 
+    /// `arg_top_k`: per-row top-k over a score matrix runs as one batched
+    /// selection kernel (or a per-row reference loop in sequential mode);
+    /// a score vector selects directly. Either way the result must hold
+    /// exactly `k` indices per row — NaN scores would shorten the selection
+    /// and silently break the declared `indices<k>` layout, so they are an
+    /// error.
+    fn top_k_selection(&mut self, instr: &HdcInstr, k: usize) -> Result<Value> {
+        let input = self.operand_value(instr, 0, "arg_top_k")?.clone();
+        Ok(match &input {
+            Value::Matrix(_) | Value::BitMatrix(_) => {
+                let (m, copied) = input.dense_matrix("arg_top_k")?;
+                self.note_copy(copied);
+                if self.batch_stages {
+                    let flat = hdc_core::batch::arg_top_k_batch(m.as_ref(), k)?;
+                    self.stats.batched_kernel_ops += 1;
+                    Value::indices(flat)
+                } else {
+                    // Sequential reference: one per-row selection at a time.
+                    let mut flat = Vec::with_capacity(m.rows() * k);
+                    for row in m.iter_rows() {
+                        flat.extend(checked_top_k(row, k)?);
+                    }
+                    Value::indices(flat)
+                }
+            }
+            other => {
+                let (v, copied) = other.dense_vector("arg_top_k")?;
+                self.note_copy(copied);
+                Value::indices(checked_top_k(v.as_slice(), k)?)
+            }
+        })
+    }
+
     fn similarity(&mut self, instr: &HdcInstr, perf: Perforation, metric: Metric) -> Result<Value> {
         let lhs = self.operand_value(instr, 0, "similarity")?.clone();
         let rhs = self.operand_value(instr, 1, "similarity")?.clone();
@@ -1404,7 +1440,13 @@ impl<'p> Executor<'p> {
                     }
                 })
             }
-            (Value::BitMatrix(a), Value::BitMatrix(b)) => {
+            // All-pairs bit reduction: one batched XOR/popcount kernel. In
+            // sequential mode this falls through to the dense reference
+            // path below, so the oracle stays genuinely per-element (the
+            // two produce identical score *orderings*: bipolar rows all
+            // share the same norm, so dense cosine is a positive rescaling
+            // of the popcount form).
+            (Value::BitMatrix(a), Value::BitMatrix(b)) if self.batch_stages => {
                 self.stats.bit_kernel_ops += 1;
                 self.stats.batched_kernel_ops += 1;
                 let h = hdc_core::batch::hamming_distance_batch(a, b, perf)?;
@@ -1416,8 +1458,9 @@ impl<'p> Executor<'p> {
                     }
                 })
             }
-            // Dense reference path (also covers mixed packed/dense operands;
-            // the pure-bit combinations were all consumed above).
+            // Dense reference path (also covers mixed packed/dense operands
+            // and sequential-mode bit-matrix pairs; the remaining pure-bit
+            // combinations were all consumed above).
             (Value::Matrix(_) | Value::BitMatrix(_), Value::Matrix(_) | Value::BitMatrix(_)) => {
                 let (a, ca) = lhs.dense_matrix("similarity")?;
                 let (b, cb) = rhs.dense_matrix("similarity")?;
@@ -1498,6 +1541,27 @@ fn update_row_in_place(
         *slot += sign * x;
     }
     Ok(())
+}
+
+/// [`hdc_core::ops::arg_top_k`] with the same result contract as the
+/// batched kernel: exactly `k` indices or an error. Fewer than `k`
+/// comparable scores (NaN contamination, or `k` out of range) would break
+/// the `indices<k>` layout the verifier promised downstream consumers.
+fn checked_top_k(scores: &[f64], k: usize) -> Result<Vec<usize>> {
+    if k == 0 || k > scores.len() {
+        return Err(RuntimeError::Core(hdc_core::HdcError::IndexOutOfBounds {
+            index: k,
+            len: scores.len(),
+        }));
+    }
+    let picked = hdc_core::ops::arg_top_k(scores, k);
+    if picked.len() < k {
+        return Err(RuntimeError::Core(hdc_core::HdcError::IndexOutOfBounds {
+            index: k,
+            len: picked.len(),
+        }));
+    }
+    Ok(picked)
 }
 
 /// Cosine similarity of two bipolar hypervectors from their Hamming distance

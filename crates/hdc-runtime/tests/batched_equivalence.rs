@@ -144,6 +144,38 @@ fn batched_binarized_inference_is_zero_copy() {
 }
 
 #[test]
+fn dense_inference_stats_are_accounted_exactly() {
+    // The zero-copy claim is only meaningful if the copy accounting is
+    // trustworthy on paths that DO copy. For a dense cosine inference run
+    // the expected values are exact:
+    //
+    // * batched: one matrix-level kernel call, and — because the bound
+    //   matrices are already in the declared dense representation — zero
+    //   tensor bytes copied (kernel outputs are fresh allocations, not
+    //   copies);
+    // * sequential: no batched kernels, and exactly one row staging copy
+    //   per sample (QUERIES * DIM * 8 bytes) — the per-sample oracle
+    //   materializes each query row into the stage body slot, while the
+    //   score reads and operand accesses are Arc-shared.
+    let (program, preds) = build_inference(false, Metric::Cosine, None);
+    let (queries, classes) = inference_data(false);
+    let (batched, b_stats) = run_inference(&program, preds, &queries, &classes, true);
+    let (sequential, s_stats) = run_inference(&program, preds, &queries, &classes, false);
+    assert_eq!(batched, sequential);
+    assert_eq!(b_stats.batched_kernel_ops, 1);
+    assert_eq!(b_stats.tensor_bytes_copied, 0);
+    assert_eq!(s_stats.batched_kernel_ops, 0);
+    assert_eq!(
+        s_stats.tensor_bytes_copied,
+        QUERIES * DIM * 8,
+        "sequential dense inference stages one row copy per sample"
+    );
+    // Dense runs never touch the bit kernels.
+    assert_eq!(b_stats.bit_kernel_ops, 0);
+    assert_eq!(s_stats.bit_kernel_ops, 0);
+}
+
+#[test]
 fn batched_encoding_matches_sequential() {
     const FEATURES: usize = 24;
     const ENC_DIM: usize = 96;
@@ -309,6 +341,78 @@ fn cross_iteration_dependences_fall_back_to_sequential() {
         let expect: f64 = (0..4).map(|r| mm.get(r, cidx).unwrap()).sum();
         assert!((reduced.get(0, cidx).unwrap() - expect).abs() < 1e-12);
     }
+}
+
+#[test]
+fn arg_top_k_matches_sequential_and_rejects_nan() {
+    // Matrix operand: the batched selection kernel vs the per-row
+    // sequential loop must agree exactly (including ties, which resolve to
+    // the lower index on both paths).
+    let mut b = ProgramBuilder::new("topk_equiv");
+    let scores = b.input_matrix("scores", ElementKind::F64, 11, 17);
+    let picks = b.arg_top_k(scores, 4);
+    b.mark_output(picks);
+    let program = b.finish();
+    let mut rng = HdcRng::seed_from_u64(0x70C);
+    let data: HyperMatrix<f64> = hdc_core::random::gaussian_hypermatrix(11, 17, &mut rng);
+    let run = |batched: bool| {
+        let mut exec = Executor::new(&program).unwrap();
+        exec.set_batched_stages(batched);
+        exec.bind("scores", Value::matrix(data.clone())).unwrap();
+        let out = exec.run().unwrap();
+        (out.indices(picks).unwrap().to_vec(), exec.stats())
+    };
+    let (batched, b_stats) = run(true);
+    let (sequential, s_stats) = run(false);
+    assert_eq!(batched, sequential);
+    assert_eq!(batched.len(), 11 * 4);
+    assert_eq!(b_stats.batched_kernel_ops, 1);
+    assert_eq!(s_stats.batched_kernel_ops, 0);
+
+    // NaN scores shorten the selection (arg_top_k skips incomparable
+    // values); a row left with fewer than k comparable scores cannot fill
+    // the declared indices<rows*k> layout, and both schedules must reject
+    // it instead of returning a ragged result.
+    let mut nan_data = data.clone();
+    for col in 0..14 {
+        nan_data.set(3, col, f64::NAN).unwrap();
+    }
+    for batched in [true, false] {
+        let mut exec = Executor::new(&program).unwrap();
+        exec.set_batched_stages(batched);
+        exec.bind("scores", Value::matrix(nan_data.clone()))
+            .unwrap();
+        assert!(
+            exec.run().is_err(),
+            "NaN scores must fail top-k selection (batched={batched})"
+        );
+    }
+
+    // Vector operand: same contract on the non-batched shape. One NaN
+    // among six scores leaves only five comparable candidates, so a full
+    // k = 6 selection cannot satisfy indices<6> and must error.
+    let mut b = ProgramBuilder::new("topk_vec");
+    let scores_v = b.input_vector("scores", ElementKind::F64, 6);
+    let picks_v = b.arg_top_k(scores_v, 6);
+    b.mark_output(picks_v);
+    let program_v = b.finish();
+    let mut exec = Executor::new(&program_v).unwrap();
+    exec.bind(
+        "scores",
+        Value::vector(HyperVector::from_vec(vec![
+            1.0,
+            f64::NAN,
+            3.0,
+            0.5,
+            2.0,
+            -1.0,
+        ])),
+    )
+    .unwrap();
+    assert!(
+        exec.run().is_err(),
+        "vector top-k shortened by NaN must error, not return ragged indices"
+    );
 }
 
 #[test]

@@ -13,18 +13,25 @@
 //!   data-movement hoisting, target assignment, and the pass manager.
 //! * [`runtime`] — the reference program executor: the value store and the
 //!   CPU interpretation of every HDC intrinsic (dense and bit-packed).
+//! * [`datasets`] — seeded synthetic workloads (ISOLET-like, EMG-like,
+//!   HyperOMS-like) behind the `Dataset { train, test, meta }` API.
+//! * [`apps`] — the application suite: HD classification with retraining,
+//!   HD clustering, and top-k spectral matching, each compiled through the
+//!   full pass pipeline and executable in batched or sequential mode.
 //!
 //! Planned crates not yet in the workspace (tracked in `ROADMAP.md`): the
-//! GPU performance models and accelerator simulators (`hdc-accel`),
-//! synthetic dataset generators (`hdc-datasets`), and the five evaluated
-//! applications (`hdc-apps`). Their re-exports will be added here when the
-//! crates land.
+//! GPU performance models and accelerator simulators (`hdc-accel`). Their
+//! re-exports will be added here when the crates land.
 //!
-//! See `README.md` for the workspace layout and a quickstart.
+//! See `README.md` for the workspace layout and a quickstart, and
+//! `docs/architecture.md` for the IR → passes → executor walkthrough.
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
+pub use hdc_apps as apps;
 pub use hdc_core as core;
+pub use hdc_datasets as datasets;
 pub use hdc_ir as ir;
 pub use hdc_passes as passes;
 pub use hdc_runtime as runtime;
