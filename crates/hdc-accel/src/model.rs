@@ -1,0 +1,404 @@
+//! The analytical cost model: stage placement + lowering nests → modeled
+//! cycles, seconds and energy.
+//!
+//! An accelerated stage executes in two phases, mirroring the code the
+//! compiler emits for the devices (the paper's Listing 6):
+//!
+//! 1. **Programming**: every value the data-movement pass marked
+//!    device-persistent (`StageNode::persistent_values` — the class memory,
+//!    the projection base memory) is written to the device once, at
+//!    `program_bits_per_sec`. An empty persistent set means the hoisting
+//!    pass did not run, and those transfers are charged *per sample*
+//!    instead — exactly the unoptimized behavior hoisting exists to avoid.
+//! 2. **Streaming + compute**, per sample: the query row (plus, for
+//!    training, its 32-bit label) streams in and the per-sample result
+//!    streams out at `stream_bits_per_sec`, while the stage body's
+//!    [`LoopNest`]s execute on the datapath — `ceil(iterations × operand
+//!    bits / lane bits)` cycles per instruction, with reduction nests using
+//!    `reduce_lane_bits` and element-wise nests `map_lane_bits`. Training
+//!    stages additionally read the trained class memory back once at stage
+//!    exit.
+//!
+//! The CPU comparison point runs the *same* nests through a two-term
+//! roofline ([`CpuParams`]), so a modeled speedup is a ratio of two
+//! estimates derived from one IR description, not a mix of wall-clock and
+//! model. All bit counts are logical (a binarized element is 1 bit), which
+//! is how binarization's 64× footprint reduction reaches the transfer
+//! terms.
+
+use crate::params::{AccelParams, CpuParams};
+use hdc_ir::program::{Node, NodeBody, Program, ValueId};
+use hdc_ir::stage::{StageKind, StageNode};
+use hdc_ir::types::ValueType;
+use hdc_ir::Target;
+use hdc_passes::lowering::{lower_instr, LoopNest};
+
+/// Bits a predicted label / index occupies on the host link.
+const INDEX_BITS: u64 = 32;
+
+/// The modeled cost of one accelerated stage execution.
+///
+/// Produced by [`AcceleratorModel::stage_cost`]; all integer fields are
+/// exact (the equivalence suite pins them on the Listing-1 kernel), the
+/// `*_seconds` / energy fields are those integers divided by the
+/// [`AccelParams`] rates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageCost {
+    /// Name of the stage node.
+    pub node: String,
+    /// Stage kind name (`encoding_loop` / `training_loop` /
+    /// `inference_loop`).
+    pub kind: &'static str,
+    /// The accelerator the stage is modeled on.
+    pub target: Target,
+    /// Per-sample body executions charged (training loops count every
+    /// epoch's pass over every sample).
+    pub samples: usize,
+    /// Bits programmed once into persistent device memories.
+    pub programming_bits: u64,
+    /// Bits streamed per sample (query row in + per-sample result out,
+    /// plus any non-persistent stage input re-transferred every sample).
+    pub stream_bits_per_sample: u64,
+    /// Bits read back once at stage exit (the trained class memory of a
+    /// `training_loop`; zero otherwise).
+    pub readback_bits: u64,
+    /// Datapath cycles per sample, summed over the stage body's loop nests.
+    pub cycles_per_sample: u64,
+    /// Programming-phase time (s).
+    pub programming_seconds: f64,
+    /// Total streaming time (s): per-sample transfers plus readback.
+    pub streaming_seconds: f64,
+    /// Total datapath compute time (s).
+    pub compute_seconds: f64,
+    /// Modeled CPU time for the same stage (roofline over the same nests).
+    pub cpu_seconds: f64,
+    /// Modeled energy for the accelerated execution (J).
+    pub energy_joules: f64,
+}
+
+impl StageCost {
+    /// Total modeled accelerator time: programming + streaming + compute.
+    pub fn accel_seconds(&self) -> f64 {
+        self.programming_seconds + self.streaming_seconds + self.compute_seconds
+    }
+
+    /// Modeled accelerator-vs-CPU speedup for this stage.
+    pub fn speedup(&self) -> f64 {
+        self.cpu_seconds / self.accel_seconds()
+    }
+}
+
+/// The performance model: per-target [`AccelParams`] plus the CPU roofline
+/// used as the comparison point.
+///
+/// # Examples
+///
+/// ```
+/// use hdc_accel::AcceleratorModel;
+/// use hdc_ir::Target;
+///
+/// let model = AcceleratorModel::default();
+/// assert!(model.params_for(Target::DigitalAsic).is_some());
+/// assert!(model.params_for(Target::Cpu).is_none());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct AcceleratorModel {
+    /// Parameters for the digital ASIC target.
+    pub digital_asic: AccelParams,
+    /// Parameters for the ReRAM processing-in-memory target.
+    pub reram: AccelParams,
+    /// The CPU roofline the accelerators are compared against.
+    pub cpu: CpuParams,
+}
+
+impl Default for AcceleratorModel {
+    fn default() -> Self {
+        AcceleratorModel {
+            digital_asic: AccelParams::digital_asic(),
+            reram: AccelParams::reram(),
+            cpu: CpuParams::default(),
+        }
+    }
+}
+
+impl AcceleratorModel {
+    /// The parameters for an accelerator target, `None` for programmable
+    /// devices.
+    pub fn params_for(&self, target: Target) -> Option<&AccelParams> {
+        match target {
+            Target::DigitalAsic => Some(&self.digital_asic),
+            Target::ReRamAccelerator => Some(&self.reram),
+            _ => None,
+        }
+    }
+
+    /// Model the cost of executing `node` (a stage placed on an HDC
+    /// accelerator) for `samples` per-sample body passes.
+    ///
+    /// Returns `None` when the node is not a stage or its target is not an
+    /// accelerator — those run on programmable devices and are outside this
+    /// model.
+    pub fn stage_cost(&self, program: &Program, node: &Node, samples: usize) -> Option<StageCost> {
+        let stage = match &node.body {
+            NodeBody::Stage(stage) => stage,
+            _ => return None,
+        };
+        let params = self.params_for(node.target)?;
+
+        let programming_bits: u64 = stage
+            .persistent_values
+            .iter()
+            .map(|&v| logical_bits(&program.value(v).ty))
+            .sum();
+        let stream_bits_per_sample = per_sample_stream_bits(program, stage);
+        let readback_bits = match stage.kind {
+            StageKind::Training { .. } => logical_bits(&program.value(stage.interface.output).ty),
+            _ => 0,
+        };
+        let cycles_per_sample: u64 = stage
+            .body
+            .iter()
+            .map(|instr| {
+                let nest = lower_instr(program, instr);
+                nest_cycles(program, instr, &nest, params)
+            })
+            .sum();
+
+        let n = samples as f64;
+        let programming_seconds = programming_bits as f64 / params.program_bits_per_sec;
+        let streaming_seconds =
+            (n * stream_bits_per_sample as f64 + readback_bits as f64) / params.stream_bits_per_sec;
+        let compute_seconds = n * cycles_per_sample as f64 / params.clock_hz;
+        let moved_bits =
+            programming_bits as f64 + readback_bits as f64 + n * stream_bits_per_sample as f64;
+        let energy_joules = moved_bits * params.energy_per_bit_j
+            + n * cycles_per_sample as f64 * params.energy_per_cycle_j;
+
+        let (flops, bytes) = stage.body.iter().fold((0.0, 0.0), |(f, by), instr| {
+            let nest = lower_instr(program, instr);
+            (f + nest.total_flops(), by + nest.total_bytes())
+        });
+        let cpu_per_sample = (flops / self.cpu.flops_per_sec).max(bytes / self.cpu.bytes_per_sec);
+        let cpu_seconds = n * cpu_per_sample;
+
+        Some(StageCost {
+            node: node.name.clone(),
+            kind: stage.kind.name(),
+            target: node.target,
+            samples,
+            programming_bits,
+            stream_bits_per_sample,
+            readback_bits,
+            cycles_per_sample,
+            programming_seconds,
+            streaming_seconds,
+            compute_seconds,
+            cpu_seconds,
+            energy_joules,
+        })
+    }
+}
+
+/// Datapath cycles for one lowered stage-body instruction:
+/// `ceil(iterations × operand_bits / lane_bits)`, where reduction nests use
+/// the reduce lanes and element-wise nests the map lanes.
+fn nest_cycles(
+    program: &Program,
+    instr: &hdc_ir::instr::HdcInstr,
+    nest: &LoopNest,
+    params: &AccelParams,
+) -> u64 {
+    let op_bits = instr
+        .operands
+        .first()
+        .and_then(|o| o.as_value())
+        .and_then(|v| program.value(v).ty.element_kind())
+        .map(|e| e.bit_width() as u64)
+        .unwrap_or(INDEX_BITS);
+    let lane_bits = if nest.has_reduction {
+        params.reduce_lane_bits
+    } else {
+        params.map_lane_bits
+    };
+    (nest.total_iterations() as u64 * op_bits).div_ceil(lane_bits)
+}
+
+/// Logical bit footprint of a value: element count × element width (a
+/// binarized element is exactly one bit; indices are 32-bit).
+pub fn logical_bits(ty: &ValueType) -> u64 {
+    match ty.element_kind() {
+        Some(elem) => ty.element_count() as u64 * elem.bit_width() as u64,
+        None => ty.element_count() as u64 * INDEX_BITS,
+    }
+}
+
+/// Logical bits of one row of the stage's query matrix (the per-sample
+/// transfer unit).
+fn row_bits(ty: &ValueType) -> u64 {
+    match *ty {
+        ValueType::HyperMatrix { elem, cols, .. } => cols as u64 * elem.bit_width() as u64,
+        ref other => logical_bits(other),
+    }
+}
+
+/// Bits streamed per sample: the query row in, the per-sample result out,
+/// a 32-bit ground-truth label for training stages, and — only when the
+/// data-movement pass did *not* mark them persistent — every other
+/// loop-invariant stage input, re-transferred each iteration.
+fn per_sample_stream_bits(program: &Program, stage: &StageNode) -> u64 {
+    let mut bits = row_bits(&program.value(stage.interface.queries).ty);
+    bits += match stage.kind {
+        StageKind::Encoding => row_bits(&program.value(stage.interface.output).ty),
+        StageKind::Inference => INDEX_BITS,
+        StageKind::Training { .. } => INDEX_BITS, // the sample's label
+    };
+    let written: Vec<ValueId> = stage.written_values();
+    for v in stage.read_values() {
+        if v == stage.interface.queries
+            || v == stage.body_query
+            || v == stage.body_result
+            || Some(v) == stage.interface.labels
+            || stage.persistent_values.contains(&v)
+            || written.contains(&v)
+        {
+            continue;
+        }
+        bits += logical_bits(&program.value(v).ty);
+    }
+    bits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdc_core::element::ElementKind;
+    use hdc_ir::builder::ProgramBuilder;
+    use hdc_ir::stage::ScorePolarity;
+    use hdc_passes::{assign_targets, hoist_data_movement, TargetConfig};
+
+    /// The Listing-1 kernel as a stage: binarized inference, 2048-dim,
+    /// 26 classes.
+    fn listing1_stage(queries: usize) -> Program {
+        let mut b = ProgramBuilder::new("listing1_stage");
+        let q = b.input_matrix("queries", ElementKind::Bit, queries, 2048);
+        let c = b.input_matrix("classes", ElementKind::Bit, 26, 2048);
+        let preds = b.inference_loop("infer", q, c, ScorePolarity::Distance, |b, s| {
+            b.hamming_distance(s, c)
+        });
+        b.mark_output(preds);
+        b.finish()
+    }
+
+    #[test]
+    fn logical_bits_are_element_counts() {
+        assert_eq!(
+            logical_bits(&ValueType::HyperMatrix {
+                elem: ElementKind::Bit,
+                rows: 26,
+                cols: 2048
+            }),
+            26 * 2048
+        );
+        assert_eq!(
+            logical_bits(&ValueType::HyperVector {
+                elem: ElementKind::F64,
+                dim: 100
+            }),
+            100 * 64
+        );
+        assert_eq!(logical_bits(&ValueType::IndexVector { len: 10 }), 320);
+    }
+
+    #[test]
+    fn listing1_cost_matches_hand_computation() {
+        let mut p = listing1_stage(1000);
+        hoist_data_movement(&mut p);
+        assign_targets(&mut p, &TargetConfig::accelerator(Target::DigitalAsic));
+        let model = AcceleratorModel::default();
+        let node = p
+            .nodes()
+            .iter()
+            .find(|n| n.name == "infer")
+            .expect("stage present");
+        let cost = model.stage_cost(&p, node, 1000).expect("accelerated stage");
+        // Programming: the 26x2048-bit class memory, once.
+        assert_eq!(cost.programming_bits, 26 * 2048);
+        // Per sample: 2048-bit query in, 32-bit label out.
+        assert_eq!(cost.stream_bits_per_sample, 2048 + 32);
+        assert_eq!(cost.readback_bits, 0);
+        // Compute: ceil(26*2048 bits / 8192 lanes) = 7 cycles per sample.
+        assert_eq!(cost.cycles_per_sample, 7);
+        // Seconds are the integers over the documented rates.
+        let params = AccelParams::digital_asic();
+        assert_eq!(
+            cost.programming_seconds,
+            (26 * 2048) as f64 / params.program_bits_per_sec
+        );
+        assert_eq!(cost.compute_seconds, 1000.0 * 7.0 / params.clock_hz);
+        assert!(cost.speedup() > 1.0, "modeled win: {}", cost.speedup());
+    }
+
+    #[test]
+    fn unhoisted_stage_pays_per_sample_transfers() {
+        let mut hoisted = listing1_stage(100);
+        hoist_data_movement(&mut hoisted);
+        assign_targets(
+            &mut hoisted,
+            &TargetConfig::accelerator(Target::DigitalAsic),
+        );
+        let mut raw = listing1_stage(100);
+        assign_targets(&mut raw, &TargetConfig::accelerator(Target::DigitalAsic));
+        let model = AcceleratorModel::default();
+        let cost_of = |p: &Program| {
+            let node = p.nodes().iter().find(|n| n.name == "infer").unwrap();
+            model.stage_cost(p, node, 100).unwrap()
+        };
+        let with_hoist = cost_of(&hoisted);
+        let without = cost_of(&raw);
+        assert_eq!(without.programming_bits, 0);
+        // The class memory rides along with every sample instead.
+        assert_eq!(
+            without.stream_bits_per_sample,
+            with_hoist.stream_bits_per_sample + 26 * 2048
+        );
+        assert!(without.accel_seconds() > with_hoist.accel_seconds());
+    }
+
+    #[test]
+    fn reram_computes_faster_but_programs_slower() {
+        let mut p = listing1_stage(1000);
+        hoist_data_movement(&mut p);
+        let model = AcceleratorModel::default();
+        let mut costs = Vec::new();
+        for target in [Target::DigitalAsic, Target::ReRamAccelerator] {
+            let mut q = p.clone();
+            assign_targets(&mut q, &TargetConfig::accelerator(target));
+            let node = q.nodes().iter().find(|n| n.name == "infer").unwrap();
+            costs.push(model.stage_cost(&q, node, 1000).unwrap());
+        }
+        let (asic, reram) = (&costs[0], &costs[1]);
+        // The in-array reduction finishes the whole 26x2048 reduction in one
+        // cycle; the ASIC needs 7 lane passes.
+        assert_eq!(reram.cycles_per_sample, 1);
+        assert_eq!(asic.cycles_per_sample, 7);
+        assert!(reram.programming_seconds > asic.programming_seconds);
+    }
+
+    #[test]
+    fn non_stage_and_cpu_nodes_have_no_cost() {
+        let mut p = listing1_stage(10);
+        // Without accelerator assignment every node is on the CPU.
+        let model = AcceleratorModel::default();
+        for node in p.nodes() {
+            assert!(model.stage_cost(&p, node, 10).is_none());
+        }
+        hoist_data_movement(&mut p);
+        assign_targets(&mut p, &TargetConfig::accelerator(Target::DigitalAsic));
+        let accelerated: usize = p
+            .nodes()
+            .iter()
+            .filter(|n| model.stage_cost(&p, n, 10).is_some())
+            .count();
+        assert_eq!(accelerated, 1);
+    }
+}

@@ -152,6 +152,39 @@ impl ClassificationApp {
         })
     }
 
+    /// Execute the app through the accelerator back end: stage nodes are
+    /// re-targeted onto `target` (with legality demotion), outputs stay
+    /// bit-identical to [`run`](ClassificationApp::run), and the returned
+    /// report carries the modeled accelerator-vs-CPU cost of every
+    /// accelerated stage.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AppError::Runtime`](crate::AppError::Runtime) if execution
+    /// fails.
+    pub fn run_accelerated(
+        &self,
+        model: &hdc_accel::AcceleratorModel,
+        target: hdc_ir::Target,
+    ) -> Result<crate::Accelerated<ClassificationRun>> {
+        let ax = hdc_accel::AcceleratedExecutor::new(&self.program, target, model.clone());
+        let run = ax.run_with(|exec| {
+            exec.bind("train_features", self.train_x.clone())?;
+            exec.bind("test_features", self.test_x.clone())?;
+            exec.bind("train_labels", self.train_y.clone())?;
+            Ok(())
+        })?;
+        let predictions = run.outputs.indices(self.preds)?.to_vec();
+        Ok(crate::Accelerated {
+            run: ClassificationRun {
+                accuracy: self.dataset.test_accuracy(&predictions),
+                predictions,
+                stats: run.stats.exec,
+            },
+            modeled: run.stats.modeled,
+        })
+    }
+
     /// Test accuracy as a function of retraining epochs: one compiled
     /// program per entry of `epochs`, all sharing the dataset and the
     /// (builder-deterministic) projection matrix, run batched. This is the

@@ -69,9 +69,25 @@ impl ClusteringApp {
     /// Returns [`AppError::Compile`](crate::AppError::Compile) if the pass
     /// pipeline rejects the program.
     pub fn new(dataset: Dataset, dim: usize, rounds: usize) -> Result<Self> {
+        Self::with_options(dataset, dim, rounds, &CompileOptions::default())
+    }
+
+    /// [`ClusteringApp::new`] with explicit compile options (e.g. the dense
+    /// baseline configuration, or an accelerator target assignment).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AppError::Compile`](crate::AppError::Compile) if the pass
+    /// pipeline rejects the program.
+    pub fn with_options(
+        dataset: Dataset,
+        dim: usize,
+        rounds: usize,
+        options: &CompileOptions,
+    ) -> Result<Self> {
         let k = dataset.meta.classes;
         let (mut program, assignments) = build_program(&dataset, dim, k, rounds);
-        let report = compile(&mut program, &CompileOptions::default())?;
+        let report = compile(&mut program, options)?;
         let samples = Value::matrix(dataset.train.features.clone());
         Ok(ClusteringApp {
             dataset,
@@ -126,6 +142,37 @@ impl ClusteringApp {
             purity: purity(&assignments, &self.dataset.train.labels, self.k),
             assignments,
             stats: exec.stats(),
+        })
+    }
+
+    /// Execute the app through the accelerator back end: the encoding and
+    /// assignment stages are re-targeted onto `target`, the
+    /// accumulate-by-assignment update loops stay on the CPU (they are
+    /// `parallel_for` nodes, which accelerators do not accept), and the
+    /// assignments stay bit-identical to [`run`](ClusteringApp::run).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AppError::Runtime`](crate::AppError::Runtime) if execution
+    /// fails.
+    pub fn run_accelerated(
+        &self,
+        model: &hdc_accel::AcceleratorModel,
+        target: hdc_ir::Target,
+    ) -> Result<crate::Accelerated<ClusteringRun>> {
+        let ax = hdc_accel::AcceleratedExecutor::new(&self.program, target, model.clone());
+        let run = ax.run_with(|exec| {
+            exec.bind("samples", self.samples.clone())?;
+            Ok(())
+        })?;
+        let assignments = run.outputs.indices(self.assignments)?.to_vec();
+        Ok(crate::Accelerated {
+            run: ClusteringRun {
+                purity: purity(&assignments, &self.dataset.train.labels, self.k),
+                assignments,
+                stats: run.stats.exec,
+            },
+            modeled: run.stats.modeled,
         })
     }
 }

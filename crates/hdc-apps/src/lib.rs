@@ -23,7 +23,11 @@
 //! program (the compile report is kept for inspection), `run(mode)` executes
 //! it under [`ExecMode::Batched`] (matrix-level kernels) or
 //! [`ExecMode::Sequential`] (the per-sample reference oracle) and returns
-//! predictions plus [`ExecStats`](hdc_runtime::ExecStats). The
+//! predictions plus [`ExecStats`](hdc_runtime::ExecStats), and
+//! `run_accelerated(model, target)` executes it through the `hdc-accel`
+//! back end — stages re-targeted onto the digital ASIC or the ReRAM
+//! accelerator, outputs still bit-identical to the CPU modes, plus a
+//! modeled per-stage cost report ([`Accelerated`]). The
 //! `app_equivalence` integration suite pins the two modes to identical
 //! outputs for all three apps; `hdc-bench`'s `perf_json` harness times them
 //! against each other and records the speedups in `BENCH_results.json`.
@@ -61,6 +65,23 @@ pub mod matching;
 pub use classification::{ClassificationApp, ClassificationRun};
 pub use clustering::{ClusteringApp, ClusteringRun};
 pub use matching::{MatchingApp, MatchingRun};
+
+/// An application run executed through the accelerator back end
+/// (`hdc-accel`): the ordinary run outcome — predictions are bit-identical
+/// to the CPU executor modes — plus the modeled per-stage accelerator cost
+/// report.
+///
+/// Produced by each app's `run_accelerated` method. The accelerated path
+/// is not an [`ExecMode`] because it returns strictly more than the CPU
+/// modes do; functionally it executes the batched kernels.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Accelerated<R> {
+    /// The ordinary run outcome (predictions, quality metric, interpreter
+    /// counters).
+    pub run: R,
+    /// The modeled accelerator cost report for the run.
+    pub modeled: hdc_accel::AccelReport,
+}
 
 /// Which executor schedule an app run uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -75,8 +75,24 @@ impl MatchingApp {
     /// Returns [`AppError::Compile`](crate::AppError::Compile) if the pass
     /// pipeline rejects the program (e.g. `k` larger than the library).
     pub fn new(dataset: Dataset, dim: usize, k: usize) -> Result<Self> {
+        Self::with_options(dataset, dim, k, &CompileOptions::default())
+    }
+
+    /// [`MatchingApp::new`] with explicit compile options (e.g. the dense
+    /// baseline configuration, or an accelerator target assignment).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AppError::Compile`](crate::AppError::Compile) if the pass
+    /// pipeline rejects the program (e.g. `k` larger than the library).
+    pub fn with_options(
+        dataset: Dataset,
+        dim: usize,
+        k: usize,
+        options: &CompileOptions,
+    ) -> Result<Self> {
         let (mut program, top_k, top_1) = build_program(&dataset, dim, k);
-        let report = compile(&mut program, &CompileOptions::default())?;
+        let report = compile(&mut program, options)?;
         let library = Value::matrix(dataset.train.features.clone());
         let queries = Value::matrix(dataset.test.features.clone());
         Ok(MatchingApp {
@@ -132,6 +148,42 @@ impl MatchingApp {
             candidates,
             best,
             stats: exec.stats(),
+        })
+    }
+
+    /// Execute the app through the accelerator back end: the two encoding
+    /// stages are re-targeted onto `target` while the all-pairs similarity
+    /// and `arg_top_k` selection stay on the CPU (they are leaf
+    /// instructions, and the accelerators' reduction trees emit a single
+    /// best match, not a candidate list). Candidate lists stay bit-identical
+    /// to [`run`](MatchingApp::run).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AppError::Runtime`](crate::AppError::Runtime) if execution
+    /// fails.
+    pub fn run_accelerated(
+        &self,
+        model: &hdc_accel::AcceleratorModel,
+        target: hdc_ir::Target,
+    ) -> Result<crate::Accelerated<MatchingRun>> {
+        let ax = hdc_accel::AcceleratedExecutor::new(&self.program, target, model.clone());
+        let run = ax.run_with(|exec| {
+            exec.bind("library", self.library.clone())?;
+            exec.bind("queries", self.queries.clone())?;
+            Ok(())
+        })?;
+        let candidates = run.outputs.indices(self.top_k)?.to_vec();
+        let best = run.outputs.indices(self.top_1)?.to_vec();
+        Ok(crate::Accelerated {
+            run: MatchingRun {
+                recall_at_k: self.dataset.test_recall_at_k(&candidates, self.k),
+                recall_at_1: self.dataset.test_accuracy(&best),
+                candidates,
+                best,
+                stats: run.stats.exec,
+            },
+            modeled: run.stats.modeled,
         })
     }
 }

@@ -1,0 +1,152 @@
+//! Accelerator-backend equivalence gates.
+//!
+//! The accelerator execution path is *modeled* for performance but *real*
+//! for outputs: every accelerated stage executes functionally through the
+//! same `hdc-core` kernels the CPU schedules use. This suite pins that
+//! contract for all three applications and both accelerator targets —
+//! accelerated predictions must be bit-identical to the per-sample
+//! sequential oracle — and checks that the modeled report accounts exactly
+//! the stages each program places on the accelerator.
+
+use hdc_accel::AcceleratorModel;
+use hdc_apps::classification::ClassificationApp;
+use hdc_apps::clustering::ClusteringApp;
+use hdc_apps::matching::MatchingApp;
+use hdc_apps::ExecMode;
+use hdc_datasets::synthetic::{
+    emg_like, hyperoms_like, isolet_like, EmgParams, HyperOmsParams, IsoletParams,
+};
+use hdc_datasets::Dataset;
+use hdc_ir::Target;
+
+const DIM: usize = 1024;
+const TARGETS: [Target; 2] = [Target::DigitalAsic, Target::ReRamAccelerator];
+
+fn isolet() -> Dataset {
+    isolet_like(&IsoletParams {
+        classes: 8,
+        features: 96,
+        train_per_class: 20,
+        test_per_class: 12,
+        noise: 2.0,
+        seed: 0xA11,
+    })
+}
+
+fn emg() -> Dataset {
+    emg_like(&EmgParams {
+        gestures: 5,
+        channels: 4,
+        window: 32,
+        train_per_class: 10,
+        test_per_class: 5,
+        noise: 0.7,
+        phase_jitter: 0.6,
+        seed: 0xE3,
+    })
+}
+
+fn spectra() -> Dataset {
+    hyperoms_like(&HyperOmsParams {
+        library_size: 48,
+        bins: 300,
+        peaks: 20,
+        queries_per_entry: 2,
+        ..HyperOmsParams::default()
+    })
+}
+
+#[test]
+fn classification_accelerated_matches_sequential_oracle() {
+    let app = ClassificationApp::new(isolet(), DIM, 3).unwrap();
+    let oracle = app.run(ExecMode::Sequential).unwrap();
+    let model = AcceleratorModel::default();
+    for target in TARGETS {
+        let accel = app.run_accelerated(&model, target).unwrap();
+        assert_eq!(
+            accel.run.predictions, oracle.predictions,
+            "{target}: accelerated classification must match the oracle"
+        );
+        assert_eq!(accel.run.accuracy, oracle.accuracy);
+        // encode_train, encode_test, retrain, infer: all four stages are
+        // legal for the accelerators.
+        assert_eq!(accel.modeled.accelerated_stages(), 4, "{target}");
+        assert!(accel.modeled.demoted.is_empty(), "{target}");
+        assert!(
+            accel.run.stats.accelerated_stage_samples > 0,
+            "{target}: runtime must count accelerator-placed samples"
+        );
+        assert!(accel.modeled.modeled_speedup() > 1.0, "{target}");
+        // The retraining stage programs its class memory and reads the
+        // trained model back.
+        let retrain = accel
+            .modeled
+            .stages
+            .iter()
+            .find(|s| s.kind == "training_loop")
+            .expect("retrain stage modeled");
+        assert!(retrain.programming_bits > 0);
+        assert!(retrain.readback_bits > 0);
+    }
+}
+
+#[test]
+fn clustering_accelerated_matches_sequential_oracle() {
+    let rounds = 3;
+    let app = ClusteringApp::new(emg(), DIM, rounds).unwrap();
+    let oracle = app.run(ExecMode::Sequential).unwrap();
+    let model = AcceleratorModel::default();
+    for target in TARGETS {
+        let accel = app.run_accelerated(&model, target).unwrap();
+        assert_eq!(
+            accel.run.assignments, oracle.assignments,
+            "{target}: accelerated clustering must match the oracle"
+        );
+        assert_eq!(accel.run.purity, oracle.purity);
+        // encode + one assign per round + the final assign; the
+        // accumulate-by-assignment parallel_for loops stay on the CPU.
+        assert_eq!(
+            accel.modeled.accelerated_stages(),
+            1 + rounds + 1,
+            "{target}"
+        );
+        assert!(accel.modeled.modeled_speedup() > 1.0, "{target}");
+    }
+}
+
+#[test]
+fn matching_accelerated_matches_sequential_oracle() {
+    let app = MatchingApp::new(spectra(), DIM, 5).unwrap();
+    let oracle = app.run(ExecMode::Sequential).unwrap();
+    let model = AcceleratorModel::default();
+    for target in TARGETS {
+        let accel = app.run_accelerated(&model, target).unwrap();
+        assert_eq!(
+            accel.run.candidates, oracle.candidates,
+            "{target}: accelerated top-k candidate lists must match the oracle"
+        );
+        assert_eq!(accel.run.best, oracle.best);
+        assert_eq!(accel.run.recall_at_k, oracle.recall_at_k);
+        // Only the two encoding stages are stages; the all-pairs similarity
+        // and arg_top_k selection are leaf instructions on the CPU.
+        assert_eq!(accel.modeled.accelerated_stages(), 2, "{target}");
+        assert!(accel.modeled.modeled_speedup() > 1.0, "{target}");
+    }
+}
+
+#[test]
+fn reram_pays_more_programming_time_than_the_asic() {
+    let app = MatchingApp::new(spectra(), DIM, 5).unwrap();
+    let model = AcceleratorModel::default();
+    let asic = app.run_accelerated(&model, Target::DigitalAsic).unwrap();
+    let reram = app
+        .run_accelerated(&model, Target::ReRamAccelerator)
+        .unwrap();
+    let programming = |r: &hdc_apps::Accelerated<hdc_apps::MatchingRun>| -> f64 {
+        r.modeled.stages.iter().map(|s| s.programming_seconds).sum()
+    };
+    assert!(
+        programming(&reram) > programming(&asic),
+        "slow ReRAM cell writes must dominate programming"
+    );
+}

@@ -1,10 +1,13 @@
 //! Benchmarks for accelerator-bound stage workloads: the coarse-grain
-//! inference loop executed through `hdc-runtime`, dense versus binarized.
-//! (The GPU/ASIC/ReRAM performance-model crates are not in the workspace
-//! yet; these benches measure the reference execution of the stage shapes
-//! those back ends will accelerate.)
+//! inference loop executed through `hdc-runtime` (dense versus binarized),
+//! and the same workload through the `hdc-accel` model-backed path — the
+//! latter measures the *overhead* of the accelerator back end (re-target,
+//! functional execution, cost accounting) over plain batched execution;
+//! the modeled device time itself is analytic and costs nothing to
+//! "execute".
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use hdc_accel::{AcceleratedExecutor, AcceleratorModel};
 use hdc_bench::{CLASSES, DIM};
 use hdc_core::prelude::*;
 use hdc_ir::prelude::*;
@@ -65,9 +68,33 @@ fn bench_stage_inference_binarized(c: &mut Criterion) {
     });
 }
 
+fn run_modeled(ax: &AcceleratedExecutor, preds: ValueId) -> f64 {
+    let mut rng = HdcRng::seed_from_u64(1);
+    let queries: HyperMatrix<f64> = hdc_core::random::random_hypermatrix(SAMPLES, DIM, &mut rng);
+    let classes: HyperMatrix<f64> = hdc_core::random::bipolar_hypermatrix(CLASSES, DIM, &mut rng);
+    let run = ax
+        .run_with(|exec| {
+            exec.bind("queries", Value::matrix(queries))?;
+            exec.bind("classes", Value::matrix(classes))?;
+            Ok(())
+        })
+        .unwrap();
+    let _ = run.outputs.indices(preds).unwrap().len();
+    run.stats.modeled.modeled_speedup()
+}
+
+fn bench_modeled_asic_inference(c: &mut Criterion) {
+    let (p, preds) = inference_program(true);
+    let ax = AcceleratedExecutor::new(&p, Target::DigitalAsic, AcceleratorModel::default());
+    c.bench_function("accelerators/stage-inference16/modeled-asic", |bench| {
+        bench.iter(|| run_modeled(black_box(&ax), preds))
+    });
+}
+
 criterion_group!(
     benches,
     bench_stage_inference_dense,
-    bench_stage_inference_binarized
+    bench_stage_inference_binarized,
+    bench_modeled_asic_inference
 );
 criterion_main!(benches);

@@ -11,19 +11,25 @@
 //! * the **application suite** (`apps`): the three `hdc-apps` workloads
 //!   (classification with retraining, clustering, top-k spectral matching)
 //!   on their seeded `hdc-datasets` generators, compiled through the full
-//!   pass pipeline.
+//!   pass pipeline;
+//! * the **accelerator section** (`accelerator`): the unperforated kernel
+//!   grid points and all three apps re-targeted onto the two modeled HDC
+//!   accelerators (`hdc-accel`), with outputs asserted identical to the
+//!   batched CPU run and the *modeled* accelerator-vs-CPU speedup, cycle
+//!   and energy accounting recorded (deterministic — no wall clocks).
 //!
 //! Results land as JSON (default `BENCH_results.json`), establishing the
 //! perf-trajectory snapshot every future PR is measured against. Run
 //! `perf_json --help` for the flag and schema reference.
 //!
-//! Exit code is non-zero if any configuration's batched outputs diverge
-//! from the sequential oracle (or a flag is unrecognized), so wiring the
-//! smoke grid into CI keeps the JSON emitter, the app suite, and the
-//! equivalence guarantee from rotting.
+//! Exit code is non-zero if any configuration's batched or accelerated
+//! outputs diverge from the sequential oracle (or a flag is unrecognized),
+//! so wiring the smoke grid into CI keeps the JSON emitter, the app suite,
+//! the accelerator model, and the equivalence guarantee from rotting.
 
 #![forbid(unsafe_code)]
 
+use hdc_accel::{AcceleratedExecutor, AcceleratorModel};
 use hdc_apps::{ClassificationApp, ClusteringApp, ExecMode, MatchingApp};
 use hdc_core::element::ElementKind;
 use hdc_core::prelude::*;
@@ -33,8 +39,12 @@ use hdc_datasets::synthetic::{
 use hdc_ir::builder::ProgramBuilder;
 use hdc_ir::program::{Program, ValueId};
 use hdc_ir::stage::ScorePolarity;
+use hdc_ir::Target;
 use hdc_runtime::{ExecStats, Executor, Value};
 use std::time::Instant;
+
+/// The accelerator targets the model covers, in report order.
+const ACCEL_TARGETS: [Target; 2] = [Target::DigitalAsic, Target::ReRamAccelerator];
 
 /// One grid point: an inference workload shape.
 #[derive(Debug, Clone, Copy)]
@@ -283,8 +293,19 @@ fn time_app(
     (best[0], best[1], matches, quality, stats[0], stats[1])
 }
 
-fn measure_classification(smoke: bool, reps: usize) -> AppRecord {
-    let (params, dim, epochs) = if smoke {
+/// The three compiled applications, built once and shared between the
+/// CPU-mode timing section and the accelerator model section.
+struct AppSuite {
+    classification: ClassificationApp,
+    classification_dim: usize,
+    clustering: ClusteringApp,
+    clustering_dim: usize,
+    matching: MatchingApp,
+    matching_dim: usize,
+}
+
+fn build_apps(smoke: bool) -> AppSuite {
+    let (isolet_params, classification_dim, epochs) = if smoke {
         (
             IsoletParams {
                 classes: 4,
@@ -300,31 +321,7 @@ fn measure_classification(smoke: bool, reps: usize) -> AppRecord {
     } else {
         (IsoletParams::default(), 2048, 3)
     };
-    let dataset = isolet_like(&params);
-    let samples = dataset.test.len();
-    let app = ClassificationApp::new(dataset, dim, epochs).expect("app compiles");
-    let (sequential_ms, batched_ms, outputs_match, quality, sequential_stats, batched_stats) =
-        time_app(reps, |mode| {
-            let run = app.run(mode).expect("classification executes");
-            (run.predictions, run.accuracy, run.stats)
-        });
-    AppRecord {
-        app: "classification_retrain",
-        dataset: "isolet-like",
-        dim,
-        samples,
-        quality_metric: "test_accuracy",
-        quality,
-        sequential_ms,
-        batched_ms,
-        outputs_match,
-        batched_stats,
-        sequential_stats,
-    }
-}
-
-fn measure_clustering(smoke: bool, reps: usize) -> AppRecord {
-    let (params, dim, rounds) = if smoke {
+    let (emg_params, clustering_dim, rounds) = if smoke {
         (
             EmgParams {
                 gestures: 3,
@@ -355,31 +352,7 @@ fn measure_clustering(smoke: bool, reps: usize) -> AppRecord {
             3,
         )
     };
-    let dataset = emg_like(&params);
-    let samples = dataset.train.len();
-    let app = ClusteringApp::new(dataset, dim, rounds).expect("app compiles");
-    let (sequential_ms, batched_ms, outputs_match, quality, sequential_stats, batched_stats) =
-        time_app(reps, |mode| {
-            let run = app.run(mode).expect("clustering executes");
-            (run.assignments, run.purity, run.stats)
-        });
-    AppRecord {
-        app: "clustering",
-        dataset: "emg-like",
-        dim,
-        samples,
-        quality_metric: "purity",
-        quality,
-        sequential_ms,
-        batched_ms,
-        outputs_match,
-        batched_stats,
-        sequential_stats,
-    }
-}
-
-fn measure_matching(smoke: bool, reps: usize) -> AppRecord {
-    let (params, dim, k) = if smoke {
+    let (oms_params, matching_dim, k) = if smoke {
         (
             HyperOmsParams {
                 library_size: 16,
@@ -404,9 +377,69 @@ fn measure_matching(smoke: bool, reps: usize) -> AppRecord {
             10,
         )
     };
-    let dataset = hyperoms_like(&params);
-    let samples = dataset.test.len();
-    let app = MatchingApp::new(dataset, dim, k).expect("app compiles");
+    AppSuite {
+        classification: ClassificationApp::new(
+            isolet_like(&isolet_params),
+            classification_dim,
+            epochs,
+        )
+        .expect("app compiles"),
+        classification_dim,
+        clustering: ClusteringApp::new(emg_like(&emg_params), clustering_dim, rounds)
+            .expect("app compiles"),
+        clustering_dim,
+        matching: MatchingApp::new(hyperoms_like(&oms_params), matching_dim, k)
+            .expect("app compiles"),
+        matching_dim,
+    }
+}
+
+fn measure_classification(suite: &AppSuite, reps: usize) -> AppRecord {
+    let app = &suite.classification;
+    let (sequential_ms, batched_ms, outputs_match, quality, sequential_stats, batched_stats) =
+        time_app(reps, |mode| {
+            let run = app.run(mode).expect("classification executes");
+            (run.predictions, run.accuracy, run.stats)
+        });
+    AppRecord {
+        app: "classification_retrain",
+        dataset: "isolet-like",
+        dim: suite.classification_dim,
+        samples: app.dataset().test.len(),
+        quality_metric: "test_accuracy",
+        quality,
+        sequential_ms,
+        batched_ms,
+        outputs_match,
+        batched_stats,
+        sequential_stats,
+    }
+}
+
+fn measure_clustering(suite: &AppSuite, reps: usize) -> AppRecord {
+    let app = &suite.clustering;
+    let (sequential_ms, batched_ms, outputs_match, quality, sequential_stats, batched_stats) =
+        time_app(reps, |mode| {
+            let run = app.run(mode).expect("clustering executes");
+            (run.assignments, run.purity, run.stats)
+        });
+    AppRecord {
+        app: "clustering",
+        dataset: "emg-like",
+        dim: suite.clustering_dim,
+        samples: app.dataset().train.len(),
+        quality_metric: "purity",
+        quality,
+        sequential_ms,
+        batched_ms,
+        outputs_match,
+        batched_stats,
+        sequential_stats,
+    }
+}
+
+fn measure_matching(suite: &AppSuite, reps: usize) -> AppRecord {
+    let app = &suite.matching;
     let (sequential_ms, batched_ms, outputs_match, quality, sequential_stats, batched_stats) =
         time_app(reps, |mode| {
             let run = app.run(mode).expect("matching executes");
@@ -415,8 +448,8 @@ fn measure_matching(smoke: bool, reps: usize) -> AppRecord {
     AppRecord {
         app: "spectral_matching_topk",
         dataset: "hyperoms-like",
-        dim,
-        samples,
+        dim: suite.matching_dim,
+        samples: app.dataset().test.len(),
         quality_metric: "recall_at_k",
         quality,
         sequential_ms,
@@ -425,6 +458,183 @@ fn measure_matching(smoke: bool, reps: usize) -> AppRecord {
         batched_stats,
         sequential_stats,
     }
+}
+
+// ---------------------------------------------------------------------------
+// accelerator model section
+// ---------------------------------------------------------------------------
+
+/// Modeled totals shared by the kernel-grid and app accelerator records.
+struct AccelSummary {
+    accelerated_stages: usize,
+    demoted_stages: usize,
+    programming_bits: u64,
+    /// Total datapath cycles across all accelerated stages and samples
+    /// (per-stage rates are weighted by their own sample counts — a
+    /// training stage's epochs×samples passes and an inference stage's
+    /// query count never share one denominator).
+    modeled_cycles_total: u64,
+    modeled_accel_ms: f64,
+    modeled_cpu_ms: f64,
+    modeled_speedup: f64,
+    modeled_energy_uj: f64,
+    outputs_match: bool,
+}
+
+fn summarize(report: &hdc_accel::AccelReport, outputs_match: bool) -> AccelSummary {
+    AccelSummary {
+        accelerated_stages: report.accelerated_stages(),
+        demoted_stages: report.demoted.len(),
+        programming_bits: report.stages.iter().map(|s| s.programming_bits).sum(),
+        modeled_cycles_total: report
+            .stages
+            .iter()
+            .map(|s| s.cycles_per_sample * s.samples as u64)
+            .sum(),
+        modeled_accel_ms: report.accel_seconds() * 1e3,
+        modeled_cpu_ms: report.cpu_seconds() * 1e3,
+        modeled_speedup: report.modeled_speedup(),
+        modeled_energy_uj: report.energy_joules() * 1e6,
+        outputs_match,
+    }
+}
+
+/// The shared trailing fields of an accelerator JSON record.
+fn summary_json_fields(s: &AccelSummary) -> String {
+    format!(
+        concat!(
+            "        \"accelerated_stages\": {},\n",
+            "        \"demoted_stages\": {},\n",
+            "        \"programming_bits\": {},\n",
+            "        \"modeled_cycles_total\": {},\n",
+            "        \"modeled_accel_ms\": {:.6},\n",
+            "        \"modeled_cpu_ms\": {:.6},\n",
+            "        \"modeled_speedup\": {:.2},\n",
+            "        \"modeled_energy_uj\": {:.3},\n",
+            "        \"outputs_match\": {}\n"
+        ),
+        s.accelerated_stages,
+        s.demoted_stages,
+        s.programming_bits,
+        s.modeled_cycles_total,
+        s.modeled_accel_ms,
+        s.modeled_cpu_ms,
+        s.modeled_speedup,
+        s.modeled_energy_uj,
+        s.outputs_match,
+    )
+}
+
+/// One kernel-grid point on one modeled accelerator.
+struct AccelKernelRecord {
+    cfg: Config,
+    target: Target,
+    summary: AccelSummary,
+}
+
+/// Model one unperforated kernel-grid point on `target`: run it through the
+/// accelerated executor and compare labels against the batched CPU run.
+fn measure_accel_kernel(
+    cfg: Config,
+    target: Target,
+    model: &AcceleratorModel,
+) -> AccelKernelRecord {
+    let (program, preds) = build_program(&cfg);
+    let (queries, classes) = build_data(&cfg);
+    let (_, reference, _) = run_mode(&program, preds, &queries, &classes, true, 1);
+    let ax = AcceleratedExecutor::new(&program, target, model.clone());
+    let run = ax
+        .run_with(|exec| {
+            exec.bind("queries", queries.clone())?;
+            exec.bind("classes", classes.clone())?;
+            Ok(())
+        })
+        .expect("accelerated workload executes");
+    let labels = run.outputs.indices(preds).expect("labels output").to_vec();
+    AccelKernelRecord {
+        cfg,
+        target,
+        summary: summarize(&run.stats.modeled, labels == reference),
+    }
+}
+
+/// One application on one modeled accelerator.
+struct AccelAppRecord {
+    app: &'static str,
+    target: Target,
+    summary: AccelSummary,
+}
+
+/// The batched CPU predictions each accelerated app run is compared
+/// against, computed once and shared across all accelerator targets.
+struct AppReferences {
+    classification: Vec<usize>,
+    clustering: Vec<usize>,
+    matching: Vec<usize>,
+}
+
+fn app_references(suite: &AppSuite) -> AppReferences {
+    AppReferences {
+        classification: suite
+            .classification
+            .run(ExecMode::Batched)
+            .expect("classification executes")
+            .predictions,
+        clustering: suite
+            .clustering
+            .run(ExecMode::Batched)
+            .expect("clustering executes")
+            .assignments,
+        matching: suite
+            .matching
+            .run(ExecMode::Batched)
+            .expect("matching executes")
+            .candidates,
+    }
+}
+
+/// Model all three applications on `target`, comparing predictions against
+/// the shared batched CPU references.
+fn measure_accel_apps(
+    suite: &AppSuite,
+    refs: &AppReferences,
+    target: Target,
+    model: &AcceleratorModel,
+) -> Vec<AccelAppRecord> {
+    let classification = {
+        let accel = suite
+            .classification
+            .run_accelerated(model, target)
+            .expect("accelerated classification executes");
+        AccelAppRecord {
+            app: "classification_retrain",
+            target,
+            summary: summarize(&accel.modeled, accel.run.predictions == refs.classification),
+        }
+    };
+    let clustering = {
+        let accel = suite
+            .clustering
+            .run_accelerated(model, target)
+            .expect("accelerated clustering executes");
+        AccelAppRecord {
+            app: "clustering",
+            target,
+            summary: summarize(&accel.modeled, accel.run.assignments == refs.clustering),
+        }
+    };
+    let matching = {
+        let accel = suite
+            .matching
+            .run_accelerated(model, target)
+            .expect("accelerated matching executes");
+        AccelAppRecord {
+            app: "spectral_matching_topk",
+            target,
+            summary: summarize(&accel.modeled, accel.run.candidates == refs.matching),
+        }
+    };
+    vec![classification, clustering, matching]
 }
 
 fn json_escape_free(s: &str) -> &str {
@@ -508,28 +718,121 @@ fn app_json(r: &AppRecord) -> String {
     )
 }
 
-fn emit_json(records: &[Record], apps: &[AppRecord], smoke: bool) -> String {
+fn accel_kernel_json(r: &AccelKernelRecord) -> String {
+    format!(
+        concat!(
+            "      {{\n",
+            "        \"dim\": {},\n",
+            "        \"classes\": {},\n",
+            "        \"queries\": {},\n",
+            "        \"representation\": \"{}\",\n",
+            "        \"target\": \"{}\",\n",
+            "{}",
+            "      }}"
+        ),
+        r.cfg.dim,
+        r.cfg.classes,
+        r.cfg.queries,
+        json_escape_free(r.cfg.representation()),
+        r.target,
+        summary_json_fields(&r.summary),
+    )
+}
+
+fn accel_app_json(r: &AccelAppRecord) -> String {
+    format!(
+        concat!(
+            "      {{\n",
+            "        \"app\": \"{}\",\n",
+            "        \"target\": \"{}\",\n",
+            "{}",
+            "      }}"
+        ),
+        json_escape_free(r.app),
+        r.target,
+        summary_json_fields(&r.summary),
+    )
+}
+
+fn accel_params_json(model: &AcceleratorModel) -> String {
+    let target_json = |p: &hdc_accel::AccelParams| -> String {
+        format!(
+            concat!(
+                "      {{\n",
+                "        \"target\": \"{}\",\n",
+                "        \"clock_hz\": {:e},\n",
+                "        \"reduce_lane_bits\": {},\n",
+                "        \"map_lane_bits\": {},\n",
+                "        \"stream_bits_per_sec\": {:e},\n",
+                "        \"program_bits_per_sec\": {:e},\n",
+                "        \"energy_per_cycle_j\": {:e},\n",
+                "        \"energy_per_bit_j\": {:e}\n",
+                "      }}"
+            ),
+            p.target,
+            p.clock_hz,
+            p.reduce_lane_bits,
+            p.map_lane_bits,
+            p.stream_bits_per_sec,
+            p.program_bits_per_sec,
+            p.energy_per_cycle_j,
+            p.energy_per_bit_j,
+        )
+    };
+    format!(
+        concat!(
+            "    \"cpu_model\": {{ \"flops_per_sec\": {:e}, \"bytes_per_sec\": {:e} }},\n",
+            "    \"targets\": [\n{}\n    ]"
+        ),
+        model.cpu.flops_per_sec,
+        model.cpu.bytes_per_sec,
+        [&model.digital_asic, &model.reram]
+            .into_iter()
+            .map(target_json)
+            .collect::<Vec<_>>()
+            .join(",\n"),
+    )
+}
+
+fn emit_json(
+    records: &[Record],
+    apps: &[AppRecord],
+    model: &AcceleratorModel,
+    accel_kernels: &[AccelKernelRecord],
+    accel_apps: &[AccelAppRecord],
+    smoke: bool,
+) -> String {
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
     let rows: Vec<String> = records.iter().map(record_json).collect();
     let app_rows: Vec<String> = apps.iter().map(app_json).collect();
+    let accel_kernel_rows: Vec<String> = accel_kernels.iter().map(accel_kernel_json).collect();
+    let accel_app_rows: Vec<String> = accel_apps.iter().map(accel_app_json).collect();
     format!(
         concat!(
             "{{\n",
-            "  \"schema\": \"hdc-bench/perf_json/v2\",\n",
+            "  \"schema\": \"hdc-bench/perf_json/v3\",\n",
             "  \"workload\": \"batched_inference_vs_sequential\",\n",
             "  \"grid\": \"{}\",\n",
             "  \"cores\": {},\n",
             "  \"command\": \"cargo run --release -p hdc-bench --bin perf_json\",\n",
             "  \"records\": [\n{}\n  ],\n",
-            "  \"apps\": [\n{}\n  ]\n",
+            "  \"apps\": [\n{}\n  ],\n",
+            "  \"accelerator\": {{\n",
+            "{},\n",
+            "    \"kernel_grid\": [\n{}\n    ],\n",
+            "    \"apps\": [\n{}\n    ]\n",
+            "  }}\n",
             "}}\n"
         ),
         if smoke { "smoke" } else { "full" },
         cores,
         rows.join(",\n"),
-        app_rows.join(",\n")
+        app_rows.join(",\n"),
+        accel_params_json(model),
+        accel_kernel_rows.join(",\n"),
+        accel_app_rows.join(",\n"),
     )
 }
 
@@ -541,7 +844,15 @@ x dense/binarized x perforation {1.0, 0.5}) and the three hdc-apps workloads
 (classification with retraining, clustering, top-k spectral matching), each
 once on the sequential reference oracle (per-sample stage loops, dense
 reference reductions, per-row selection) and once on the batched kernel
-path, asserting identical outputs before recording timings.
+path, asserting identical outputs before recording timings. The same
+workloads are then re-targeted onto the two modeled HDC accelerators
+(hdc-accel: the digital ASIC and the ReRAM PIM design) — outputs asserted
+identical to the batched CPU run, modeled accelerator-vs-CPU speedups,
+cycle and energy accounting recorded. Only the unperforated kernel-grid
+points appear in the accelerator section: stages carrying red_perf are
+demoted off the accelerators by the target-assignment legality rules, so
+there is nothing to model. The accelerator numbers are fully deterministic
+(no wall clocks); see docs/accelerator-model.md for the equations.
 
 USAGE:
     cargo run --release -p hdc-bench --bin perf_json [-- OPTIONS]
@@ -554,9 +865,9 @@ OPTIONS:
                    BENCH_results.json).
     -h, --help     Print this help and exit.
 
-OUTPUT (schema \"hdc-bench/perf_json/v2\"):
+OUTPUT (schema \"hdc-bench/perf_json/v3\"):
     {
-      \"schema\": \"hdc-bench/perf_json/v2\",
+      \"schema\": \"hdc-bench/perf_json/v3\",
       \"grid\": \"full\" | \"smoke\",
       \"cores\": <host cores>,
       \"records\": [  // kernel grid, one object per configuration
@@ -572,11 +883,31 @@ OUTPUT (schema \"hdc-bench/perf_json/v2\"):
           \"quality_metric\", \"quality\",        // accuracy / purity / recall@k
           \"sequential_ms\", \"batched_ms\", \"speedup\", \"outputs_match\",
           \"sequential_tensor_bytes_copied\", \"batched_tensor_bytes_copied\",
-          \"batched_kernel_ops\" } ]
+          \"batched_kernel_ops\" } ],
+      \"accelerator\": {  // modeled accelerator back end (hdc-accel)
+        \"cpu_model\": { \"flops_per_sec\", \"bytes_per_sec\" },  // CPU roofline
+        \"targets\": [   // the modeled device parameters, one per target
+          { \"target\", \"clock_hz\", \"reduce_lane_bits\", \"map_lane_bits\",
+            \"stream_bits_per_sec\", \"program_bits_per_sec\",
+            \"energy_per_cycle_j\", \"energy_per_bit_j\" } ],
+        \"kernel_grid\": [  // unperforated grid points x targets
+          { \"dim\", \"classes\", \"queries\", \"representation\", \"target\",
+            \"accelerated_stages\", \"demoted_stages\",
+            \"programming_bits\",               // persistent memories, once
+            \"modeled_cycles_total\",           // datapath cycles, all stages x samples
+            \"modeled_accel_ms\", \"modeled_cpu_ms\", \"modeled_speedup\",
+            \"modeled_energy_uj\",
+            \"outputs_match\" } ],             // accelerated == batched labels
+        \"apps\": [        // application suite x targets, same fields
+          { \"app\", \"target\", \"accelerated_stages\", \"demoted_stages\",
+            \"programming_bits\", \"modeled_cycles_total\",
+            \"modeled_accel_ms\", \"modeled_cpu_ms\", \"modeled_speedup\",
+            \"modeled_energy_uj\", \"outputs_match\" } ]
+      }
     }
 
-Exit status: 0 on success, 1 if any batched output diverged from the
-sequential oracle, 2 on a usage error.";
+Exit status: 0 on success, 1 if any batched or accelerated output diverged
+from the reference, 2 on a usage error.";
 
 struct Args {
     smoke: bool,
@@ -654,10 +985,11 @@ fn main() {
         "\n{:>24} {:>14} {:>6} {:>14} {:>12} {:>8} {:>16}  match",
         "app", "dataset", "dim", "sequential_ms", "batched_ms", "speedup", "quality"
     );
+    let suite = build_apps(smoke);
     let apps = vec![
-        measure_classification(smoke, reps),
-        measure_clustering(smoke, reps),
-        measure_matching(smoke, reps),
+        measure_classification(&suite, reps),
+        measure_clustering(&suite, reps),
+        measure_matching(&suite, reps),
     ];
     for record in &apps {
         all_match &= record.outputs_match;
@@ -679,11 +1011,80 @@ fn main() {
         );
     }
 
-    let json = emit_json(&records, &apps, smoke);
+    // ----- modeled accelerator section -----
+    let model = AcceleratorModel::default();
+    println!(
+        "\n{:>6} {:>8} {:>10} {:>18} {:>8} {:>16} {:>14} {:>8}  match",
+        "dim",
+        "classes",
+        "repr",
+        "target",
+        "stages",
+        "modeled_accel_ms",
+        "modeled_cpu_ms",
+        "speedup"
+    );
+    let mut accel_kernels = Vec::new();
+    for cfg in if smoke { smoke_grid() } else { full_grid() } {
+        // red_perf stages demote off the accelerators; only unperforated
+        // points have accelerated work to model.
+        if cfg.stride != 1 {
+            continue;
+        }
+        for target in ACCEL_TARGETS {
+            let record = measure_accel_kernel(cfg, target, &model);
+            all_match &= record.summary.outputs_match;
+            println!(
+                "{:>6} {:>8} {:>10} {:>18} {:>8} {:>16.4} {:>14.4} {:>7.2}x  {}",
+                record.cfg.dim,
+                record.cfg.classes,
+                record.cfg.representation(),
+                record.target.to_string(),
+                record.summary.accelerated_stages,
+                record.summary.modeled_accel_ms,
+                record.summary.modeled_cpu_ms,
+                record.summary.modeled_speedup,
+                if record.summary.outputs_match {
+                    "ok"
+                } else {
+                    "MISMATCH"
+                }
+            );
+            accel_kernels.push(record);
+        }
+    }
+    println!(
+        "\n{:>24} {:>18} {:>8} {:>16} {:>14} {:>8}  match",
+        "app", "target", "stages", "modeled_accel_ms", "modeled_cpu_ms", "speedup"
+    );
+    let mut accel_apps = Vec::new();
+    let refs = app_references(&suite);
+    for target in ACCEL_TARGETS {
+        for record in measure_accel_apps(&suite, &refs, target, &model) {
+            all_match &= record.summary.outputs_match;
+            println!(
+                "{:>24} {:>18} {:>8} {:>16.4} {:>14.4} {:>7.2}x  {}",
+                record.app,
+                record.target.to_string(),
+                record.summary.accelerated_stages,
+                record.summary.modeled_accel_ms,
+                record.summary.modeled_cpu_ms,
+                record.summary.modeled_speedup,
+                if record.summary.outputs_match {
+                    "ok"
+                } else {
+                    "MISMATCH"
+                }
+            );
+            accel_apps.push(record);
+        }
+    }
+
+    let json = emit_json(&records, &apps, &model, &accel_kernels, &accel_apps, smoke);
     std::fs::write(&args.out_path, json).expect("write results file");
     println!("\nwrote {}", args.out_path);
     if !all_match {
-        eprintln!("error: batched outputs diverged from the sequential oracle");
+        eprintln!("error: batched or accelerated outputs diverged from the reference");
         std::process::exit(1);
     }
 }

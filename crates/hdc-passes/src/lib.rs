@@ -43,5 +43,6 @@ pub use pipeline::{
     PipelineError, PipelineReport,
 };
 pub use target_assign::{
-    accelerator_supports, assign_targets, TargetAssignPass, TargetAssignReport, TargetConfig,
+    accelerator_supports, assign_targets, stage_illegal_reason, stage_placements, StagePlacement,
+    TargetAssignPass, TargetAssignReport, TargetConfig,
 };

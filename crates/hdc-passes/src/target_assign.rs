@@ -66,6 +66,21 @@ impl TargetConfig {
 
     /// Stage nodes on an HDC accelerator, everything else (and illegal
     /// stages) on the CPU.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use hdc_ir::Target;
+    /// use hdc_passes::TargetConfig;
+    ///
+    /// let config = TargetConfig::accelerator(Target::DigitalAsic);
+    /// assert_eq!(config.stage_target, Target::DigitalAsic);
+    /// assert_eq!(config.fallback, Target::Cpu);
+    /// ```
+    ///
+    /// # Panics
+    ///
+    /// Panics if `accelerator` is not an HDC accelerator target.
     pub fn accelerator(accelerator: Target) -> Self {
         assert!(
             accelerator.is_hdc_accelerator(),
@@ -99,6 +114,16 @@ pub struct TargetAssignReport {
 /// floating-point math (division, element-wise cosine, Gaussian sampling,
 /// casts to a float kind) have no hardware equivalent and force the stage
 /// onto a programmable device.
+///
+/// # Examples
+///
+/// ```
+/// use hdc_ir::ops::HdcOp;
+/// use hdc_passes::accelerator_supports;
+///
+/// assert!(accelerator_supports(&HdcOp::HammingDistance));
+/// assert!(!accelerator_supports(&HdcOp::ArgTopK { k: 5 }));
+/// ```
 pub fn accelerator_supports(op: &HdcOp) -> bool {
     match op {
         HdcOp::Elementwise(ElementwiseOp::Div)
@@ -113,8 +138,14 @@ pub fn accelerator_supports(op: &HdcOp) -> bool {
     }
 }
 
-/// Why a stage cannot be placed on an HDC accelerator.
-fn stage_illegal_reason(node: &Node) -> Option<&'static str> {
+/// Why a stage cannot be placed on an HDC accelerator, or `None` when the
+/// stage is legal (non-stage nodes are never placed on accelerators and
+/// also return `None`).
+///
+/// This is the legality predicate [`assign_targets`] demotes by; it is
+/// public so accelerator back ends (the `hdc-accel` crate) can report *why*
+/// a stage stayed on the fallback device.
+pub fn stage_illegal_reason(node: &Node) -> Option<&'static str> {
     let stage = match &node.body {
         NodeBody::Stage(stage) => stage,
         // Non-stage nodes are never placed on accelerators; the question
@@ -130,6 +161,79 @@ fn stage_illegal_reason(node: &Node) -> Option<&'static str> {
     None
 }
 
+/// The placement decision for one stage node, as read back from an assigned
+/// program by [`stage_placements`].
+///
+/// This is the per-stage metadata an accelerator performance model
+/// consumes: which device the stage landed on, its kind and static sample
+/// count, and — when it is *not* on an accelerator — the legality reason
+/// that would keep it off one.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StagePlacement {
+    /// Name of the stage node.
+    pub node: String,
+    /// Stage kind name (`encoding_loop` / `training_loop` /
+    /// `inference_loop`).
+    pub kind: &'static str,
+    /// The target the stage is currently assigned to.
+    pub target: Target,
+    /// Why the stage is illegal for an HDC accelerator, if it is.
+    pub illegal_reason: Option<&'static str>,
+}
+
+impl StagePlacement {
+    /// Whether the stage is placed on one of the HDC accelerators.
+    pub fn accelerated(&self) -> bool {
+        self.target.is_hdc_accelerator()
+    }
+}
+
+/// Read back the per-stage placement decisions of an assigned program.
+///
+/// Call after [`assign_targets`] (or the full pipeline): each stage node is
+/// reported with its current target and, for stages on a programmable
+/// device, the accelerator-legality reason (if any) that
+/// [`assign_targets`] would demote it for.
+///
+/// # Examples
+///
+/// ```
+/// use hdc_core::element::ElementKind;
+/// use hdc_ir::builder::ProgramBuilder;
+/// use hdc_ir::Target;
+/// use hdc_passes::{assign_targets, stage_placements, TargetConfig};
+///
+/// let mut b = ProgramBuilder::new("placements");
+/// let q = b.input_matrix("q", ElementKind::Bit, 4, 128);
+/// let c = b.input_matrix("c", ElementKind::Bit, 2, 128);
+/// let preds = b.inference_loop(
+///     "infer", q, c, hdc_ir::stage::ScorePolarity::Distance,
+///     |b, s| b.hamming_distance(s, c),
+/// );
+/// b.mark_output(preds);
+/// let mut p = b.finish();
+/// assign_targets(&mut p, &TargetConfig::accelerator(Target::DigitalAsic));
+/// let placements = stage_placements(&p);
+/// assert_eq!(placements.len(), 1);
+/// assert!(placements[0].accelerated());
+/// assert_eq!(placements[0].illegal_reason, None);
+/// ```
+pub fn stage_placements(program: &Program) -> Vec<StagePlacement> {
+    program
+        .nodes()
+        .iter()
+        .filter_map(|node| match &node.body {
+            NodeBody::Stage(stage) => Some(StagePlacement {
+                node: node.name.clone(),
+                kind: stage.kind.name(),
+                target: node.target,
+                illegal_reason: stage_illegal_reason(node),
+            }),
+            _ => None,
+        })
+        .collect()
+}
+
 /// Assign every node of `program` a target according to `config`.
 ///
 /// Leaf and `parallel_for` nodes take `leaf_target` / `parallel_target`
@@ -137,6 +241,28 @@ fn stage_illegal_reason(node: &Node) -> Option<&'static str> {
 /// `stage_target` when legal; when `stage_target` is an HDC accelerator and
 /// the stage carries perforation annotations or unsupported ops, the stage
 /// is demoted to `config.fallback` and counted in the report.
+///
+/// # Examples
+///
+/// ```
+/// use hdc_core::element::ElementKind;
+/// use hdc_ir::builder::ProgramBuilder;
+/// use hdc_ir::Target;
+/// use hdc_passes::{assign_targets, TargetConfig};
+///
+/// let mut b = ProgramBuilder::new("assign");
+/// let q = b.input_matrix("q", ElementKind::Bit, 4, 128);
+/// let c = b.input_matrix("c", ElementKind::Bit, 2, 128);
+/// let preds = b.inference_loop(
+///     "infer", q, c, hdc_ir::stage::ScorePolarity::Distance,
+///     |b, s| b.hamming_distance(s, c),
+/// );
+/// b.mark_output(preds);
+/// let mut p = b.finish();
+/// let report = assign_targets(&mut p, &TargetConfig::accelerator(Target::ReRamAccelerator));
+/// assert_eq!(report.accelerated_stages, 1);
+/// assert_eq!(report.demoted_stages, 0);
+/// ```
 pub fn assign_targets(program: &mut Program, config: &TargetConfig) -> TargetAssignReport {
     let mut report = TargetAssignReport::default();
     for node in program.nodes_mut() {
@@ -298,6 +424,22 @@ mod tests {
     #[should_panic(expected = "requires an HDC accelerator")]
     fn accelerator_config_rejects_non_accelerator() {
         TargetConfig::accelerator(Target::Gpu);
+    }
+
+    #[test]
+    fn stage_placements_report_targets_and_reasons() {
+        let mut p = staged_program(true, false);
+        assign_targets(&mut p, &TargetConfig::accelerator(Target::DigitalAsic));
+        let placements = stage_placements(&p);
+        assert_eq!(placements.len(), 2, "encode + infer");
+        let encode = placements.iter().find(|s| s.node == "encode").unwrap();
+        assert!(encode.accelerated());
+        assert_eq!(encode.kind, "encoding_loop");
+        assert_eq!(encode.illegal_reason, None);
+        let infer = placements.iter().find(|s| s.node == "infer").unwrap();
+        assert!(!infer.accelerated(), "perforated stage demoted");
+        assert_eq!(infer.kind, "inference_loop");
+        assert!(infer.illegal_reason.unwrap().contains("red_perf"));
     }
 
     #[test]

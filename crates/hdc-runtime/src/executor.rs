@@ -83,6 +83,13 @@ pub struct ExecStats {
     /// stage loops, and copy-on-write of shared payloads. The batched
     /// inference path performs none.
     pub tensor_bytes_copied: usize,
+    /// Per-sample stage-body executions performed on behalf of a stage node
+    /// placed on an HDC accelerator target. The interpreter executes these
+    /// samples functionally with the same kernels as CPU-targeted stages
+    /// (it is the output oracle); the count is what an accelerator
+    /// performance model (see the `hdc-accel` crate) multiplies by its
+    /// per-sample modeled cost.
+    pub accelerated_stage_samples: usize,
 }
 
 impl ExecStats {
@@ -93,7 +100,27 @@ impl ExecStats {
         self.bit_kernel_ops += other.bit_kernel_ops;
         self.batched_kernel_ops += other.batched_kernel_ops;
         self.tensor_bytes_copied += other.tensor_bytes_copied;
+        self.accelerated_stage_samples += other.accelerated_stage_samples;
     }
+}
+
+/// One stage node executed by a run, in execution order: the placement and
+/// sample-count record an accelerator back end needs to account modeled
+/// per-stage cost against what actually ran.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageTraceEntry {
+    /// Name of the stage node.
+    pub node: String,
+    /// Stage kind name (`encoding_loop` / `training_loop` /
+    /// `inference_loop`).
+    pub kind: &'static str,
+    /// Hardware target the node was assigned to by the compiler.
+    pub target: hdc_ir::Target,
+    /// Per-sample body executions the stage performed (training loops count
+    /// every epoch's pass over every sample).
+    pub samples: usize,
+    /// Whether the stage ran as one batched matrix-level kernel call.
+    pub batched: bool,
 }
 
 /// The typed outputs of a program execution.
@@ -214,6 +241,7 @@ pub struct Executor<'p> {
     batch_stages: bool,
     parallel_loops: bool,
     row_log: Option<RowLog>,
+    stage_trace: Vec<StageTraceEntry>,
 }
 
 impl<'p> Executor<'p> {
@@ -232,6 +260,7 @@ impl<'p> Executor<'p> {
             batch_stages: true,
             parallel_loops: true,
             row_log: None,
+            stage_trace: Vec::new(),
         })
     }
 
@@ -299,6 +328,14 @@ impl<'p> Executor<'p> {
     /// Execution counters accumulated so far.
     pub fn stats(&self) -> ExecStats {
         self.stats
+    }
+
+    /// The stage nodes executed so far, in execution order, with their
+    /// compiler-assigned target and processed sample count. Accelerator
+    /// back ends (the `hdc-accel` crate) consume this trace to charge
+    /// modeled per-stage cost against exactly the work that ran.
+    pub fn stage_trace(&self) -> &[StageTraceEntry] {
+        &self.stage_trace
     }
 
     /// Execute the program and collect its outputs.
@@ -448,7 +485,7 @@ impl<'p> Executor<'p> {
                 }
                 Ok(())
             }
-            NodeBody::Stage(stage) => self.exec_stage(stage),
+            NodeBody::Stage(stage) => self.exec_stage(node, stage),
         }
     }
 
@@ -573,6 +610,7 @@ impl<'p> Executor<'p> {
                         targets: targets.clone(),
                         writes: Vec::new(),
                     }),
+                    stage_trace: Vec::new(),
                 };
                 scratch.set(index, Value::Scalar(i as f64));
                 scratch.exec_instrs(body)?;
@@ -636,9 +674,27 @@ impl<'p> Executor<'p> {
     // stage execution
     // ------------------------------------------------------------------
 
-    fn exec_stage(&mut self, stage: &StageNode) -> Result<()> {
+    fn exec_stage(&mut self, node: &Node, stage: &StageNode) -> Result<()> {
+        let samples_before = self.stats.stage_samples;
+        let batched = self.exec_stage_body(stage)?;
+        let samples = self.stats.stage_samples - samples_before;
+        if node.target.is_hdc_accelerator() {
+            self.stats.accelerated_stage_samples += samples;
+        }
+        self.stage_trace.push(StageTraceEntry {
+            node: node.name.clone(),
+            kind: stage.kind.name(),
+            target: node.target,
+            samples,
+            batched,
+        });
+        Ok(())
+    }
+
+    /// Execute a stage body, returning whether the batched schedule ran.
+    fn exec_stage_body(&mut self, stage: &StageNode) -> Result<bool> {
         if self.batch_stages && self.exec_stage_batched(stage)? {
-            return Ok(());
+            return Ok(true);
         }
         // ----- per-sample sequential reference oracle -----
         let (queries, copied) = self
@@ -770,7 +826,7 @@ impl<'p> Executor<'p> {
                 }
             }
         }
-        Ok(())
+        Ok(false)
     }
 
     /// Recognize a stage body the batched kernels can execute in one call.

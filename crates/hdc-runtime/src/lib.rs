@@ -16,7 +16,15 @@
 //!   snapshotting the store, and collecting outputs never copy a tensor.
 //! * [`Outputs`] — typed access to the program's output slots after a run.
 //! * [`ExecStats`] — execution counters (instructions, stage samples, bit
-//!   kernel dispatches, batched kernel calls, tensor bytes copied).
+//!   kernel dispatches, batched kernel calls, tensor bytes copied,
+//!   accelerator-placed stage samples).
+//! * [`StageTraceEntry`] — the per-run record of every executed stage node
+//!   (name, kind, compiler-assigned target, samples, schedule), exposed via
+//!   [`Executor::stage_trace`]. Stages placed on an HDC accelerator target
+//!   still execute *functionally* here — the interpreter is the output
+//!   oracle for every back end — while the trace lets an accelerator
+//!   performance model (the `hdc-accel` crate) charge modeled cycles and
+//!   energy against exactly the stage work that ran.
 //!
 //! # Batched execution
 //!
@@ -90,7 +98,7 @@ pub mod executor;
 pub mod value;
 
 pub use error::{Result, RuntimeError};
-pub use executor::{ExecStats, Executor, Outputs};
+pub use executor::{ExecStats, Executor, Outputs, StageTraceEntry};
 pub use value::Value;
 
 #[cfg(test)]

@@ -13,22 +13,25 @@
 //!   data-movement hoisting, target assignment, and the pass manager.
 //! * [`runtime`] — the reference program executor: the value store and the
 //!   CPU interpretation of every HDC intrinsic (dense and bit-packed).
+//! * [`accel`] — the accelerator back end: analytical performance models
+//!   for the digital ASIC and ReRAM targets, and the model-backed
+//!   `AcceleratedExecutor` that reports modeled accelerator-vs-CPU
+//!   speedups while the runtime kernels produce the outputs.
 //! * [`datasets`] — seeded synthetic workloads (ISOLET-like, EMG-like,
 //!   HyperOMS-like) behind the `Dataset { train, test, meta }` API.
 //! * [`apps`] — the application suite: HD classification with retraining,
 //!   HD clustering, and top-k spectral matching, each compiled through the
-//!   full pass pipeline and executable in batched or sequential mode.
+//!   full pass pipeline, executable in batched or sequential mode, and —
+//!   via `run_accelerated` — through the accelerator back end.
 //!
-//! Planned crates not yet in the workspace (tracked in `ROADMAP.md`): the
-//! GPU performance models and accelerator simulators (`hdc-accel`). Their
-//! re-exports will be added here when the crates land.
-//!
-//! See `README.md` for the workspace layout and a quickstart, and
-//! `docs/architecture.md` for the IR → passes → executor walkthrough.
+//! See `README.md` for the workspace layout and a quickstart,
+//! `docs/architecture.md` for the IR → passes → executor walkthrough, and
+//! `docs/accelerator-model.md` for the accelerator cost model.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use hdc_accel as accel;
 pub use hdc_apps as apps;
 pub use hdc_core as core;
 pub use hdc_datasets as datasets;
