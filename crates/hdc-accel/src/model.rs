@@ -15,9 +15,16 @@
 //!    streams out at `stream_bits_per_sec`, while the stage body's
 //!    [`LoopNest`]s execute on the datapath — `ceil(iterations × operand
 //!    bits / lane bits)` cycles per instruction, with reduction nests using
-//!    `reduce_lane_bits` and element-wise nests `map_lane_bits`. Training
-//!    stages additionally read the trained class memory back once at stage
-//!    exit.
+//!    `reduce_lane_bits` and element-wise nests `map_lane_bits`.
+//!
+//! Training stages cost the **batched streaming pattern** the runtime's
+//! batched-epoch schedule executes: the device scores each epoch against a
+//! frozen class memory and streams the per-sample prediction back (32 bits
+//! per sample, on top of the label in), the host replays the perceptron
+//! updates, and the updated class memory is re-programmed at every epoch
+//! boundary ([`StageCost::reprogramming_bits`], `(epochs - 1) ×
+//! bits(classes)` at `program_bits_per_sec`). The trained class memory is
+//! read back once at stage exit, as before.
 //!
 //! The CPU comparison point runs the *same* nests through a two-term
 //! roofline ([`CpuParams`]), so a modeled speedup is a ratio of two
@@ -56,6 +63,11 @@ pub struct StageCost {
     pub samples: usize,
     /// Bits programmed once into persistent device memories.
     pub programming_bits: u64,
+    /// Bits re-programmed into the class memory between training epochs
+    /// (`(epochs - 1) x bits(classes)` — the batched-epoch schedule writes
+    /// the host-replayed updates back at every epoch boundary); zero for
+    /// non-training stages.
+    pub reprogramming_bits: u64,
     /// Bits streamed per sample (query row in + per-sample result out,
     /// plus any non-persistent stage input re-transferred every sample).
     pub stream_bits_per_sample: u64,
@@ -151,9 +163,12 @@ impl AcceleratorModel {
             .map(|&v| logical_bits(&program.value(v).ty))
             .sum();
         let stream_bits_per_sample = per_sample_stream_bits(program, stage);
-        let readback_bits = match stage.kind {
-            StageKind::Training { .. } => logical_bits(&program.value(stage.interface.output).ty),
-            _ => 0,
+        let (readback_bits, reprogramming_bits) = match stage.kind {
+            StageKind::Training { epochs } => {
+                let model_bits = logical_bits(&program.value(stage.interface.output).ty);
+                (model_bits, epochs.saturating_sub(1) as u64 * model_bits)
+            }
+            _ => (0, 0),
         };
         let cycles_per_sample: u64 = stage
             .body
@@ -165,12 +180,13 @@ impl AcceleratorModel {
             .sum();
 
         let n = samples as f64;
-        let programming_seconds = programming_bits as f64 / params.program_bits_per_sec;
+        let programming_seconds =
+            (programming_bits + reprogramming_bits) as f64 / params.program_bits_per_sec;
         let streaming_seconds =
             (n * stream_bits_per_sample as f64 + readback_bits as f64) / params.stream_bits_per_sec;
         let compute_seconds = n * cycles_per_sample as f64 / params.clock_hz;
-        let moved_bits =
-            programming_bits as f64 + readback_bits as f64 + n * stream_bits_per_sample as f64;
+        let moved_bits = (programming_bits + reprogramming_bits + readback_bits) as f64
+            + n * stream_bits_per_sample as f64;
         let energy_joules = moved_bits * params.energy_per_bit_j
             + n * cycles_per_sample as f64 * params.energy_per_cycle_j;
 
@@ -187,6 +203,7 @@ impl AcceleratorModel {
             target: node.target,
             samples,
             programming_bits,
+            reprogramming_bits,
             stream_bits_per_sample,
             readback_bits,
             cycles_per_sample,
@@ -242,7 +259,8 @@ fn row_bits(ty: &ValueType) -> u64 {
 }
 
 /// Bits streamed per sample: the query row in, the per-sample result out,
-/// a 32-bit ground-truth label for training stages, and — only when the
+/// a 32-bit ground-truth label plus the 32-bit prediction readback of the
+/// batched-epoch schedule for training stages, and — only when the
 /// data-movement pass did *not* mark them persistent — every other
 /// loop-invariant stage input, re-transferred each iteration.
 fn per_sample_stream_bits(program: &Program, stage: &StageNode) -> u64 {
@@ -250,7 +268,8 @@ fn per_sample_stream_bits(program: &Program, stage: &StageNode) -> u64 {
     bits += match stage.kind {
         StageKind::Encoding => row_bits(&program.value(stage.interface.output).ty),
         StageKind::Inference => INDEX_BITS,
-        StageKind::Training { .. } => INDEX_BITS, // the sample's label
+        // The sample's label in, its epoch-scored prediction out.
+        StageKind::Training { .. } => 2 * INDEX_BITS,
     };
     let written: Vec<ValueId> = stage.written_values();
     for v in stage.read_values() {
@@ -336,6 +355,59 @@ mod tests {
         );
         assert_eq!(cost.compute_seconds, 1000.0 * 7.0 / params.clock_hz);
         assert!(cost.speedup() > 1.0, "modeled win: {}", cost.speedup());
+    }
+
+    #[test]
+    fn training_stage_costs_the_batched_streaming_pattern() {
+        let mut b = ProgramBuilder::new("train_cost");
+        let q = b.input_matrix("encoded", ElementKind::Bit, 100, 2048);
+        let y = b.input_indices("labels", 100);
+        let c = b.input_matrix("classes", ElementKind::Bit, 26, 2048);
+        let trained = b.training_loop("retrain", q, y, c, 3, ScorePolarity::Distance, |b, s| {
+            b.hamming_distance(s, c)
+        });
+        b.mark_output(trained);
+        let mut p = b.finish();
+        hoist_data_movement(&mut p);
+        assign_targets(&mut p, &TargetConfig::accelerator(Target::DigitalAsic));
+        let model = AcceleratorModel::default();
+        let node = p
+            .nodes()
+            .iter()
+            .find(|n| n.name == "retrain")
+            .expect("stage present");
+        let model_bits = 26 * 2048u64;
+        // 3 epochs over 100 samples = 300 per-sample passes.
+        let cost = model.stage_cost(&p, node, 300).expect("accelerated stage");
+        // Class memory programmed once, then re-programmed at the two
+        // epoch boundaries of the batched-epoch schedule.
+        assert_eq!(cost.programming_bits, model_bits);
+        assert_eq!(cost.reprogramming_bits, 2 * model_bits);
+        // Per sample: the 2048-bit query in, the 32-bit label in, and the
+        // 32-bit epoch-scored prediction back to the replaying host.
+        assert_eq!(cost.stream_bits_per_sample, 2048 + 32 + 32);
+        // Trained model read back once at stage exit.
+        assert_eq!(cost.readback_bits, model_bits);
+        let params = AccelParams::digital_asic();
+        assert_eq!(
+            cost.programming_seconds,
+            (3 * model_bits) as f64 / params.program_bits_per_sec
+        );
+        // A 1-epoch stage has no epoch boundary to re-program.
+        let mut b = ProgramBuilder::new("train_cost_1");
+        let q = b.input_matrix("encoded", ElementKind::Bit, 100, 2048);
+        let y = b.input_indices("labels", 100);
+        let c = b.input_matrix("classes", ElementKind::Bit, 26, 2048);
+        let trained = b.training_loop("retrain", q, y, c, 1, ScorePolarity::Distance, |b, s| {
+            b.hamming_distance(s, c)
+        });
+        b.mark_output(trained);
+        let mut p1 = b.finish();
+        hoist_data_movement(&mut p1);
+        assign_targets(&mut p1, &TargetConfig::accelerator(Target::DigitalAsic));
+        let node = p1.nodes().iter().find(|n| n.name == "retrain").unwrap();
+        let one = model.stage_cost(&p1, node, 100).unwrap();
+        assert_eq!(one.reprogramming_bits, 0);
     }
 
     #[test]

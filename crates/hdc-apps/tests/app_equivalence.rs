@@ -16,6 +16,7 @@ use hdc_datasets::synthetic::{
     emg_like, hyperoms_like, isolet_like, EmgParams, HyperOmsParams, IsoletParams,
 };
 use hdc_datasets::Dataset;
+use hdc_passes::{CompileOptions, PerforationConfig};
 
 const DIM: usize = 1024;
 
@@ -99,6 +100,71 @@ fn retraining_improves_test_accuracy_across_epochs() {
 }
 
 #[test]
+fn batched_epoch_training_matches_oracle_across_configs() {
+    // Property-style sweep: batched-epoch training must stay bit-identical
+    // to the sequential oracle across dense/binarized x perforation
+    // {1.0, 0.5} x epochs {1, 3}. The isolet workload trains from a zero
+    // class matrix, so every configuration performs mid-epoch class-row
+    // updates — the batched schedule must report the re-scores it did to
+    // stay exact, not assume the frozen epoch scores held.
+    let dataset = isolet();
+    for binarized in [true, false] {
+        for stride in [1usize, 2] {
+            for epochs in [1usize, 3] {
+                let mut options = if binarized {
+                    CompileOptions::default()
+                } else {
+                    CompileOptions::baseline()
+                };
+                if stride > 1 {
+                    options.perforation = PerforationConfig::strided_similarity(stride);
+                }
+                let app = ClassificationApp::with_options(dataset.clone(), 512, epochs, &options)
+                    .unwrap();
+                let batched = app.run(ExecMode::Batched).unwrap();
+                let sequential = app.run(ExecMode::Sequential).unwrap();
+                let cfg = format!("binarized={binarized} stride={stride} epochs={epochs}");
+                assert_eq!(
+                    batched.predictions, sequential.predictions,
+                    "{cfg}: predictions must be bit-identical"
+                );
+                assert_eq!(batched.accuracy, sequential.accuracy, "{cfg}");
+                // One epoch kernel per training epoch, none on the oracle.
+                assert_eq!(batched.stats.epoch_kernel_ops, epochs, "{cfg}");
+                assert_eq!(sequential.stats.epoch_kernel_ops, 0, "{cfg}");
+                assert_eq!(sequential.stats.rescored_samples, 0, "{cfg}");
+                let train = app.dataset().train.len();
+                assert!(
+                    batched.stats.rescored_samples > 0,
+                    "{cfg}: mid-epoch updates must force re-scoring"
+                );
+                assert!(batched.stats.rescored_samples <= epochs * train, "{cfg}");
+            }
+        }
+    }
+}
+
+#[test]
+fn epoch_sweep_matches_per_entry_apps() {
+    // The sweep reuses one compiled program and one set of encodings; its
+    // accuracies must equal building a fresh app per epochs entry.
+    let dataset = isolet();
+    let entries = [1usize, 4, 8];
+    let sweep = ClassificationApp::epoch_sweep(&dataset, DIM, &entries).unwrap();
+    let naive: Vec<f64> = entries
+        .iter()
+        .map(|&e| {
+            ClassificationApp::new(dataset.clone(), DIM, e)
+                .unwrap()
+                .run(ExecMode::Batched)
+                .unwrap()
+                .accuracy
+        })
+        .collect();
+    assert_eq!(sweep, naive, "sweep accuracies must be unchanged");
+}
+
+#[test]
 fn classification_handles_emg_windows_too() {
     // Scenario diversity: the same app binary classifies the EMG-style
     // windowed time series.
@@ -139,13 +205,21 @@ fn clustering_batched_matches_sequential() {
         "purity {} too low for well-separated clusters",
         batched.purity
     );
-    // Round structure: every assign stage batches, the update loops do not
-    // (their row writes are indexed by the assignment, not the loop index).
+    // Round structure: every assign stage batches, and every
+    // accumulate-by-assignment update loop collapses into one segmented
+    // reduction (the row writes are keyed by the frozen assignment vector,
+    // so the whole round is one kernel call).
     assert!(
-        batched.stats.batched_kernel_ops >= 4,
-        "encode + 3 assigns + final"
+        batched.stats.batched_kernel_ops >= 4 + 3,
+        "encode + 3 assigns + final + 3 segmented updates, got {}",
+        batched.stats.batched_kernel_ops
+    );
+    assert_eq!(
+        batched.stats.epoch_kernel_ops, 3,
+        "one segmented reduction per round"
     );
     assert_eq!(sequential.stats.batched_kernel_ops, 0);
+    assert_eq!(sequential.stats.epoch_kernel_ops, 0);
 }
 
 // ---------------------------------------------------------------------------

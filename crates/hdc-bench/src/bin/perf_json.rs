@@ -12,6 +12,10 @@
 //!   (classification with retraining, clustering, top-k spectral matching)
 //!   on their seeded `hdc-datasets` generators, compiled through the full
 //!   pass pipeline;
+//! * the **training section** (`training`): how the batched training /
+//!   clustering-update patterns executed — epoch kernels launched,
+//!   samples re-scored to stay bit-identical to the oracle, and the
+//!   resulting end-to-end speedup per app;
 //! * the **accelerator section** (`accelerator`): the unperforated kernel
 //!   grid points and all three apps re-targeted onto the two modeled HDC
 //!   accelerators (`hdc-accel`), with outputs asserted identical to the
@@ -291,6 +295,76 @@ fn time_app(
     }
     let matches = outputs[0] == outputs[1];
     (best[0], best[1], matches, quality, stats[0], stats[1])
+}
+
+/// One training-pattern record of the schema-v4 `training` section: how the
+/// batched-epoch training schedule (classification) and the
+/// segmented-reduction clustering update actually executed, from the
+/// batched run's [`ExecStats`] counters.
+struct TrainingRecord {
+    app: &'static str,
+    /// `epoch_training` (frozen-epoch scoring + in-order replay) or
+    /// `segmented_update` (accumulate-by-assignment collapsed to one
+    /// kernel).
+    pattern: &'static str,
+    /// Training epochs or clustering rounds unrolled into the program.
+    passes: usize,
+    /// Samples each pass covers.
+    train_samples: usize,
+    epoch_kernel_ops: usize,
+    rescored_samples: usize,
+    /// `rescored_samples / (passes x train_samples)`: the fraction of
+    /// per-sample predictions the batched schedule had to re-score against
+    /// the live class matrix to stay bit-identical to the oracle.
+    rescore_rate: f64,
+    /// End-to-end app speedup (sequential_ms / batched_ms).
+    speedup: f64,
+    outputs_match: bool,
+}
+
+fn training_records(suite: &AppSuite, apps: &[AppRecord]) -> Vec<TrainingRecord> {
+    let by_name = |name: &str| {
+        apps.iter()
+            .find(|r| r.app == name)
+            .expect("app record present")
+    };
+    let classification = {
+        let record = by_name("classification_retrain");
+        let passes = suite.classification.epochs();
+        let samples = suite.classification.dataset().train.len();
+        let rescored = record.batched_stats.rescored_samples;
+        TrainingRecord {
+            app: record.app,
+            pattern: "epoch_training",
+            passes,
+            train_samples: samples,
+            epoch_kernel_ops: record.batched_stats.epoch_kernel_ops,
+            rescored_samples: rescored,
+            rescore_rate: rescored as f64 / (passes * samples).max(1) as f64,
+            speedup: record.sequential_ms / record.batched_ms,
+            outputs_match: record.outputs_match,
+        }
+    };
+    let clustering = {
+        let record = by_name("clustering");
+        let passes = suite.clustering.rounds();
+        let samples = suite.clustering.dataset().train.len();
+        let rescored = record.batched_stats.rescored_samples;
+        TrainingRecord {
+            app: record.app,
+            pattern: "segmented_update",
+            passes,
+            train_samples: samples,
+            epoch_kernel_ops: record.batched_stats.epoch_kernel_ops,
+            rescored_samples: rescored,
+            // The segmented update never re-scores today; deriving the rate
+            // keeps the record self-consistent if that ever changes.
+            rescore_rate: rescored as f64 / (passes * samples).max(1) as f64,
+            speedup: record.sequential_ms / record.batched_ms,
+            outputs_match: record.outputs_match,
+        }
+    };
+    vec![classification, clustering]
 }
 
 /// The three compiled applications, built once and shared between the
@@ -718,6 +792,33 @@ fn app_json(r: &AppRecord) -> String {
     )
 }
 
+fn training_json(r: &TrainingRecord) -> String {
+    format!(
+        concat!(
+            "    {{\n",
+            "      \"app\": \"{}\",\n",
+            "      \"pattern\": \"{}\",\n",
+            "      \"passes\": {},\n",
+            "      \"train_samples\": {},\n",
+            "      \"epoch_kernel_ops\": {},\n",
+            "      \"rescored_samples\": {},\n",
+            "      \"rescore_rate\": {:.4},\n",
+            "      \"speedup\": {:.2},\n",
+            "      \"outputs_match\": {}\n",
+            "    }}"
+        ),
+        json_escape_free(r.app),
+        json_escape_free(r.pattern),
+        r.passes,
+        r.train_samples,
+        r.epoch_kernel_ops,
+        r.rescored_samples,
+        r.rescore_rate,
+        r.speedup,
+        r.outputs_match,
+    )
+}
+
 fn accel_kernel_json(r: &AccelKernelRecord) -> String {
     format!(
         concat!(
@@ -797,6 +898,7 @@ fn accel_params_json(model: &AcceleratorModel) -> String {
 fn emit_json(
     records: &[Record],
     apps: &[AppRecord],
+    training: &[TrainingRecord],
     model: &AcceleratorModel,
     accel_kernels: &[AccelKernelRecord],
     accel_apps: &[AccelAppRecord],
@@ -807,18 +909,20 @@ fn emit_json(
         .unwrap_or(1);
     let rows: Vec<String> = records.iter().map(record_json).collect();
     let app_rows: Vec<String> = apps.iter().map(app_json).collect();
+    let training_rows: Vec<String> = training.iter().map(training_json).collect();
     let accel_kernel_rows: Vec<String> = accel_kernels.iter().map(accel_kernel_json).collect();
     let accel_app_rows: Vec<String> = accel_apps.iter().map(accel_app_json).collect();
     format!(
         concat!(
             "{{\n",
-            "  \"schema\": \"hdc-bench/perf_json/v3\",\n",
+            "  \"schema\": \"hdc-bench/perf_json/v4\",\n",
             "  \"workload\": \"batched_inference_vs_sequential\",\n",
             "  \"grid\": \"{}\",\n",
             "  \"cores\": {},\n",
             "  \"command\": \"cargo run --release -p hdc-bench --bin perf_json\",\n",
             "  \"records\": [\n{}\n  ],\n",
             "  \"apps\": [\n{}\n  ],\n",
+            "  \"training\": [\n{}\n  ],\n",
             "  \"accelerator\": {{\n",
             "{},\n",
             "    \"kernel_grid\": [\n{}\n    ],\n",
@@ -830,6 +934,7 @@ fn emit_json(
         cores,
         rows.join(",\n"),
         app_rows.join(",\n"),
+        training_rows.join(",\n"),
         accel_params_json(model),
         accel_kernel_rows.join(",\n"),
         accel_app_rows.join(",\n"),
@@ -844,7 +949,10 @@ x dense/binarized x perforation {1.0, 0.5}) and the three hdc-apps workloads
 (classification with retraining, clustering, top-k spectral matching), each
 once on the sequential reference oracle (per-sample stage loops, dense
 reference reductions, per-row selection) and once on the batched kernel
-path, asserting identical outputs before recording timings. The same
+path, asserting identical outputs before recording timings. A `training`
+section records how the batched-epoch training schedule and the
+segmented-reduction clustering update executed (epoch kernels, re-scored
+samples, rescore rate, end-to-end speedup). The same
 workloads are then re-targeted onto the two modeled HDC accelerators
 (hdc-accel: the digital ASIC and the ReRAM PIM design) — outputs asserted
 identical to the batched CPU run, modeled accelerator-vs-CPU speedups,
@@ -865,9 +973,9 @@ OPTIONS:
                    BENCH_results.json).
     -h, --help     Print this help and exit.
 
-OUTPUT (schema \"hdc-bench/perf_json/v3\"):
+OUTPUT (schema \"hdc-bench/perf_json/v4\"):
     {
-      \"schema\": \"hdc-bench/perf_json/v3\",
+      \"schema\": \"hdc-bench/perf_json/v4\",
       \"grid\": \"full\" | \"smoke\",
       \"cores\": <host cores>,
       \"records\": [  // kernel grid, one object per configuration
@@ -884,6 +992,15 @@ OUTPUT (schema \"hdc-bench/perf_json/v3\"):
           \"sequential_ms\", \"batched_ms\", \"speedup\", \"outputs_match\",
           \"sequential_tensor_bytes_copied\", \"batched_tensor_bytes_copied\",
           \"batched_kernel_ops\" } ],
+      \"training\": [ // batched training / clustering-update patterns
+        { \"app\",
+          \"pattern\",                // epoch_training | segmented_update
+          \"passes\",                 // training epochs / clustering rounds
+          \"train_samples\",
+          \"epoch_kernel_ops\",       // one batched kernel per epoch/round
+          \"rescored_samples\",       // replays against the live class matrix
+          \"rescore_rate\",           // rescored / (passes * train_samples)
+          \"speedup\", \"outputs_match\" } ],
       \"accelerator\": {  // modeled accelerator back end (hdc-accel)
         \"cpu_model\": { \"flops_per_sec\", \"bytes_per_sec\" },  // CPU roofline
         \"targets\": [   // the modeled device parameters, one per target
@@ -1011,6 +1128,33 @@ fn main() {
         );
     }
 
+    // ----- training-pattern section -----
+    let training = training_records(&suite, &apps);
+    println!(
+        "\n{:>24} {:>18} {:>7} {:>8} {:>14} {:>10} {:>13} {:>8}",
+        "app",
+        "pattern",
+        "passes",
+        "samples",
+        "epoch_kernels",
+        "rescored",
+        "rescore_rate",
+        "speedup"
+    );
+    for record in &training {
+        println!(
+            "{:>24} {:>18} {:>7} {:>8} {:>14} {:>10} {:>13.4} {:>7.2}x",
+            record.app,
+            record.pattern,
+            record.passes,
+            record.train_samples,
+            record.epoch_kernel_ops,
+            record.rescored_samples,
+            record.rescore_rate,
+            record.speedup,
+        );
+    }
+
     // ----- modeled accelerator section -----
     let model = AcceleratorModel::default();
     println!(
@@ -1080,7 +1224,15 @@ fn main() {
         }
     }
 
-    let json = emit_json(&records, &apps, &model, &accel_kernels, &accel_apps, smoke);
+    let json = emit_json(
+        &records,
+        &apps,
+        &training,
+        &model,
+        &accel_kernels,
+        &accel_apps,
+        smoke,
+    );
     std::fs::write(&args.out_path, json).expect("write results file");
     println!("\nwrote {}", args.out_path);
     if !all_match {

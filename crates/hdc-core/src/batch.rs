@@ -27,8 +27,9 @@ use crate::element::Element;
 use crate::error::{HdcError, Result};
 use crate::hypermatrix::HyperMatrix;
 use crate::hypervector::HyperVector;
+use crate::ops::TotalOrd;
 use crate::perforation::Perforation;
-use crate::similarity::{dot_perforated, norm_sq_perforated};
+use crate::similarity::norm_sq_perforated;
 use rayon::prelude::*;
 
 const WORD_BITS: usize = 64;
@@ -137,14 +138,91 @@ pub fn hamming_distance_batch(
     HyperMatrix::from_rows(rows)
 }
 
+/// Class rows processed together by one [`cosine_similarity_batch`] inner
+/// block: each keeps its own dot-product accumulator, giving independent
+/// multiply-add chains where a single dependent chain would serialize on
+/// add latency.
+const COSINE_CLASS_BLOCK: usize = 4;
+
+/// Pack `rows` (each sliced to `cols`) into a column-major `f64` panel:
+/// `panel[c * rows.len() + k]` holds row `k`'s element `c`, so a walk down
+/// the element axis reads one contiguous lane group per element. This is
+/// the micro-kernel layout shared by [`dot_panel`] consumers: the blocked
+/// cosine batch here and the blocked [`crate::matmul::matmul_batch`].
+pub(crate) fn pack_panel<T: Element>(rows: &[&[T]], cols: usize) -> Vec<f64> {
+    let rs: Vec<&[T]> = rows.iter().map(|r| &r[..cols]).collect();
+    let mut panel = Vec::with_capacity(cols * rs.len());
+    for c in 0..cols {
+        for row in &rs {
+            panel.push(row[c].to_f64());
+        }
+    }
+    panel
+}
+
+/// A block of class rows packed into a column-major `f64` panel
+/// ([`pack_panel`]), once per batch, reused for every query row.
+struct ClassPanel {
+    width: usize,
+    panel: Vec<f64>,
+}
+
+fn pack_class_panels<T: Element>(class_rows: &[&[T]], cols: usize) -> Vec<ClassPanel> {
+    let mut panels = Vec::new();
+    let mut off = 0;
+    for width in [COSINE_CLASS_BLOCK, 2, 1] {
+        while class_rows.len() - off >= width {
+            panels.push(ClassPanel {
+                width,
+                panel: pack_panel(&class_rows[off..off + width], cols),
+            });
+            off += width;
+        }
+    }
+    panels
+}
+
+/// Dot products of one streamed row against a [`pack_panel`]-packed block,
+/// walking the element axis once. `B` is a compile-time width so the lane
+/// loop unrolls into SIMD-friendly contiguous reads; each accumulator sums
+/// in ascending element order, bit-identical to the per-sample kernel on
+/// that pair. Shared with the blocked [`crate::matmul::matmul_batch`].
+pub(crate) fn dot_panel<T: Element, const B: usize>(
+    q: &[T],
+    panel: &[f64],
+    dense: bool,
+    perforation: Perforation,
+) -> [f64; B] {
+    let mut acc = [0.0f64; B];
+    if dense {
+        for (lanes, x) in panel.chunks_exact(B).zip(q.iter()) {
+            let qv = x.to_f64();
+            for k in 0..B {
+                acc[k] += qv * lanes[k];
+            }
+        }
+    } else {
+        for i in perforation.indices(q.len()) {
+            let qv = q[i].to_f64();
+            let lanes = &panel[i * B..i * B + B];
+            for k in 0..B {
+                acc[k] += qv * lanes[k];
+            }
+        }
+    }
+    acc
+}
+
 /// Cosine similarity between every row of `queries` and every row of
 /// `classes`, producing a `queries.rows() x classes.rows()` score matrix.
 ///
 /// The class-row norms are precomputed once per batch and reused for every
 /// query row; the per-sample form
 /// ([`crate::similarity::cosine_similarity_matrix`]) recomputes them for each
-/// query. Accumulation order matches the per-sample kernel, so row `q` of the
-/// result is bit-identical to the per-sample scores for `queries.row(q)`.
+/// query. Class rows are scored `COSINE_CLASS_BLOCK` at a time with
+/// independent accumulator chains, and each accumulation order matches the
+/// per-sample kernel, so row `q` of the result is bit-identical to the
+/// per-sample scores for `queries.row(q)`.
 ///
 /// # Errors
 ///
@@ -157,20 +235,30 @@ pub fn cosine_similarity_batch<T: Element>(
 ) -> Result<HyperMatrix<f64>> {
     check_cols(queries.cols(), classes.cols(), "cosine similarity batch")?;
     perforation.validate(queries.cols())?;
-    let class_norms: Vec<f64> = classes
-        .iter_rows()
+    let dense = perforation.is_dense_over(queries.cols());
+    let class_rows: Vec<&[T]> = classes.iter_rows().collect();
+    let class_norms: Vec<f64> = class_rows
+        .iter()
         .map(|row| norm_sq_perforated(row, perforation).sqrt())
         .collect();
+    let panels = pack_class_panels(&class_rows, classes.cols());
     let query_rows: Vec<&[T]> = queries.iter_rows().collect();
     let rows: Vec<HyperVector<f64>> = query_rows
         .into_par_iter()
         .map(|q| {
             let qn = norm_sq_perforated(q, perforation).sqrt();
-            let scores: Vec<f64> = classes
-                .iter_rows()
+            let mut dots: Vec<f64> = Vec::with_capacity(class_rows.len());
+            for p in &panels {
+                match p.width {
+                    4 => dots.extend(dot_panel::<T, 4>(q, &p.panel, dense, perforation)),
+                    2 => dots.extend(dot_panel::<T, 2>(q, &p.panel, dense, perforation)),
+                    _ => dots.extend(dot_panel::<T, 1>(q, &p.panel, dense, perforation)),
+                }
+            }
+            let scores: Vec<f64> = dots
+                .into_iter()
                 .zip(class_norms.iter())
-                .map(|(row, &rn)| {
-                    let dot = dot_perforated(q, row, perforation);
+                .map(|(dot, &rn)| {
                     if qn == 0.0 || rn == 0.0 {
                         0.0
                     } else {
@@ -223,6 +311,149 @@ pub fn hamming_distance_batch_dense<T: Element>(
     HyperMatrix::from_rows(rows)
 }
 
+/// Which similarity reduction an epoch-scoring call performs.
+///
+/// The batched training schedule scores a whole epoch with one kernel; the
+/// metric names which per-sample reduction that kernel must be
+/// bit-identical to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimilarityMetric {
+    /// `cossim` scores ([`cosine_similarity_batch`]).
+    Cosine,
+    /// Dense `hamming_distance` scores ([`hamming_distance_batch_dense`]).
+    Hamming,
+}
+
+/// Score a whole training epoch in one batched similarity call: every row
+/// of `train` against every row of the **frozen** class matrix `classes`,
+/// producing a `train.rows() x classes.rows()` score matrix.
+///
+/// This is the epoch-scoring kernel of the batched training schedule: the
+/// executor freezes the class matrix at the top of an epoch, scores the
+/// entire train matrix here, and then replays the perceptron updates in
+/// sample order, re-scoring only samples whose class rows changed since the
+/// freeze. Row `q` of the result is bit-identical to the per-sample
+/// reference kernel for `train.row(q)`
+/// ([`crate::similarity::cosine_similarity_matrix`] /
+/// [`crate::similarity::hamming_distance_matrix`]), which is what keeps the
+/// replay equal to the sequential oracle.
+///
+/// # Errors
+///
+/// Returns a dimension-mismatch error if the column counts differ and an
+/// invalid-perforation error for a bad descriptor.
+pub fn score_epoch<T: Element>(
+    train: &HyperMatrix<T>,
+    classes: &HyperMatrix<T>,
+    metric: SimilarityMetric,
+    perforation: Perforation,
+) -> Result<HyperMatrix<f64>> {
+    match metric {
+        SimilarityMetric::Cosine => cosine_similarity_batch(train, classes, perforation),
+        SimilarityMetric::Hamming => hamming_distance_batch_dense(train, classes, perforation),
+    }
+}
+
+/// Segmented reduction: sum encoded rows into per-segment accumulators
+/// keyed by an assignment vector, starting from `init`.
+///
+/// `segments[i]` names the accumulator row that `rows.row(i)` is added to;
+/// the result is `init` with every segment's member rows added **in
+/// ascending row index order**, which makes the output bit-identical to the
+/// sequential schedule (`for i { acc[segments[i]] += rows[i] }`): within
+/// one accumulator row the additions happen in the same order, and rows of
+/// different segments never interact. Segments are reduced in parallel
+/// through the rayon compat layer. This is the batched form of the
+/// clustering update's accumulate-by-assignment loop.
+///
+/// # Errors
+///
+/// Returns a dimension-mismatch error when `segments` is not one entry per
+/// row or the column counts differ, and an index error when an assignment
+/// names a row outside `init`.
+pub fn accumulate_by_segment<T: Element>(
+    rows: &HyperMatrix<T>,
+    segments: &[usize],
+    init: &HyperMatrix<f64>,
+) -> Result<HyperMatrix<f64>> {
+    segmented_reduce(rows.rows(), rows.cols(), segments, init, |acc, i| {
+        let row = rows.row(i).expect("row index in range");
+        for (slot, x) in acc.iter_mut().zip(row.iter()) {
+            *slot += x.to_f64();
+        }
+    })
+}
+
+/// Shared validation and per-segment reduction skeleton of the
+/// `accumulate_by_segment` variants: one assignment per row, matching
+/// column counts, in-bounds segment ids; then every accumulator row is
+/// reduced in parallel, folding its member rows in ascending index order
+/// via `add_row(acc, row_index)`.
+fn segmented_reduce<F>(
+    rows_count: usize,
+    rows_cols: usize,
+    segments: &[usize],
+    init: &HyperMatrix<f64>,
+    add_row: F,
+) -> Result<HyperMatrix<f64>>
+where
+    F: Fn(&mut [f64], usize) + Sync,
+{
+    if segments.len() != rows_count {
+        return Err(HdcError::DimensionMismatch {
+            expected: rows_count,
+            actual: segments.len(),
+            context: "accumulate_by_segment assignments",
+        });
+    }
+    check_cols(init.cols(), rows_cols, "accumulate_by_segment")?;
+    if let Some(&bad) = segments.iter().find(|&&s| s >= init.rows()) {
+        return Err(HdcError::IndexOutOfBounds {
+            index: bad,
+            len: init.rows(),
+        });
+    }
+    let out_rows: Vec<HyperVector<f64>> = (0..init.rows())
+        .collect::<Vec<_>>()
+        .into_par_iter()
+        .map(|seg| {
+            let mut acc: Vec<f64> = init.row(seg).expect("segment bounds checked").to_vec();
+            for (i, &s) in segments.iter().enumerate() {
+                if s == seg {
+                    add_row(&mut acc, i);
+                }
+            }
+            HyperVector::from_vec(acc)
+        })
+        .collect();
+    HyperMatrix::from_rows(out_rows)
+}
+
+/// [`accumulate_by_segment`] over bit-packed bipolar rows: each member row
+/// contributes `+1`/`-1` per element (a set bit is negative, matching
+/// [`crate::BitVector::to_dense`]), unpacked on the fly — no dense
+/// intermediate matrix is materialized. Bit-identical to unpacking `rows`
+/// and calling the dense form.
+///
+/// # Errors
+///
+/// Same contract as [`accumulate_by_segment`].
+pub fn accumulate_by_segment_bits(
+    rows: &BitMatrix,
+    segments: &[usize],
+    init: &HyperMatrix<f64>,
+) -> Result<HyperMatrix<f64>> {
+    let cols = rows.cols();
+    segmented_reduce(rows.rows(), cols, segments, init, |acc, i| {
+        let words = rows.row(i).expect("row index in range").as_words();
+        for (c, slot) in acc.iter_mut().enumerate().take(cols) {
+            let bit = (words[c / WORD_BITS] >> (c % WORD_BITS)) & 1;
+            // bit set = negative element.
+            *slot += 1.0 - 2.0 * bit as f64;
+        }
+    })
+}
+
 /// Per-row top-`k` selection over a score matrix (one row of scores per
 /// query), flattened row-major: entry `q * k + j` is the index of query
 /// `q`'s `j`-th best (largest) score. This is the batched form of
@@ -240,7 +471,10 @@ pub fn hamming_distance_batch_dense<T: Element>(
 /// Returns an invalid-input error when `k` is zero or exceeds the number of
 /// score columns (a top-k past the candidate count is a program bug, not a
 /// clamp).
-pub fn arg_top_k_batch<T: Element>(scores: &HyperMatrix<T>, k: usize) -> Result<Vec<usize>> {
+pub fn arg_top_k_batch<T: Element + TotalOrd>(
+    scores: &HyperMatrix<T>,
+    k: usize,
+) -> Result<Vec<usize>> {
     if k == 0 || k > scores.cols() {
         return Err(HdcError::IndexOutOfBounds {
             index: k,
@@ -397,6 +631,59 @@ mod tests {
         let scores = HyperMatrix::<f64>::zeros(2, 4);
         assert!(arg_top_k_batch(&scores, 0).is_err());
         assert!(arg_top_k_batch(&scores, 5).is_err());
+    }
+
+    #[test]
+    fn score_epoch_matches_per_sample_reference() {
+        let mut rng = HdcRng::seed_from_u64(0xE90C);
+        let train: HyperMatrix<f64> = random::gaussian_hypermatrix(9, 130, &mut rng);
+        let classes: HyperMatrix<f64> = random::gaussian_hypermatrix(5, 130, &mut rng);
+        for perf in perforations(130) {
+            let cos = score_epoch(&train, &classes, SimilarityMetric::Cosine, perf).unwrap();
+            let ham = score_epoch(&train, &classes, SimilarityMetric::Hamming, perf).unwrap();
+            for r in 0..9 {
+                let q = train.row_vector(r).unwrap();
+                let expect_cos = cosine_similarity_matrix(&q, &classes, perf).unwrap();
+                let expect_ham = hamming_distance_matrix(&q, &classes, perf).unwrap();
+                assert_eq!(cos.row(r).unwrap(), expect_cos.as_slice(), "perf {perf}");
+                assert_eq!(ham.row(r).unwrap(), expect_ham.as_slice(), "perf {perf}");
+            }
+        }
+    }
+
+    #[test]
+    fn segmented_accumulation_matches_sequential_order() {
+        let mut rng = HdcRng::seed_from_u64(0x5E69);
+        let rows: HyperMatrix<f64> = random::gaussian_hypermatrix(11, 37, &mut rng);
+        let init: HyperMatrix<f64> = random::gaussian_hypermatrix(3, 37, &mut rng);
+        let segments = [0usize, 2, 1, 0, 0, 1, 2, 2, 2, 0, 1];
+        let batched = accumulate_by_segment(&rows, &segments, &init).unwrap();
+        // Sequential reference: accumulate in sample order.
+        let mut expect = init.clone();
+        for (i, &s) in segments.iter().enumerate() {
+            let sum = expect
+                .row_vector(s)
+                .unwrap()
+                .zip_with(&rows.row_vector(i).unwrap(), |a, x| a + x)
+                .unwrap();
+            expect.set_row(s, &sum).unwrap();
+        }
+        assert_eq!(batched.as_slice(), expect.as_slice(), "bit-identical");
+        // Empty segments keep their initial row untouched.
+        let none = accumulate_by_segment(&rows, &[0; 11], &init).unwrap();
+        assert_eq!(none.row(1).unwrap(), init.row(1).unwrap());
+        assert_eq!(none.row(2).unwrap(), init.row(2).unwrap());
+    }
+
+    #[test]
+    fn segmented_accumulation_rejects_bad_shapes() {
+        let rows = HyperMatrix::<f64>::zeros(4, 8);
+        let init = HyperMatrix::<f64>::zeros(2, 8);
+        assert!(accumulate_by_segment(&rows, &[0, 1, 0], &init).is_err());
+        assert!(accumulate_by_segment(&rows, &[0, 1, 0, 2], &init).is_err());
+        let wide = HyperMatrix::<f64>::zeros(2, 9);
+        assert!(accumulate_by_segment(&rows, &[0, 1, 0, 1], &wide).is_err());
+        assert!(accumulate_by_segment(&rows, &[0, 1, 0, 1], &init).is_ok());
     }
 
     #[test]

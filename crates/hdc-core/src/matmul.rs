@@ -74,11 +74,52 @@ pub fn matvec<T: Element>(
     Ok(HyperVector::from_vec(out))
 }
 
+/// Query rows processed together by one [`matmul_batch`] block: each keeps
+/// its own `f64` accumulator, so the inner loop runs `MATMUL_QUERY_BLOCK`
+/// independent multiply-add chains (instruction-level parallelism a single
+/// dependent chain cannot reach) and streams every projection row once per
+/// block instead of once per query.
+const MATMUL_QUERY_BLOCK: usize = 8;
+
+/// One block of query rows against the whole projection matrix. `B` is a
+/// compile-time block width: the block is packed into a column-major `f64`
+/// panel ([`crate::batch::pack_panel`]) and each projection row takes one
+/// [`crate::batch::dot_panel`] pass over it — the GEMM micro-kernel layout
+/// the vectorizer turns into SIMD lanes. Each accumulator still sums the
+/// feature axis in ascending order, which keeps every output element
+/// bit-identical to the per-sample [`matvec`].
+fn matmul_block<T: Element, const B: usize>(
+    qrows: &[&[T]],
+    matrix: &HyperMatrix<T>,
+    dense: bool,
+    scale: f64,
+    perforation: Perforation,
+) -> Vec<Vec<T>> {
+    debug_assert_eq!(qrows.len(), B);
+    let d = matrix.rows();
+    let cols = matrix.cols();
+    let panel = crate::batch::pack_panel(qrows, cols);
+    let mut out: Vec<Vec<T>> = (0..B).map(|_| Vec::with_capacity(d)).collect();
+    for r in 0..d {
+        let row = &matrix.row(r).expect("projection row in range")[..cols];
+        let acc = crate::batch::dot_panel::<T, B>(row, &panel, dense, perforation);
+        for k in 0..B {
+            out[k].push(T::from_f64(acc[k] * scale));
+        }
+    }
+    out
+}
+
 /// Multiply a batch of row vectors by the transpose of a projection matrix:
 /// `out[q][r] = sum_c queries[q][c] * matrix[r][c]`.
 ///
 /// This is the batched form used by `encoding_loop`: a `N x F` query matrix
 /// and a `D x F` projection matrix produce an `N x D` encoded matrix.
+/// Queries are processed in blocks of `MATMUL_QUERY_BLOCK` (independent
+/// accumulator chains, one projection pass per block) and blocks run
+/// through the rayon compat layer; every accumulation still walks the
+/// feature axis in ascending order, so each output row is bit-identical to
+/// [`matvec`] on that query.
 ///
 /// # Errors
 ///
@@ -90,32 +131,43 @@ pub fn matmul_batch<T: Element>(
 ) -> Result<HyperMatrix<T>> {
     check(matrix.cols(), queries.cols(), "matmul (batch)")?;
     perforation.validate(matrix.cols().max(1))?;
-    let scale = 1.0 / perforation.visited_fraction(matrix.cols().max(1));
+    let raw_scale = 1.0 / perforation.visited_fraction(matrix.cols().max(1));
     let dense = perforation.is_dense_over(matrix.cols());
-    let rows: Vec<HyperVector<T>> = queries
-        .iter_rows()
-        .collect::<Vec<_>>()
+    // `acc * 1.0` is exact, so one unconditional multiply keeps the dense
+    // path bit-identical to the unscaled form.
+    let scale = if dense { 1.0 } else { raw_scale };
+    let n = queries.rows();
+    let starts: Vec<usize> = (0..n).step_by(MATMUL_QUERY_BLOCK).collect();
+    let blocks: Vec<Vec<Vec<T>>> = starts
         .into_par_iter()
-        .map(|q| {
-            let out: Vec<T> = matrix
-                .iter_rows()
-                .map(|row| {
-                    let acc: f64 = if dense {
-                        row.iter()
-                            .zip(q.iter())
-                            .map(|(m, x)| m.to_f64() * x.to_f64())
-                            .sum()
-                    } else {
-                        perforation
-                            .indices(row.len())
-                            .map(|i| row[i].to_f64() * q[i].to_f64())
-                            .sum()
-                    };
-                    T::from_f64(acc * if dense { 1.0 } else { scale })
-                })
+        .map(|start| {
+            let end = (start + MATMUL_QUERY_BLOCK).min(n);
+            let qrows: Vec<&[T]> = (start..end)
+                .map(|i| queries.row(i).expect("query row in range"))
                 .collect();
-            HyperVector::from_vec(out)
+            // Decompose a short tail block into power-of-two sub-blocks so
+            // the unrolled kernels cover every width.
+            let mut out: Vec<Vec<T>> = Vec::with_capacity(qrows.len());
+            let mut off = 0;
+            for width in [8usize, 4, 2, 1] {
+                while qrows.len() - off >= width {
+                    let sub = &qrows[off..off + width];
+                    out.extend(match width {
+                        8 => matmul_block::<T, 8>(sub, matrix, dense, scale, perforation),
+                        4 => matmul_block::<T, 4>(sub, matrix, dense, scale, perforation),
+                        2 => matmul_block::<T, 2>(sub, matrix, dense, scale, perforation),
+                        _ => matmul_block::<T, 1>(sub, matrix, dense, scale, perforation),
+                    });
+                    off += width;
+                }
+            }
+            out
         })
+        .collect();
+    let rows: Vec<HyperVector<T>> = blocks
+        .into_iter()
+        .flatten()
+        .map(HyperVector::from_vec)
         .collect();
     HyperMatrix::from_rows(rows)
 }

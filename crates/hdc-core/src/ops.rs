@@ -109,19 +109,62 @@ pub fn elementwise_matrix<T: Element>(
     a.zip_with(b, |x, y| op.apply(x, y))
 }
 
-/// Index of the minimum element of a slice (`arg_min`). Ties resolve to the
-/// first occurrence; incomparable values (NaN) are skipped. Returns `None`
-/// for an empty slice or one containing only incomparable values.
-pub fn arg_min<T: PartialOrd + Copy>(values: &[T]) -> Option<usize> {
+/// Total ordering over selection scores: NaN detection plus a total
+/// comparison, so every `arg_*` selection is deterministic for any input.
+///
+/// Floats use [`f64::is_nan`] / [`f64::total_cmp`] (IEEE 754 `totalOrder`:
+/// `-0.0` orders strictly below `0.0`); integers are already totally
+/// ordered and never NaN.
+pub trait TotalOrd: Copy {
+    /// Whether the value is NaN (always `false` for integers).
+    fn is_nan_value(self) -> bool;
+    /// Compare under a total order.
+    fn total_order(self, other: Self) -> std::cmp::Ordering;
+}
+
+macro_rules! total_ord_float {
+    ($($t:ty),*) => {$(
+        impl TotalOrd for $t {
+            fn is_nan_value(self) -> bool {
+                self.is_nan()
+            }
+            fn total_order(self, other: Self) -> std::cmp::Ordering {
+                self.total_cmp(&other)
+            }
+        }
+    )*};
+}
+
+macro_rules! total_ord_int {
+    ($($t:ty),*) => {$(
+        impl TotalOrd for $t {
+            fn is_nan_value(self) -> bool {
+                false
+            }
+            fn total_order(self, other: Self) -> std::cmp::Ordering {
+                self.cmp(&other)
+            }
+        }
+    )*};
+}
+
+total_ord_float!(f32, f64);
+total_ord_int!(i8, i16, i32, i64);
+
+/// Index of the minimum element of a slice (`arg_min`) under the total
+/// order of [`TotalOrd`]. Ties (bit-identical values) resolve to the first
+/// occurrence; NaN values are skipped. Returns `None` for an empty slice or
+/// one containing only NaNs.
+pub fn arg_min<T: TotalOrd>(values: &[T]) -> Option<usize> {
     let mut best: Option<(usize, T)> = None;
     for (i, &v) in values.iter().enumerate() {
-        if v.partial_cmp(&v).is_none() {
+        if v.is_nan_value() {
             continue;
         }
         match best {
             None => best = Some((i, v)),
             Some((_, bv)) => {
-                if v < bv {
+                if v.total_order(bv) == std::cmp::Ordering::Less {
                     best = Some((i, v));
                 }
             }
@@ -130,19 +173,20 @@ pub fn arg_min<T: PartialOrd + Copy>(values: &[T]) -> Option<usize> {
     best.map(|(i, _)| i)
 }
 
-/// Index of the maximum element of a slice (`arg_max`). Ties resolve to the
-/// first occurrence; incomparable values (NaN) are skipped. Returns `None`
-/// for an empty slice or one containing only incomparable values.
-pub fn arg_max<T: PartialOrd + Copy>(values: &[T]) -> Option<usize> {
+/// Index of the maximum element of a slice (`arg_max`) under the total
+/// order of [`TotalOrd`]. Ties (bit-identical values) resolve to the first
+/// occurrence; NaN values are skipped. Returns `None` for an empty slice or
+/// one containing only NaNs.
+pub fn arg_max<T: TotalOrd>(values: &[T]) -> Option<usize> {
     let mut best: Option<(usize, T)> = None;
     for (i, &v) in values.iter().enumerate() {
-        if v.partial_cmp(&v).is_none() {
+        if v.is_nan_value() {
             continue;
         }
         match best {
             None => best = Some((i, v)),
             Some((_, bv)) => {
-                if v > bv {
+                if v.total_order(bv) == std::cmp::Ordering::Greater {
                     best = Some((i, v));
                 }
             }
@@ -152,32 +196,28 @@ pub fn arg_max<T: PartialOrd + Copy>(values: &[T]) -> Option<usize> {
 }
 
 /// Indices of the `k` largest elements of a slice (`arg_top_k`), in
-/// descending score order. Ties resolve to the lower index, and incomparable
-/// values (NaN) are skipped, matching [`arg_max`]. When fewer than `k`
-/// comparable elements exist, all of them are returned (the result may be
-/// shorter than `k`).
+/// descending score order under the total order of [`TotalOrd`]. Ties
+/// (bit-identical values) resolve to the lower index, and NaN values are
+/// skipped, matching [`arg_max`]. When fewer than `k` comparable elements
+/// exist, all of them are returned (the result may be shorter than `k`).
 ///
 /// Scores that are distances (lower is better) should be negated (or
 /// `sign_flip`ped) before selection, exactly as `arg_min` relates to
 /// `arg_max`.
-pub fn arg_top_k<T: PartialOrd + Copy>(values: &[T], k: usize) -> Vec<usize> {
+pub fn arg_top_k<T: TotalOrd>(values: &[T], k: usize) -> Vec<usize> {
     let mut order: Vec<usize> = (0..values.len())
-        .filter(|&i| values[i].partial_cmp(&values[i]).is_some())
+        .filter(|&i| !values[i].is_nan_value())
         .collect();
-    // Sort by (score descending, index ascending): a total, deterministic
-    // order, so batched and per-sample selection agree bit-for-bit.
-    order.sort_by(|&a, &b| {
-        values[b]
-            .partial_cmp(&values[a])
-            .expect("incomparable values filtered above")
-            .then(a.cmp(&b))
-    });
+    // Sort by (score descending under the total order, index ascending): a
+    // total, deterministic order, so batched and per-sample selection agree
+    // bit-for-bit.
+    order.sort_by(|&a, &b| values[b].total_order(values[a]).then(a.cmp(&b)));
     order.truncate(k);
     order
 }
 
 /// Per-row `arg_min` of a hypermatrix, as used by batched inference.
-pub fn arg_min_rows<T: Element>(matrix: &HyperMatrix<T>) -> Vec<usize> {
+pub fn arg_min_rows<T: Element + TotalOrd>(matrix: &HyperMatrix<T>) -> Vec<usize> {
     matrix
         .iter_rows()
         .map(|row| arg_min(row).unwrap_or(0))
@@ -185,7 +225,7 @@ pub fn arg_min_rows<T: Element>(matrix: &HyperMatrix<T>) -> Vec<usize> {
 }
 
 /// Per-row `arg_max` of a hypermatrix.
-pub fn arg_max_rows<T: Element>(matrix: &HyperMatrix<T>) -> Vec<usize> {
+pub fn arg_max_rows<T: Element + TotalOrd>(matrix: &HyperMatrix<T>) -> Vec<usize> {
     matrix
         .iter_rows()
         .map(|row| arg_max(row).unwrap_or(0))
@@ -260,6 +300,23 @@ mod tests {
     fn arg_top_k_skips_nan() {
         let v = [f64::NAN, 2.0, 3.0];
         assert_eq!(arg_top_k(&v, 2), vec![2, 1]);
+    }
+
+    #[test]
+    fn signed_zero_and_nan_order_deterministically() {
+        // NaN is skipped; the remaining values follow IEEE 754 totalOrder,
+        // under which -0.0 < 0.0 (they are not a tie).
+        let v = [-0.0f64, 0.0, f64::NAN];
+        assert_eq!(arg_min(&v), Some(0));
+        assert_eq!(arg_max(&v), Some(1));
+        assert_eq!(arg_top_k(&v, 2), vec![1, 0]);
+        assert_eq!(arg_top_k(&v, 3), vec![1, 0], "NaN never selected");
+        // All-NaN input still selects nothing.
+        assert_eq!(arg_min::<f64>(&[f64::NAN]), None);
+        assert_eq!(arg_max::<f64>(&[f64::NAN]), None);
+        // Bit-identical values remain first-occurrence ties.
+        assert_eq!(arg_max(&[1.0f64, 1.0]), Some(0));
+        assert_eq!(arg_min(&[2i64, 2, 1]), Some(2));
     }
 
     #[test]

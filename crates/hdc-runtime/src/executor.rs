@@ -40,8 +40,21 @@
 //! * `training_loop` implements perceptron-style HDC retraining: on a
 //!   misprediction the sample is added to the true class row and subtracted
 //!   from the predicted row. A binarized class matrix is unpacked for the
-//!   duration of the stage and re-binarized by sign at stage exit. Training
-//!   always runs sequentially (its updates are order-dependent).
+//!   duration of the stage and re-binarized by sign at stage exit. In
+//!   batched mode, a recognized training body runs on the **batched-epoch
+//!   schedule**: the class matrix is frozen at the top of each epoch, the
+//!   whole train matrix is scored in one epoch kernel
+//!   ([`hdc_core::batch::score_epoch`], counted in
+//!   [`ExecStats::epoch_kernel_ops`]), and the perceptron updates are then
+//!   replayed in sample order against the frozen scores — re-scoring (with
+//!   the per-sample reference kernel, counted in
+//!   [`ExecStats::rescored_samples`]) only samples visited after a class
+//!   row changed, so the trained matrix stays bit-identical to the
+//!   sequential oracle. The clustering accumulate-by-assignment
+//!   `ParallelFor` gets the same frozen-assignment treatment: the
+//!   assignment vector is already frozen by the preceding assign stage, so
+//!   the whole update collapses into one segmented reduction
+//!   ([`hdc_core::batch::accumulate_by_segment`]).
 
 use crate::error::{Result, RuntimeError};
 use crate::value::Value;
@@ -90,6 +103,17 @@ pub struct ExecStats {
     /// performance model (see the `hdc-accel` crate) multiplies by its
     /// per-sample modeled cost.
     pub accelerated_stage_samples: usize,
+    /// Epoch-level batched kernel calls: one per training epoch scored with
+    /// [`hdc_core::batch::score_epoch`] and one per clustering update
+    /// collapsed into [`hdc_core::batch::accumulate_by_segment`]. Every
+    /// epoch kernel is also counted in
+    /// [`batched_kernel_ops`](ExecStats::batched_kernel_ops).
+    pub epoch_kernel_ops: usize,
+    /// Samples the batched-epoch training schedule re-scored against the
+    /// live class matrix because a class row changed after the epoch was
+    /// frozen. Zero when every epoch's updates happen after its last sample
+    /// (or in sequential mode); `epochs x samples` is the worst case.
+    pub rescored_samples: usize,
 }
 
 impl ExecStats {
@@ -101,6 +125,8 @@ impl ExecStats {
         self.batched_kernel_ops += other.batched_kernel_ops;
         self.tensor_bytes_copied += other.tensor_bytes_copied;
         self.accelerated_stage_samples += other.accelerated_stage_samples;
+        self.epoch_kernel_ops += other.epoch_kernel_ops;
+        self.rescored_samples += other.rescored_samples;
     }
 }
 
@@ -230,6 +256,27 @@ enum StagePlan {
         perf: Perforation,
         then_sign: bool,
     },
+    /// `training_loop` body: one similarity reduction of the sample against
+    /// the live class matrix — runs on the batched-epoch schedule.
+    Training {
+        classes: ValueId,
+        epochs: usize,
+        metric: Metric,
+        perf: Perforation,
+    },
+}
+
+/// A `ParallelFor` body the executor recognized as one segmented-reduction
+/// kernel call: gather a row of `rows` at the loop index, look the
+/// accumulator row up in the `assign` index vector, accumulate into `acc`.
+#[derive(Debug, Clone, Copy)]
+struct SegmentedAccumulatePlan {
+    /// Matrix whose rows are gathered per iteration.
+    rows: ValueId,
+    /// Index vector supplying each iteration's accumulator row.
+    assign: ValueId,
+    /// The accumulator matrix.
+    acc: ValueId,
 }
 
 /// The reference interpreter. See the module docs for semantics.
@@ -242,6 +289,11 @@ pub struct Executor<'p> {
     parallel_loops: bool,
     row_log: Option<RowLog>,
     stage_trace: Vec<StageTraceEntry>,
+    /// The bound store as it looked when [`Executor::run`] first started
+    /// (payload `Arc` bumps, no tensor copies): every later run restores it
+    /// so repeated runs see the same inputs, not state a previous run
+    /// mutated in place.
+    baseline: Option<Vec<Option<Value>>>,
 }
 
 impl<'p> Executor<'p> {
@@ -261,6 +313,7 @@ impl<'p> Executor<'p> {
             parallel_loops: true,
             row_log: None,
             stage_trace: Vec::new(),
+            baseline: None,
         })
     }
 
@@ -322,10 +375,16 @@ impl<'p> Executor<'p> {
             });
         }
         self.set(id, value);
+        // Rebinding between runs must survive the next run's baseline
+        // restore.
+        if let Some(baseline) = &mut self.baseline {
+            baseline[id.index()] = self.store[id.index()].clone();
+        }
         Ok(self)
     }
 
-    /// Execution counters accumulated so far.
+    /// Execution counters accumulated so far (reset at the start of every
+    /// [`run`](Executor::run)).
     pub fn stats(&self) -> ExecStats {
         self.stats
     }
@@ -340,11 +399,24 @@ impl<'p> Executor<'p> {
 
     /// Execute the program and collect its outputs.
     ///
+    /// Repeated runs on one executor are independent: the counters and the
+    /// stage trace reset, and the store is restored to the bound inputs as
+    /// they were when the first run started (stage loops mutate bound slots
+    /// in place), so two identical runs report identical stats and outputs.
+    ///
     /// # Errors
     ///
     /// Returns an error if an input was never bound or any instruction
     /// fails to evaluate.
     pub fn run(&mut self) -> Result<Outputs> {
+        match &self.baseline {
+            // Arc-backed payloads: restoring clones reference counts, not
+            // tensors.
+            Some(baseline) => self.store = baseline.clone(),
+            None => self.baseline = Some(self.store.clone()),
+        }
+        self.stats = ExecStats::default();
+        self.stage_trace.clear();
         let program = self.program;
         for (i, info) in program.values().iter().enumerate() {
             if info.role == ValueRole::Input && self.store[i].is_none() {
@@ -473,6 +545,11 @@ impl<'p> Executor<'p> {
         match &node.body {
             NodeBody::Leaf { instrs } => self.exec_instrs(instrs),
             NodeBody::ParallelFor { count, index, body } => {
+                if self.batch_stages && *count > 0 {
+                    if let Some(plan) = self.segmented_accumulate_plan(*count, *index, body) {
+                        return self.exec_segmented_accumulate(*count, *index, body, plan);
+                    }
+                }
                 if self.parallel_loops && *count > 1 {
                     if let Some(row_targets) = self.parallel_for_row_plan(*index, body) {
                         return self.exec_parallel_for(*count, *index, body, row_targets);
@@ -611,6 +688,7 @@ impl<'p> Executor<'p> {
                         writes: Vec::new(),
                     }),
                     stage_trace: Vec::new(),
+                    baseline: None,
                 };
                 scratch.set(index, Value::Scalar(i as f64));
                 scratch.exec_instrs(body)?;
@@ -665,6 +743,133 @@ impl<'p> Executor<'p> {
                     expected: "matrix",
                     found: other.kind_name(),
                 })
+            }
+        }
+        Ok(())
+    }
+
+    /// Recognize a `ParallelFor` body as one segmented-reduction kernel
+    /// call: the clustering accumulate-by-assignment round, where each
+    /// iteration gathers a row of a loop-invariant matrix, looks its
+    /// accumulator row up in a **frozen** assignment vector (produced by the
+    /// preceding assign stage), and accumulates. The shape is
+    /// `get_matrix_row(rows, i)` — optionally cast to a float kind — then
+    /// `get_element(assign, i)` and `accumulate_row(acc, row, seg)`.
+    ///
+    /// Returns `None` (leaving the sequential schedule in charge) when the
+    /// body has a different shape, the cast would quantize (the sequential
+    /// per-sample conform rounds; the batched kernel would not), any of the
+    /// three operands alias, or the runtime representations don't fit the
+    /// kernel (`acc` must be a dense matrix, `assign` an index vector).
+    fn segmented_accumulate_plan(
+        &self,
+        count: usize,
+        index: ValueId,
+        body: &[HdcInstr],
+    ) -> Option<SegmentedAccumulatePlan> {
+        let (gather, cast, pick, accum) = match body {
+            [g, p, a] => (g, None, p, a),
+            [g, c, p, a] => (g, Some(c), p, a),
+            _ => return None,
+        };
+        if gather.op != HdcOp::GetMatrixRow
+            || gather.operands.get(1).and_then(Operand::as_value) != Some(index)
+        {
+            return None;
+        }
+        let rows = gather.operands.first().and_then(Operand::as_value)?;
+        let mut row_val = gather.result?;
+        if let Some(c) = cast {
+            let HdcOp::TypeCast { to } = c.op else {
+                return None;
+            };
+            if !to.is_float() || c.operands.first().and_then(Operand::as_value) != Some(row_val) {
+                return None;
+            }
+            row_val = c.result?;
+        }
+        if pick.op != HdcOp::GetElement
+            || pick.operands.len() != 2
+            || pick.operands.get(1).and_then(Operand::as_value) != Some(index)
+        {
+            return None;
+        }
+        let assign = pick.operands.first().and_then(Operand::as_value)?;
+        let seg_val = pick.result?;
+        if accum.op != HdcOp::AccumulateRow
+            || accum.operands.get(1).and_then(Operand::as_value) != Some(row_val)
+            || accum.operands.get(2).and_then(Operand::as_value) != Some(seg_val)
+        {
+            return None;
+        }
+        let acc = accum.operands.first().and_then(Operand::as_value)?;
+        if acc == rows || acc == assign || rows == assign {
+            return None;
+        }
+        // Runtime representations: the kernel accumulates dense rows keyed
+        // by a frozen index vector, one assignment per gathered row.
+        match (
+            self.store.get(acc.index())?.as_ref()?,
+            self.store.get(rows.index())?.as_ref()?,
+            self.store.get(assign.index())?.as_ref()?,
+        ) {
+            (Value::Matrix(_), Value::Matrix(r), Value::Indices(a))
+                if r.rows() == count && a.len() == count => {}
+            (Value::Matrix(_), Value::BitMatrix(r), Value::Indices(a))
+                if r.rows() == count && a.len() == count => {}
+            _ => return None,
+        }
+        Some(SegmentedAccumulatePlan { rows, assign, acc })
+    }
+
+    /// Execute a recognized accumulate-by-assignment `ParallelFor` as one
+    /// [`hdc_core::batch::accumulate_by_segment`] kernel call, then restore
+    /// the sequential schedule's end state (final loop index and the last
+    /// iteration's gather/cast/pick temporaries).
+    fn exec_segmented_accumulate(
+        &mut self,
+        count: usize,
+        index: ValueId,
+        body: &[HdcInstr],
+        plan: SegmentedAccumulatePlan,
+    ) -> Result<()> {
+        let assignments: Vec<usize> = self
+            .value(plan.assign)?
+            .as_indices("segment assignments")?
+            .to_vec();
+        let rows = self.value(plan.rows)?.clone();
+        let init = match self.value(plan.acc)? {
+            Value::Matrix(m) => Arc::clone(m),
+            other => {
+                return Err(RuntimeError::TypeMismatch {
+                    context: "segmented accumulate".to_string(),
+                    expected: "matrix",
+                    found: other.kind_name(),
+                })
+            }
+        };
+        let out = match &rows {
+            // Bit-packed rows accumulate straight from the packed words; no
+            // dense intermediate (and no unpack copy) is materialized.
+            Value::BitMatrix(b) => {
+                hdc_core::batch::accumulate_by_segment_bits(b, &assignments, &init)?
+            }
+            _ => {
+                let (dense, copied) = rows.dense_matrix("segmented accumulate rows")?;
+                self.note_copy(copied);
+                hdc_core::batch::accumulate_by_segment(dense.as_ref(), &assignments, &init)?
+            }
+        };
+        self.stats.batched_kernel_ops += 1;
+        self.stats.epoch_kernel_ops += 1;
+        // The accumulate instructions the kernel replaced; the remaining
+        // body instructions re-run below and count themselves.
+        self.stats.instructions_executed += body.len() * count - (body.len() - 1);
+        self.set(plan.acc, Value::matrix(out));
+        self.set(index, Value::Scalar((count - 1) as f64));
+        for instr in body {
+            if instr.op != HdcOp::AccumulateRow {
+                self.exec_instr(instr)?;
             }
         }
         Ok(())
@@ -913,7 +1118,34 @@ impl<'p> Executor<'p> {
                     then_sign,
                 })
             }
-            StageKind::Training { .. } => None,
+            StageKind::Training { epochs } => {
+                let [instr] = stage.body.as_slice() else {
+                    return None;
+                };
+                let metric = match instr.op {
+                    HdcOp::CosineSimilarity => Metric::Cosine,
+                    HdcOp::HammingDistance => Metric::Hamming,
+                    _ => return None,
+                };
+                if instr.result != Some(stage.body_result) || !float_or(stage.body_result, false) {
+                    return None;
+                }
+                let classes = stage.interface.classes?;
+                stage.interface.labels?;
+                let a = instr.operands.first().and_then(Operand::as_value)?;
+                let b = instr.operands.get(1).and_then(Operand::as_value)?;
+                let scored = (a == stage.body_query && b == classes)
+                    || (b == stage.body_query && a == classes);
+                if !scored || classes == stage.body_query {
+                    return None;
+                }
+                Some(StagePlan::Training {
+                    classes,
+                    epochs,
+                    metric,
+                    perf: instr.perforation.unwrap_or(Perforation::NONE),
+                })
+            }
         }
     }
 
@@ -983,7 +1215,12 @@ impl<'p> Executor<'p> {
                     return Ok(false);
                 };
                 let mut out = hdc_core::matmul::matmul_batch(q.as_ref(), p.as_ref(), perf)?;
-                if then_sign {
+                // Packing a binarized output slot thresholds by sign anyway
+                // (`BitVector::from_signs`), so the signed dense copy only
+                // needs materializing when the slot stays dense.
+                let packs_by_sign = self.program.value(stage.interface.output).ty.element_kind()
+                    == Some(ElementKind::Bit);
+                if then_sign && !packs_by_sign {
                     out = out.sign();
                 }
                 self.stats.batched_kernel_ops += 1;
@@ -992,7 +1229,91 @@ impl<'p> Executor<'p> {
                 self.set(stage.interface.output, Value::matrix(out));
                 Ok(true)
             }
+            StagePlan::Training {
+                classes,
+                epochs,
+                metric,
+                perf,
+            } => self.exec_training_batched(stage, classes, epochs, metric, perf),
         }
+    }
+
+    /// The batched-epoch training schedule. Per epoch: freeze the class
+    /// matrix, score the whole train matrix in one
+    /// [`hdc_core::batch::score_epoch`] kernel call, then replay the
+    /// perceptron updates in sample order against the frozen scores. A
+    /// sample visited after any class row changed is re-scored against the
+    /// live matrix with the per-sample reference kernel (whose rows the
+    /// epoch kernel is bit-identical to), so the trained matrix — and every
+    /// prediction along the way — exactly matches the sequential oracle.
+    fn exec_training_batched(
+        &mut self,
+        stage: &StageNode,
+        classes_id: ValueId,
+        epochs: usize,
+        metric: Metric,
+        perf: Perforation,
+    ) -> Result<bool> {
+        let labels_id = stage.interface.labels.expect("checked by the plan");
+        let truth: Vec<usize> = self
+            .value(labels_id)?
+            .as_indices("training labels")?
+            .to_vec();
+        let (queries, q_copied) = self
+            .value(stage.interface.queries)?
+            .dense_matrix("stage queries")?;
+        // The dense working copy plays the role of the sequential oracle's
+        // dense shadow: perceptron updates accumulate in full precision and
+        // the result conforms back to the declared kind at stage exit.
+        let mut classes_m: HyperMatrix<f64> = self
+            .value(classes_id)?
+            .to_dense_matrix("training classes")?;
+        self.note_copy(q_copied + classes_m.rows() * classes_m.cols() * 8);
+        let batch_metric = match metric {
+            Metric::Cosine => hdc_core::batch::SimilarityMetric::Cosine,
+            Metric::Hamming => hdc_core::batch::SimilarityMetric::Hamming,
+        };
+        let n = queries.rows();
+        for _epoch in 0..epochs {
+            let frozen =
+                hdc_core::batch::score_epoch(queries.as_ref(), &classes_m, batch_metric, perf)?;
+            self.stats.epoch_kernel_ops += 1;
+            self.stats.batched_kernel_ops += 1;
+            let mut stale = false;
+            for (r, &label) in truth.iter().enumerate().take(n) {
+                let pred = if stale {
+                    let sample = queries.row_vector(r)?;
+                    self.note_copy(sample.dimension() * 8);
+                    let scores = match metric {
+                        Metric::Cosine => cosine_similarity_matrix(&sample, &classes_m, perf)?,
+                        Metric::Hamming => hamming_distance_matrix(&sample, &classes_m, perf)?,
+                    };
+                    self.stats.rescored_samples += 1;
+                    stage.polarity.select(scores.as_slice())
+                } else {
+                    stage.polarity.select(frozen.row(r)?)
+                }
+                .ok_or(RuntimeError::Core(hdc_core::HdcError::EmptyInput(
+                    "stage scores",
+                )))?;
+                self.stats.stage_samples += 1;
+                self.stats.instructions_executed += 1;
+                if pred != label {
+                    let sample = queries.row_vector(r)?;
+                    update_row_in_place(&mut classes_m, label, &sample, 1.0)?;
+                    update_row_in_place(&mut classes_m, pred, &sample, -1.0)?;
+                    stale = true;
+                }
+            }
+        }
+        let declared = self.program.value(classes_id).ty;
+        let (conformed, copied) = Value::matrix(classes_m).conform_to_counted(&declared);
+        self.note_copy(copied);
+        self.set_raw(classes_id, conformed.clone());
+        if stage.interface.output != classes_id {
+            self.set(stage.interface.output, conformed);
+        }
+        Ok(true)
     }
 
     // ------------------------------------------------------------------

@@ -415,6 +415,233 @@ fn arg_top_k_matches_sequential_and_rejects_nan() {
     );
 }
 
+// ---------------------------------------------------------------------------
+// batched-epoch training
+// ---------------------------------------------------------------------------
+
+const TRAIN_SAMPLES: usize = 21;
+
+fn build_training(
+    metric: Metric,
+    perf: Option<(usize, usize, usize)>,
+    epochs: usize,
+) -> (Program, ValueId) {
+    let mut b = ProgramBuilder::new("equiv_train");
+    let q = b.input_matrix("train", ElementKind::F64, TRAIN_SAMPLES, DIM);
+    let y = b.input_indices("labels", TRAIN_SAMPLES);
+    let c = b.input_matrix("classes", ElementKind::F64, CLASSES, DIM);
+    let polarity = match metric {
+        Metric::Hamming => ScorePolarity::Distance,
+        Metric::Cosine => ScorePolarity::Similarity,
+    };
+    let trained = b.training_loop("retrain", q, y, c, epochs, polarity, |b, s| {
+        let d = match metric {
+            Metric::Hamming => b.hamming_distance(s, c),
+            Metric::Cosine => b.cossim(s, c),
+        };
+        if let Some((begin, end, stride)) = perf {
+            b.red_perf(d, begin, end, stride);
+        }
+        d
+    });
+    b.mark_output(trained);
+    (b.finish(), trained)
+}
+
+/// Noisy prototype samples whose labels force mispredictions from the zero
+/// class matrix, so every epoch performs mid-epoch class-row updates.
+fn training_data() -> (Value, Value, Value) {
+    let mut rng = HdcRng::seed_from_u64(0x7EA1);
+    let protos: HyperMatrix<f64> = hdc_core::random::bipolar_hypermatrix(CLASSES, DIM, &mut rng);
+    let labels: Vec<usize> = (0..TRAIN_SAMPLES).map(|i| i % CLASSES).collect();
+    let rows: Vec<HyperVector<f64>> = labels
+        .iter()
+        .map(|&l| {
+            let mut v = protos.row_vector(l).unwrap();
+            for k in 0..DIM / 8 {
+                let idx = (k * 5 + l * 11) % DIM;
+                let flipped = -v.get(idx).unwrap();
+                v.set(idx, flipped).unwrap();
+            }
+            v
+        })
+        .collect();
+    (
+        Value::matrix(HyperMatrix::from_rows(rows).unwrap()),
+        Value::indices(labels),
+        Value::matrix(HyperMatrix::zeros(CLASSES, DIM)),
+    )
+}
+
+fn run_training(
+    program: &Program,
+    trained: ValueId,
+    data: &(Value, Value, Value),
+    batched: bool,
+) -> (HyperMatrix<f64>, ExecStats) {
+    let mut exec = Executor::new(program).unwrap();
+    exec.set_batched_stages(batched);
+    exec.set_parallel_loops(batched);
+    exec.bind("train", data.0.clone()).unwrap();
+    exec.bind("labels", data.1.clone()).unwrap();
+    exec.bind("classes", data.2.clone()).unwrap();
+    let out = exec.run().unwrap();
+    (out.matrix(trained).unwrap(), exec.stats())
+}
+
+#[test]
+fn batched_epoch_training_is_bit_identical_to_sequential() {
+    let data = training_data();
+    for metric in [Metric::Cosine, Metric::Hamming] {
+        for perf in perforations() {
+            for epochs in [1, 3] {
+                let (program, trained) = build_training(metric, perf, epochs);
+                let (batched, b_stats) = run_training(&program, trained, &data, true);
+                let (sequential, s_stats) = run_training(&program, trained, &data, false);
+                assert_eq!(
+                    batched.as_slice(),
+                    sequential.as_slice(),
+                    "metric={metric:?} perf={perf:?} epochs={epochs}"
+                );
+                // One epoch kernel per epoch on the batched schedule; the
+                // sequential oracle never touches the batched kernels.
+                assert_eq!(b_stats.epoch_kernel_ops, epochs);
+                assert_eq!(b_stats.batched_kernel_ops, epochs);
+                assert_eq!(s_stats.epoch_kernel_ops, 0);
+                assert_eq!(s_stats.batched_kernel_ops, 0);
+                assert_eq!(s_stats.rescored_samples, 0);
+                // Starting from a zero class matrix, the first sample with a
+                // nonzero label mispredicts, so later samples re-score.
+                assert!(
+                    b_stats.rescored_samples > 0,
+                    "mid-epoch updates must force re-scoring"
+                );
+                assert!(b_stats.rescored_samples <= epochs * TRAIN_SAMPLES);
+                // Both schedules account every per-sample pass.
+                assert_eq!(b_stats.stage_samples, epochs * TRAIN_SAMPLES);
+                assert_eq!(s_stats.stage_samples, epochs * TRAIN_SAMPLES);
+            }
+        }
+    }
+}
+
+#[test]
+fn repeated_runs_report_identical_stats_and_outputs() {
+    // Regression: `run` used to accumulate ExecStats across calls and leave
+    // the previous run's trained class matrix in the store, so a second run
+    // reported doubled counters and trained on top of mutated state.
+    let data = training_data();
+    for batched in [true, false] {
+        let (program, trained) = build_training(Metric::Cosine, None, 2);
+        let mut exec = Executor::new(&program).unwrap();
+        exec.set_batched_stages(batched);
+        exec.set_parallel_loops(batched);
+        exec.bind("train", data.0.clone()).unwrap();
+        exec.bind("labels", data.1.clone()).unwrap();
+        exec.bind("classes", data.2.clone()).unwrap();
+        let first = exec.run().unwrap();
+        let first_stats = exec.stats();
+        let first_trace = exec.stage_trace().to_vec();
+        let second = exec.run().unwrap();
+        let second_stats = exec.stats();
+        assert_eq!(
+            first.matrix(trained).unwrap().as_slice(),
+            second.matrix(trained).unwrap().as_slice(),
+            "batched={batched}: identical runs must produce identical outputs"
+        );
+        assert_eq!(
+            first_stats, second_stats,
+            "batched={batched}: identical runs must report identical stats"
+        );
+        assert_eq!(exec.stage_trace(), first_trace.as_slice());
+
+        // Rebinding between runs takes effect (the restore must not clobber
+        // it): binding a nonzero class matrix matches a fresh executor.
+        let mut rng = HdcRng::seed_from_u64(0xB1D);
+        let warm: HyperMatrix<f64> = hdc_core::random::bipolar_hypermatrix(CLASSES, DIM, &mut rng);
+        exec.bind("classes", Value::matrix(warm.clone())).unwrap();
+        let rebound = exec.run().unwrap();
+        let mut fresh = Executor::new(&program).unwrap();
+        fresh.set_batched_stages(batched);
+        fresh.set_parallel_loops(batched);
+        fresh.bind("train", data.0.clone()).unwrap();
+        fresh.bind("labels", data.1.clone()).unwrap();
+        fresh.bind("classes", Value::matrix(warm)).unwrap();
+        let expect = fresh.run().unwrap();
+        assert_eq!(
+            rebound.matrix(trained).unwrap().as_slice(),
+            expect.matrix(trained).unwrap().as_slice()
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// segmented-reduction clustering update
+// ---------------------------------------------------------------------------
+
+#[test]
+fn segmented_accumulate_matches_sequential() {
+    const N: usize = 13;
+    const K: usize = 3;
+    const COLS: usize = 40;
+    // The clustering update shape, in both variants: dense rows gathered
+    // directly, and binarized rows gathered through a type_cast barrier.
+    for binarized in [false, true] {
+        let mut b = ProgramBuilder::new("seg_acc");
+        let elem = if binarized {
+            ElementKind::Bit
+        } else {
+            ElementKind::F64
+        };
+        let m = b.input_matrix("m", elem, N, COLS);
+        let assign_in = b.input_indices("assign", N);
+        let acc = b.input_matrix("acc", ElementKind::F64, K, COLS);
+        b.mark_output(acc);
+        b.parallel_for("update", N, |b, idx| {
+            let row = b.get_matrix_row_dyn(m, idx);
+            let row = if binarized {
+                b.type_cast(row, ElementKind::F64)
+            } else {
+                row
+            };
+            let cluster = b.get_element_dyn(assign_in, idx);
+            b.accumulate_row(acc, row, cluster);
+        });
+        let program = b.finish();
+        let mut rng = HdcRng::seed_from_u64(0x5E6);
+        let dense: HyperMatrix<f64> = hdc_core::random::bipolar_hypermatrix(N, COLS, &mut rng);
+        let rows_value = if binarized {
+            Value::bit_matrix(BitMatrix::from_dense(&dense))
+        } else {
+            Value::matrix(dense)
+        };
+        let assignments: Vec<usize> = (0..N).map(|i| (i * 2) % K).collect();
+        let base: HyperMatrix<f64> = hdc_core::random::gaussian_hypermatrix(K, COLS, &mut rng);
+        let run = |batched: bool| {
+            let mut exec = Executor::new(&program).unwrap();
+            exec.set_batched_stages(batched);
+            exec.set_parallel_loops(batched);
+            exec.bind("m", rows_value.clone()).unwrap();
+            exec.bind("assign", Value::indices(assignments.clone()))
+                .unwrap();
+            exec.bind("acc", Value::matrix(base.clone())).unwrap();
+            let out = exec.run().unwrap();
+            (out.matrix(acc).unwrap(), exec.stats())
+        };
+        let (batched, b_stats) = run(true);
+        let (sequential, s_stats) = run(false);
+        assert_eq!(
+            batched.as_slice(),
+            sequential.as_slice(),
+            "binarized={binarized}"
+        );
+        assert_eq!(b_stats.epoch_kernel_ops, 1, "one segmented reduction");
+        assert_eq!(b_stats.batched_kernel_ops, 1);
+        assert_eq!(s_stats.epoch_kernel_ops, 0);
+        assert_eq!(s_stats.batched_kernel_ops, 0);
+    }
+}
+
 #[test]
 fn binarized_pipeline_equivalence_through_passes() {
     // Compile a sign-annotated inference program through automatic
