@@ -134,6 +134,18 @@ impl Default for AcceleratorModel {
 }
 
 impl AcceleratorModel {
+    /// A model whose CPU comparison point is `cpu` — the one constructor
+    /// every consumer of calibrated parameters goes through, so the
+    /// CPU-side baseline comes from a single source: calibrated
+    /// [`CpuParams`] when a calibration ran ([`CpuParams::calibrated`]),
+    /// the documented defaults otherwise.
+    pub fn with_cpu(cpu: CpuParams) -> Self {
+        AcceleratorModel {
+            cpu,
+            ..AcceleratorModel::default()
+        }
+    }
+
     /// The parameters for an accelerator target, `None` for programmable
     /// devices.
     pub fn params_for(&self, target: Target) -> Option<&AccelParams> {
@@ -454,6 +466,47 @@ mod tests {
         assert_eq!(reram.cycles_per_sample, 1);
         assert_eq!(asic.cycles_per_sample, 7);
         assert!(reram.programming_seconds > asic.programming_seconds);
+    }
+
+    #[test]
+    fn calibrated_cpu_params_scale_modeled_cpu_seconds() {
+        let mut p = listing1_stage(1000);
+        hoist_data_movement(&mut p);
+        assign_targets(&mut p, &TargetConfig::accelerator(Target::DigitalAsic));
+        let node = p.nodes().iter().find(|n| n.name == "infer").unwrap();
+
+        let default_model = AcceleratorModel::default();
+        let base = default_model.stage_cost(&p, node, 1000).unwrap();
+
+        // A host calibrated at exactly 2x the default rates must halve the
+        // modeled CPU seconds (and the speedup) while leaving every
+        // accelerator-side term untouched.
+        let twice = CpuParams::calibrated(
+            2.0 * CpuParams::default().flops_per_sec,
+            2.0 * CpuParams::default().bytes_per_sec,
+        );
+        let fast = AcceleratorModel::with_cpu(twice)
+            .stage_cost(&p, node, 1000)
+            .unwrap();
+        assert_eq!(fast.cpu_seconds, base.cpu_seconds / 2.0);
+        assert_eq!(fast.speedup(), base.speedup() / 2.0);
+        assert_eq!(fast.accel_seconds(), base.accel_seconds());
+        assert_eq!(fast.programming_bits, base.programming_bits);
+        assert_eq!(fast.cycles_per_sample, base.cycles_per_sample);
+
+        // Degenerate measurements fall back to the defaults field-wise.
+        assert_eq!(CpuParams::calibrated(0.0, -3.0), CpuParams::default());
+        assert_eq!(
+            CpuParams::calibrated(f64::NAN, 5.0e9),
+            CpuParams {
+                flops_per_sec: CpuParams::default().flops_per_sec,
+                bytes_per_sec: 5.0e9,
+            }
+        );
+        assert_eq!(
+            CpuParams::calibrated(f64::INFINITY, f64::INFINITY),
+            CpuParams::default()
+        );
     }
 
     #[test]

@@ -109,6 +109,33 @@ pub struct CpuParams {
     pub bytes_per_sec: f64,
 }
 
+impl CpuParams {
+    /// Calibrated parameters measured on the running host (see the
+    /// `hdc-bench` calibration pass, `perf_json --calibrate`): sustained
+    /// kernel throughput and streaming bandwidth of the *selected* kernel
+    /// backend on *this* machine, replacing the documented defaults so
+    /// modeled accelerator speedups are relative to the CPU the benchmarks
+    /// actually ran on.
+    ///
+    /// Non-finite or non-positive measurements fall back to the matching
+    /// default field — a failed calibration must never produce a degenerate
+    /// roofline (zero or infinite CPU time).
+    pub fn calibrated(flops_per_sec: f64, bytes_per_sec: f64) -> Self {
+        let default = CpuParams::default();
+        let sane = |v: f64, fallback: f64| {
+            if v.is_finite() && v > 0.0 {
+                v
+            } else {
+                fallback
+            }
+        };
+        CpuParams {
+            flops_per_sec: sane(flops_per_sec, default.flops_per_sec),
+            bytes_per_sec: sane(bytes_per_sec, default.bytes_per_sec),
+        }
+    }
+}
+
 impl Default for CpuParams {
     fn default() -> Self {
         CpuParams {

@@ -1,0 +1,80 @@
+//! Per-kernel SIMD benchmarks: the XOR/popcount reduction and the dense
+//! `f64` dot-panel path, each under the scalar backend and under the
+//! backend runtime detection picks on this host — so per-kernel speedup is
+//! tracked independently of the end-to-end apps. On a host without SIMD
+//! support the two legs coincide (both scalar) and the comparison is a
+//! no-op rather than a failure.
+//!
+//! The backend is flipped with [`hdc_core::simd::set_backend`] around each
+//! measurement; benches run single-threaded within one process, so the
+//! process-global selection is safe to toggle here.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use hdc_bench::bit_matrix;
+use hdc_core::prelude::*;
+use hdc_core::simd::{self, KernelBackend};
+
+const POPCOUNT_DIM: usize = 10240;
+const POPCOUNT_CLASSES: usize = 100;
+const POPCOUNT_QUERIES: usize = 64;
+
+const PANEL_DIM: usize = 2048;
+const PANEL_CLASSES: usize = 26;
+const PANEL_QUERIES: usize = 32;
+
+fn backend_legs() -> Vec<(&'static str, KernelBackend)> {
+    let detected = simd::detected();
+    let mut legs = vec![("scalar", KernelBackend::Scalar)];
+    if detected.is_simd() {
+        legs.push((detected.name(), detected));
+    }
+    legs
+}
+
+fn bench_popcount(c: &mut Criterion) {
+    let queries = bit_matrix(21, POPCOUNT_QUERIES, POPCOUNT_DIM);
+    let classes = bit_matrix(22, POPCOUNT_CLASSES, POPCOUNT_DIM);
+    for (name, backend) in backend_legs() {
+        simd::set_backend(backend).expect("leg is supported");
+        c.bench_function(&format!("simd/popcount-hamming-batch/{name}"), |bench| {
+            bench.iter(|| {
+                black_box(
+                    hamming_distance_batch(
+                        black_box(&queries),
+                        black_box(&classes),
+                        Perforation::NONE,
+                    )
+                    .unwrap(),
+                )
+            })
+        });
+    }
+    simd::set_backend(simd::detected()).expect("detected backend is supported");
+}
+
+fn bench_dot_panel(c: &mut Criterion) {
+    let mut rng = HdcRng::seed_from_u64(23);
+    let queries: HyperMatrix<f64> =
+        hdc_core::random::random_hypermatrix(PANEL_QUERIES, PANEL_DIM, &mut rng);
+    let classes: HyperMatrix<f64> =
+        hdc_core::random::random_hypermatrix(PANEL_CLASSES, PANEL_DIM, &mut rng);
+    for (name, backend) in backend_legs() {
+        simd::set_backend(backend).expect("leg is supported");
+        c.bench_function(&format!("simd/dot-panel-cosine-batch/{name}"), |bench| {
+            bench.iter(|| {
+                black_box(
+                    cosine_similarity_batch(
+                        black_box(&queries),
+                        black_box(&classes),
+                        Perforation::NONE,
+                    )
+                    .unwrap(),
+                )
+            })
+        });
+    }
+    simd::set_backend(simd::detected()).expect("detected backend is supported");
+}
+
+criterion_group!(benches, bench_popcount, bench_dot_panel);
+criterion_main!(benches);

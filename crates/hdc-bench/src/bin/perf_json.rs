@@ -35,6 +35,7 @@
 
 use hdc_accel::{AcceleratedExecutor, AcceleratorModel};
 use hdc_apps::{ClassificationApp, ClusteringApp, ExecMode, MatchingApp};
+use hdc_bench::calibrate::CpuCalibration;
 use hdc_core::element::ElementKind;
 use hdc_core::prelude::*;
 use hdc_datasets::synthetic::{
@@ -711,6 +712,42 @@ fn measure_accel_apps(
     vec![classification, clustering, matching]
 }
 
+/// Host metadata stamped into the report's `cpu` section: what machine and
+/// kernel backend produced these numbers, so the perf trajectory separates
+/// hardware changes from algorithmic wins.
+struct CpuInfo {
+    arch: &'static str,
+    cores: usize,
+    backend: &'static str,
+    features: Vec<&'static str>,
+    rustc_version: String,
+    calibration: Option<CpuCalibration>,
+}
+
+fn rustc_version() -> String {
+    std::process::Command::new("rustc")
+        .arg("--version")
+        .output()
+        .ok()
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+fn gather_cpu_info(calibration: Option<CpuCalibration>) -> CpuInfo {
+    CpuInfo {
+        arch: std::env::consts::ARCH,
+        cores: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        backend: hdc_core::simd::selected().name(),
+        features: hdc_core::simd::detected_features(),
+        rustc_version: rustc_version(),
+        calibration,
+    }
+}
+
 fn json_escape_free(s: &str) -> &str {
     // All strings we emit are static identifiers; assert rather than escape.
     assert!(
@@ -895,18 +932,84 @@ fn accel_params_json(model: &AcceleratorModel) -> String {
     )
 }
 
-fn emit_json(
-    records: &[Record],
-    apps: &[AppRecord],
-    training: &[TrainingRecord],
-    model: &AcceleratorModel,
-    accel_kernels: &[AccelKernelRecord],
-    accel_apps: &[AccelAppRecord],
-    smoke: bool,
-) -> String {
-    let cores = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
+/// The `cpu` section: host metadata plus, when `--calibrate` ran, the
+/// measured backend throughputs and the [`hdc_accel::CpuParams`] roofline
+/// derived from them (always emitted, so consumers see which params the
+/// accelerator section was computed against).
+fn cpu_json(info: &CpuInfo, model: &AcceleratorModel) -> String {
+    let features: Vec<String> = info
+        .features
+        .iter()
+        .map(|f| format!("\"{}\"", json_escape_free(f)))
+        .collect();
+    let calibration = match &info.calibration {
+        Some(c) => format!(
+            concat!(
+                "    \"calibration\": {{\n",
+                "      \"clock_hz_estimate\": {:e},\n",
+                "      \"popcount_bits_per_sec\": {:e},\n",
+                "      \"flops_per_sec\": {:e},\n",
+                "      \"stream_bytes_per_sec\": {:e},\n",
+                "      \"popcount_bits_per_cycle\": {:.2},\n",
+                "      \"flops_per_cycle\": {:.2}\n",
+                "    }},\n"
+            ),
+            c.clock_hz_estimate,
+            c.popcount_bits_per_sec,
+            c.flops_per_sec,
+            c.stream_bytes_per_sec,
+            c.popcount_bits_per_cycle(),
+            c.flops_per_cycle(),
+        ),
+        None => String::new(),
+    };
+    format!(
+        concat!(
+            "  \"cpu\": {{\n",
+            "    \"arch\": \"{}\",\n",
+            "    \"cores\": {},\n",
+            "    \"kernel_backend\": \"{}\",\n",
+            "    \"features\": [{}],\n",
+            "    \"rustc_version\": \"{}\",\n",
+            "    \"calibrated\": {},\n",
+            "{}",
+            "    \"cpu_params\": {{ \"flops_per_sec\": {:e}, \"bytes_per_sec\": {:e} }}\n",
+            "  }}"
+        ),
+        json_escape_free(info.arch),
+        info.cores,
+        json_escape_free(info.backend),
+        features.join(", "),
+        json_escape_free(&info.rustc_version),
+        info.calibration.is_some(),
+        calibration,
+        model.cpu.flops_per_sec,
+        model.cpu.bytes_per_sec,
+    )
+}
+
+/// Everything one report run produced, grouped so `emit_json` takes the
+/// sections as a unit.
+struct ReportSections<'a> {
+    records: &'a [Record],
+    apps: &'a [AppRecord],
+    training: &'a [TrainingRecord],
+    cpu: &'a CpuInfo,
+    model: &'a AcceleratorModel,
+    accel_kernels: &'a [AccelKernelRecord],
+    accel_apps: &'a [AccelAppRecord],
+}
+
+fn emit_json(sections: &ReportSections<'_>, smoke: bool) -> String {
+    let ReportSections {
+        records,
+        apps,
+        training,
+        cpu,
+        model,
+        accel_kernels,
+        accel_apps,
+    } = sections;
     let rows: Vec<String> = records.iter().map(record_json).collect();
     let app_rows: Vec<String> = apps.iter().map(app_json).collect();
     let training_rows: Vec<String> = training.iter().map(training_json).collect();
@@ -915,11 +1018,12 @@ fn emit_json(
     format!(
         concat!(
             "{{\n",
-            "  \"schema\": \"hdc-bench/perf_json/v4\",\n",
+            "  \"schema\": \"hdc-bench/perf_json/v5\",\n",
             "  \"workload\": \"batched_inference_vs_sequential\",\n",
             "  \"grid\": \"{}\",\n",
             "  \"cores\": {},\n",
             "  \"command\": \"cargo run --release -p hdc-bench --bin perf_json\",\n",
+            "{},\n",
             "  \"records\": [\n{}\n  ],\n",
             "  \"apps\": [\n{}\n  ],\n",
             "  \"training\": [\n{}\n  ],\n",
@@ -931,7 +1035,8 @@ fn emit_json(
             "}}\n"
         ),
         if smoke { "smoke" } else { "full" },
-        cores,
+        cpu.cores,
+        cpu_json(cpu, model),
         rows.join(",\n"),
         app_rows.join(",\n"),
         training_rows.join(",\n"),
@@ -962,6 +1067,14 @@ demoted off the accelerators by the target-assignment legality rules, so
 there is nothing to model. The accelerator numbers are fully deterministic
 (no wall clocks); see docs/accelerator-model.md for the equations.
 
+The `cpu` section stamps host metadata (arch, cores, detected CPU features,
+the runtime-selected SIMD kernel backend, rustc version). With --calibrate
+it additionally times the selected backend on this host (popcount
+throughput, dense flops, streaming bandwidth, an estimated clock) and
+derives the CpuParams roofline the accelerator model compares against —
+modeled speedups are then relative to *this* machine rather than the
+documented reference defaults.
+
 USAGE:
     cargo run --release -p hdc-bench --bin perf_json [-- OPTIONS]
 
@@ -969,15 +1082,29 @@ OPTIONS:
     --smoke        Run the tiny CI grid instead of the full grid: 256-dim
                    kernels and miniature app datasets, one rep. Finishes in
                    seconds; used by the CI workflow.
+    --calibrate    Measure the selected kernel backend on this host and use
+                   the calibrated CpuParams as the accelerator model's CPU
+                   baseline (quick sizes under --smoke).
     --out <PATH>   Write the JSON report to PATH (default:
                    BENCH_results.json).
     -h, --help     Print this help and exit.
 
-OUTPUT (schema \"hdc-bench/perf_json/v4\"):
+OUTPUT (schema \"hdc-bench/perf_json/v5\"):
     {
-      \"schema\": \"hdc-bench/perf_json/v4\",
+      \"schema\": \"hdc-bench/perf_json/v5\",
       \"grid\": \"full\" | \"smoke\",
       \"cores\": <host cores>,
+      \"cpu\": {      // host + kernel-backend metadata
+        \"arch\", \"cores\",
+        \"kernel_backend\",          // scalar | avx2 | neon (runtime-selected)
+        \"features\": [...],         // detected CPU features
+        \"rustc_version\",
+        \"calibrated\",              // true when --calibrate ran
+        \"calibration\": {          // present only when calibrated
+          \"clock_hz_estimate\", \"popcount_bits_per_sec\", \"flops_per_sec\",
+          \"stream_bytes_per_sec\", \"popcount_bits_per_cycle\",
+          \"flops_per_cycle\" },
+        \"cpu_params\": { \"flops_per_sec\", \"bytes_per_sec\" } },  // model baseline
       \"records\": [  // kernel grid, one object per configuration
         { \"dim\", \"classes\", \"queries\",       // workload shape
           \"representation\", \"metric\",         // binarized+hamming | dense+cosine
@@ -1028,6 +1155,7 @@ from the reference, 2 on a usage error.";
 
 struct Args {
     smoke: bool,
+    calibrate: bool,
     out_path: String,
 }
 
@@ -1035,11 +1163,13 @@ struct Args {
 /// ignored.
 fn parse_args(args: &[String]) -> std::result::Result<Args, String> {
     let mut smoke = false;
+    let mut calibrate = false;
     let mut out_path = "BENCH_results.json".to_string();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--smoke" => smoke = true,
+            "--calibrate" => calibrate = true,
             "--out" => {
                 out_path = it
                     .next()
@@ -1057,7 +1187,11 @@ fn parse_args(args: &[String]) -> std::result::Result<Args, String> {
             }
         }
     }
-    Ok(Args { smoke, out_path })
+    Ok(Args {
+        smoke,
+        calibrate,
+        out_path,
+    })
 }
 
 fn main() {
@@ -1069,6 +1203,29 @@ fn main() {
     let smoke = args.smoke;
     let reps = if smoke { 1 } else { 2 };
     let grid = if smoke { smoke_grid() } else { full_grid() };
+
+    // Calibrate before any timing so the accelerator section below models
+    // against this host's roofline; without --calibrate the documented
+    // default CpuParams apply (and the report says so via "calibrated").
+    let calibration = if args.calibrate {
+        println!(
+            "calibrating CPU: backend={}, {} sizes...",
+            hdc_core::simd::selected().name(),
+            if smoke { "quick" } else { "full" }
+        );
+        let cal = hdc_bench::calibrate::calibrate(smoke);
+        println!(
+            "  clock~{:.2} GHz  popcount {:.1} bits/cyc  {:.2} Gflop/s  stream {:.1} GB/s",
+            cal.clock_hz_estimate / 1e9,
+            cal.popcount_bits_per_cycle(),
+            cal.flops_per_sec / 1e9,
+            cal.stream_bytes_per_sec / 1e9,
+        );
+        Some(cal)
+    } else {
+        None
+    };
+    let cpu_info = gather_cpu_info(calibration);
 
     let mut records = Vec::with_capacity(grid.len());
     let mut all_match = true;
@@ -1156,7 +1313,12 @@ fn main() {
     }
 
     // ----- modeled accelerator section -----
-    let model = AcceleratorModel::default();
+    // One shared CpuParams source: the calibrated roofline when --calibrate
+    // ran, the documented defaults otherwise.
+    let model = match &cpu_info.calibration {
+        Some(cal) => AcceleratorModel::with_cpu(cal.cpu_params()),
+        None => AcceleratorModel::default(),
+    };
     println!(
         "\n{:>6} {:>8} {:>10} {:>18} {:>8} {:>16} {:>14} {:>8}  match",
         "dim",
@@ -1225,12 +1387,15 @@ fn main() {
     }
 
     let json = emit_json(
-        &records,
-        &apps,
-        &training,
-        &model,
-        &accel_kernels,
-        &accel_apps,
+        &ReportSections {
+            records: &records,
+            apps: &apps,
+            training: &training,
+            cpu: &cpu_info,
+            model: &model,
+            accel_kernels: &accel_kernels,
+            accel_apps: &accel_apps,
+        },
         smoke,
     );
     std::fs::write(&args.out_path, json).expect("write results file");

@@ -7,6 +7,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod calibrate;
+
 use hdc_core::prelude::*;
 
 /// Hypervector dimension used by most benchmarks (the paper's default).

@@ -33,10 +33,6 @@ use crate::similarity::norm_sq_perforated;
 use rayon::prelude::*;
 
 const WORD_BITS: usize = 64;
-/// Inner-loop block width (in 64-bit words) for the XOR/popcount kernels.
-/// Accumulating into independent lanes keeps the popcounts flowing even on a
-/// single core.
-const BLOCK_WORDS: usize = 4;
 
 fn check_cols(a: usize, b: usize, context: &'static str) -> Result<()> {
     if a != b {
@@ -57,41 +53,6 @@ fn perforation_mask(dimension: usize, perforation: Perforation) -> Vec<u64> {
         mask[i / WORD_BITS] |= 1u64 << (i % WORD_BITS);
     }
     mask
-}
-
-/// Word-blocked XOR + popcount over two packed word slices.
-fn xor_popcount(a: &[u64], b: &[u64]) -> u64 {
-    let mut lanes = [0u64; BLOCK_WORDS];
-    let blocks = a.len() / BLOCK_WORDS;
-    for blk in 0..blocks {
-        let base = blk * BLOCK_WORDS;
-        for (lane, acc) in lanes.iter_mut().enumerate() {
-            *acc += (a[base + lane] ^ b[base + lane]).count_ones() as u64;
-        }
-    }
-    let mut total: u64 = lanes.iter().sum();
-    for i in blocks * BLOCK_WORDS..a.len() {
-        total += (a[i] ^ b[i]).count_ones() as u64;
-    }
-    total
-}
-
-/// Word-blocked masked XOR + popcount (perforated reductions).
-fn xor_popcount_masked(a: &[u64], b: &[u64], mask: &[u64]) -> u64 {
-    let mut lanes = [0u64; BLOCK_WORDS];
-    let blocks = a.len() / BLOCK_WORDS;
-    for blk in 0..blocks {
-        let base = blk * BLOCK_WORDS;
-        for (lane, acc) in lanes.iter_mut().enumerate() {
-            let i = base + lane;
-            *acc += ((a[i] ^ b[i]) & mask[i]).count_ones() as u64;
-        }
-    }
-    let mut total: u64 = lanes.iter().sum();
-    for i in blocks * BLOCK_WORDS..a.len() {
-        total += ((a[i] ^ b[i]) & mask[i]).count_ones() as u64;
-    }
-    total
 }
 
 /// Hamming distance from every row of `queries` to every row of `classes`,
@@ -118,6 +79,10 @@ pub fn hamming_distance_batch(
     } else {
         Some(perforation_mask(queries.cols(), perforation))
     };
+    // One dispatch-table fetch per batch call; the row loops then run on
+    // plain function pointers (scalar oracle or the selected SIMD backend,
+    // bit-identical either way).
+    let kernels = crate::simd::bit_kernels();
     let query_words: Vec<&[u64]> = queries.iter().map(|r| r.as_words()).collect();
     let rows: Vec<HyperVector<f64>> = query_words
         .into_par_iter()
@@ -126,8 +91,8 @@ pub fn hamming_distance_batch(
                 .iter()
                 .map(|class| {
                     let count = match &mask {
-                        None => xor_popcount(q, class.as_words()),
-                        Some(m) => xor_popcount_masked(q, class.as_words(), m),
+                        None => (kernels.xor_popcount)(q, class.as_words()),
+                        Some(m) => (kernels.xor_popcount_masked)(q, class.as_words(), m),
                     };
                     count as f64
                 })
@@ -195,6 +160,13 @@ pub(crate) fn dot_panel<T: Element, const B: usize>(
 ) -> [f64; B] {
     let mut acc = [0.0f64; B];
     if dense {
+        // `f64` rows go straight to the dispatched panel kernel (SIMD when
+        // selected); the generic path below is the same loop with a
+        // per-element `to_f64`. Both keep `B` independent accumulator
+        // chains in ascending element order, so outputs are bit-identical.
+        if let Some(qf) = T::as_f64_slice(q) {
+            return crate::simd::dot_panel_dense::<B>(qf, panel);
+        }
         for (lanes, x) in panel.chunks_exact(B).zip(q.iter()) {
             let qv = x.to_f64();
             for k in 0..B {
@@ -444,13 +416,10 @@ pub fn accumulate_by_segment_bits(
     init: &HyperMatrix<f64>,
 ) -> Result<HyperMatrix<f64>> {
     let cols = rows.cols();
+    let kernels = crate::simd::bit_kernels();
     segmented_reduce(rows.rows(), cols, segments, init, |acc, i| {
         let words = rows.row(i).expect("row index in range").as_words();
-        for (c, slot) in acc.iter_mut().enumerate().take(cols) {
-            let bit = (words[c / WORD_BITS] >> (c % WORD_BITS)) & 1;
-            // bit set = negative element.
-            *slot += 1.0 - 2.0 * bit as f64;
-        }
+        (kernels.add_signs)(&mut acc[..cols], words);
     })
 }
 

@@ -126,6 +126,16 @@ pub trait Element:
             self
         }
     }
+
+    /// View a slice of this element type as `&[f64]` when the type *is*
+    /// `f64` (`None` for every other type).
+    ///
+    /// This is a safe specialization hook: only the `f64` impl overrides it,
+    /// letting the batched kernels hand dense `f64` rows to the SIMD panel
+    /// kernels without a per-element `to_f64` conversion or any transmute.
+    fn as_f64_slice(_slice: &[Self]) -> Option<&[f64]> {
+        None
+    }
 }
 
 macro_rules! impl_element_int {
@@ -177,7 +187,24 @@ impl_element_int!(i16, ElementKind::I16);
 impl_element_int!(i32, ElementKind::I32);
 impl_element_int!(i64, ElementKind::I64);
 impl_element_float!(f32, ElementKind::F32);
-impl_element_float!(f64, ElementKind::F64);
+
+impl Element for f64 {
+    const ZERO: Self = 0.0;
+    const ONE: Self = 1.0;
+    const KIND: ElementKind = ElementKind::F64;
+
+    fn from_f64(value: f64) -> Self {
+        value
+    }
+
+    fn to_f64(self) -> f64 {
+        self
+    }
+
+    fn as_f64_slice(slice: &[Self]) -> Option<&[f64]> {
+        Some(slice)
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -235,6 +262,14 @@ mod tests {
         assert!(ElementKind::F64.is_float());
         assert!(!ElementKind::I32.is_float());
         assert!(!ElementKind::Bit.is_float());
+    }
+
+    #[test]
+    fn as_f64_slice_is_f64_only() {
+        let xs = [1.0f64, -2.5, 3.25];
+        assert_eq!(f64::as_f64_slice(&xs), Some(&xs[..]));
+        assert_eq!(f32::as_f64_slice(&[1.0f32]), None);
+        assert_eq!(i32::as_f64_slice(&[1i32]), None);
     }
 
     #[test]

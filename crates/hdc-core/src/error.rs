@@ -39,6 +39,12 @@ pub enum HdcError {
     InvalidPerforation(String),
     /// An operation received an empty input where at least one element is required.
     EmptyInput(&'static str),
+    /// A kernel backend was requested that this host cannot run (missing
+    /// CPU features or wrong architecture).
+    UnsupportedBackend {
+        /// Name of the requested backend (`scalar` / `avx2` / `neon`).
+        requested: &'static str,
+    },
 }
 
 impl fmt::Display for HdcError {
@@ -61,6 +67,12 @@ impl fmt::Display for HdcError {
             }
             HdcError::InvalidPerforation(msg) => write!(f, "invalid perforation: {msg}"),
             HdcError::EmptyInput(context) => write!(f, "empty input in {context}"),
+            HdcError::UnsupportedBackend { requested } => {
+                write!(
+                    f,
+                    "kernel backend `{requested}` is not supported on this host"
+                )
+            }
         }
     }
 }

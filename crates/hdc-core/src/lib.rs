@@ -37,7 +37,9 @@
 //! # }
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the `simd` module needs `#![allow(unsafe_code)]`
+// for its `std::arch` intrinsics; everything else stays unsafe-free.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod batch;
@@ -51,6 +53,7 @@ pub mod matmul;
 pub mod ops;
 pub mod perforation;
 pub mod random;
+pub mod simd;
 pub mod similarity;
 
 pub use batch::{
@@ -63,6 +66,7 @@ pub use hypermatrix::HyperMatrix;
 pub use hypervector::HyperVector;
 pub use perforation::Perforation;
 pub use random::HdcRng;
+pub use simd::KernelBackend;
 
 /// Commonly used items, for glob import in examples and applications.
 pub mod prelude {

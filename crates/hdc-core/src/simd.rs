@@ -1,0 +1,785 @@
+//! Runtime-dispatched SIMD kernel backend for the batched inner loops.
+//!
+//! The two primitive loops every committed speedup rests on — XOR/popcount
+//! over bit-packed words and the dense `f64` dot-product panels — have
+//! `std::arch` variants here: AVX2 on `x86_64` and NEON on `aarch64`. A
+//! [`KernelBackend`] is selected **once per process** by runtime feature
+//! detection (no compile-time `target-cpu` flags needed) and every batched
+//! kernel call fetches a small dispatch table from it:
+//!
+//! ```text
+//!            HDC_KERNEL_BACKEND env ──┐  (scalar | avx2 | neon)
+//!                                     ▼
+//!   is_x86_feature_detected! ──► selected(): KernelBackend   (once, atomic)
+//!   is_aarch64_feature_detected!      │
+//!                                     ▼
+//!        batch kernel call ──► bit_kernels() / dot_panel_dense::<B>()
+//!                                     │
+//!              ┌──────────────────────┼──────────────────────┐
+//!              ▼                      ▼                      ▼
+//!          Scalar (oracle)          Avx2                   Neon
+//!     lane-blocked u64 loops   pshufb popcount        vcntq_u8 popcount
+//!     ascending-order f64      mul+add __m256d        mul+add float64x2
+//! ```
+//!
+//! **Equivalence contract.** Every SIMD variant is bit-identical to the
+//! scalar oracle kept verbatim in the private `scalar` submodule:
+//!
+//! * popcounts are exact integers, so any correct popcount implementation
+//!   produces the same count;
+//! * the `f64` panel kernels keep one independent accumulator chain per
+//!   output lane and sum the element axis in ascending order with separate
+//!   multiply and add (**no FMA** — fused rounding would diverge from the
+//!   scalar chain), so every partial sum is the same IEEE value the scalar
+//!   kernel computes.
+//!
+//! The `kernel_equivalence` integration suite fuzzes dims/classes/
+//! perforation across backends to pin this. Because outputs are
+//! bit-identical, backend selection is invisible to everything above the
+//! kernels — the batched==sequential oracle suites pass unchanged on either
+//! path.
+//!
+//! Set `HDC_KERNEL_BACKEND=scalar` (or `avx2` / `neon`) to force a backend;
+//! an unsupported forced SIMD backend falls back to scalar. Tests and
+//! benchmarks can switch at runtime with [`set_backend`].
+#![allow(unsafe_code)]
+
+use crate::error::{HdcError, Result};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+
+/// The kernel backend the batched inner loops dispatch to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelBackend {
+    /// The portable scalar kernels — the always-available reference oracle.
+    Scalar,
+    /// `std::arch` AVX2 kernels (`x86_64`, runtime-detected).
+    Avx2,
+    /// `std::arch` NEON kernels (`aarch64`, runtime-detected).
+    Neon,
+}
+
+impl KernelBackend {
+    /// Stable lowercase name (`scalar` / `avx2` / `neon`), as accepted by
+    /// the `HDC_KERNEL_BACKEND` environment variable.
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelBackend::Scalar => "scalar",
+            KernelBackend::Avx2 => "avx2",
+            KernelBackend::Neon => "neon",
+        }
+    }
+
+    /// Whether this backend uses SIMD intrinsics (everything but scalar).
+    pub fn is_simd(self) -> bool {
+        !matches!(self, KernelBackend::Scalar)
+    }
+
+    fn to_code(self) -> u8 {
+        match self {
+            KernelBackend::Scalar => 1,
+            KernelBackend::Avx2 => 2,
+            KernelBackend::Neon => 3,
+        }
+    }
+
+    fn from_code(code: u8) -> Option<Self> {
+        match code {
+            1 => Some(KernelBackend::Scalar),
+            2 => Some(KernelBackend::Avx2),
+            3 => Some(KernelBackend::Neon),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for KernelBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// 0 = not yet resolved; otherwise a `KernelBackend::to_code` value.
+static BACKEND: AtomicU8 = AtomicU8::new(0);
+
+/// Count of batched kernel launches that took a SIMD path (one per
+/// dispatch-table fetch or panel call, not per inner-loop iteration).
+static SIMD_DISPATCHES: AtomicU64 = AtomicU64::new(0);
+
+/// The backend runtime feature detection picks on this host, ignoring the
+/// environment override: AVX2 on a capable `x86_64`, NEON on a capable
+/// `aarch64`, scalar everywhere else.
+pub fn detected() -> KernelBackend {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2")
+            && std::arch::is_x86_feature_detected!("popcnt")
+        {
+            return KernelBackend::Avx2;
+        }
+    }
+    #[cfg(target_arch = "aarch64")]
+    {
+        if std::arch::is_aarch64_feature_detected!("neon") {
+            return KernelBackend::Neon;
+        }
+    }
+    KernelBackend::Scalar
+}
+
+/// Whether `backend` can run on this host (scalar always can).
+pub fn supported(backend: KernelBackend) -> bool {
+    backend == KernelBackend::Scalar || backend == detected()
+}
+
+/// Resolve an `HDC_KERNEL_BACKEND` value to a backend: a recognized name
+/// forces that backend (falling back to scalar when the host lacks the
+/// SIMD features); anything else defers to [`detected`].
+fn resolve(env: Option<&str>) -> KernelBackend {
+    match env.map(str::trim) {
+        Some("scalar") => KernelBackend::Scalar,
+        Some("avx2") => {
+            if supported(KernelBackend::Avx2) {
+                KernelBackend::Avx2
+            } else {
+                KernelBackend::Scalar
+            }
+        }
+        Some("neon") => {
+            if supported(KernelBackend::Neon) {
+                KernelBackend::Neon
+            } else {
+                KernelBackend::Scalar
+            }
+        }
+        Some(other) if !other.is_empty() => {
+            eprintln!("hdc-core: unknown HDC_KERNEL_BACKEND `{other}`, using detection");
+            detected()
+        }
+        _ => detected(),
+    }
+}
+
+/// The backend the process dispatches to, resolved once on first call from
+/// the `HDC_KERNEL_BACKEND` environment variable and runtime feature
+/// detection, then cached.
+pub fn selected() -> KernelBackend {
+    if let Some(backend) = KernelBackend::from_code(BACKEND.load(Ordering::Relaxed)) {
+        return backend;
+    }
+    let backend = resolve(std::env::var("HDC_KERNEL_BACKEND").ok().as_deref());
+    // A concurrent first call resolves to the same value; last store wins.
+    BACKEND.store(backend.to_code(), Ordering::Relaxed);
+    backend
+}
+
+/// Force the dispatch backend for the rest of the process (overriding both
+/// detection and the environment variable). Intended for equivalence tests
+/// and benchmarks that compare backends within one process.
+///
+/// # Errors
+///
+/// Returns [`HdcError::UnsupportedBackend`] when this host cannot run the
+/// requested backend; the previous selection is left unchanged.
+pub fn set_backend(backend: KernelBackend) -> Result<()> {
+    if !supported(backend) {
+        return Err(HdcError::UnsupportedBackend {
+            requested: backend.name(),
+        });
+    }
+    BACKEND.store(backend.to_code(), Ordering::Relaxed);
+    Ok(())
+}
+
+/// Number of batched kernel launches that took a SIMD path so far in this
+/// process. Stays at zero when the scalar backend is selected — pinned by
+/// the `kernel_equivalence` regression suite.
+pub fn simd_dispatch_count() -> u64 {
+    SIMD_DISPATCHES.load(Ordering::Relaxed)
+}
+
+#[inline]
+fn note_simd_dispatch() {
+    SIMD_DISPATCHES.fetch_add(1, Ordering::Relaxed);
+}
+
+/// CPU features runtime detection reports on this host, for perf-report
+/// metadata (a stable subset relevant to the kernels, not an exhaustive
+/// CPUID dump).
+pub fn detected_features() -> Vec<&'static str> {
+    #[cfg(target_arch = "x86_64")]
+    {
+        let probes = [
+            ("sse4.2", std::arch::is_x86_feature_detected!("sse4.2")),
+            ("popcnt", std::arch::is_x86_feature_detected!("popcnt")),
+            ("avx", std::arch::is_x86_feature_detected!("avx")),
+            ("avx2", std::arch::is_x86_feature_detected!("avx2")),
+            ("fma", std::arch::is_x86_feature_detected!("fma")),
+            ("avx512f", std::arch::is_x86_feature_detected!("avx512f")),
+            (
+                "avx512vpopcntdq",
+                std::arch::is_x86_feature_detected!("avx512vpopcntdq"),
+            ),
+        ];
+        return probes
+            .into_iter()
+            .filter_map(|(name, have)| have.then_some(name))
+            .collect();
+    }
+    #[cfg(target_arch = "aarch64")]
+    {
+        let probes = [
+            ("neon", std::arch::is_aarch64_feature_detected!("neon")),
+            (
+                "dotprod",
+                std::arch::is_aarch64_feature_detected!("dotprod"),
+            ),
+        ];
+        return probes
+            .into_iter()
+            .filter_map(|(name, have)| have.then_some(name))
+            .collect();
+    }
+    #[allow(unreachable_code)]
+    Vec::new()
+}
+
+/// ±1.0 lookup for a nibble of packed sign bits: lane `k` of entry `n` is
+/// `-1.0` when bit `k` of `n` is set (a set bit encodes the bipolar value
+/// `-1`, matching [`crate::BitVector::to_dense`]).
+static SIGN_LUT4: [[f64; 4]; 16] = {
+    let mut table = [[0.0; 4]; 16];
+    let mut n = 0;
+    while n < 16 {
+        let mut k = 0;
+        while k < 4 {
+            table[n][k] = if (n >> k) & 1 != 0 { -1.0 } else { 1.0 };
+            k += 1;
+        }
+        n += 1;
+    }
+    table
+};
+
+/// Function-pointer table for the XOR/popcount kernel family, fetched once
+/// per batched kernel call (never per row) so the hot loops pay no
+/// per-iteration dispatch cost.
+#[derive(Clone, Copy)]
+pub(crate) struct BitKernels {
+    /// `popcount(a ^ b)` over two packed word slices.
+    pub xor_popcount: fn(&[u64], &[u64]) -> u64,
+    /// `popcount((a ^ b) & mask)` — perforated reductions.
+    pub xor_popcount_masked: fn(&[u64], &[u64], &[u64]) -> u64,
+    /// Add the ±1 signs packed in `words` into the `f64` accumulator slots
+    /// (`acc.len()` columns), one add per column in ascending order.
+    pub add_signs: fn(&mut [f64], &[u64]),
+}
+
+const SCALAR_BIT_KERNELS: BitKernels = BitKernels {
+    xor_popcount: scalar::xor_popcount,
+    xor_popcount_masked: scalar::xor_popcount_masked,
+    add_signs: scalar::add_signs,
+};
+
+/// The XOR/popcount dispatch table for the selected backend.
+pub(crate) fn bit_kernels() -> BitKernels {
+    match selected() {
+        #[cfg(target_arch = "x86_64")]
+        KernelBackend::Avx2 => {
+            note_simd_dispatch();
+            BitKernels {
+                xor_popcount: avx2::xor_popcount,
+                xor_popcount_masked: avx2::xor_popcount_masked,
+                add_signs: avx2::add_signs,
+            }
+        }
+        #[cfg(target_arch = "aarch64")]
+        KernelBackend::Neon => {
+            note_simd_dispatch();
+            BitKernels {
+                xor_popcount: neon::xor_popcount,
+                xor_popcount_masked: neon::xor_popcount_masked,
+                add_signs: neon::add_signs,
+            }
+        }
+        _ => SCALAR_BIT_KERNELS,
+    }
+}
+
+/// Dense dot products of one streamed `f64` row against a column-major
+/// packed panel ([`crate::batch::pack_panel`]), `B` independent accumulator
+/// chains, ascending element order — dispatched to the selected backend.
+/// Bit-identical to [`scalar::dot_panel_dense`] on every backend.
+pub(crate) fn dot_panel_dense<const B: usize>(q: &[f64], panel: &[f64]) -> [f64; B] {
+    match selected() {
+        #[cfg(target_arch = "x86_64")]
+        KernelBackend::Avx2 => {
+            if let Some(out) = avx2::dot_panel::<B>(q, panel) {
+                note_simd_dispatch();
+                return out;
+            }
+            scalar::dot_panel_dense::<B>(q, panel)
+        }
+        #[cfg(target_arch = "aarch64")]
+        KernelBackend::Neon => {
+            if let Some(out) = neon::dot_panel::<B>(q, panel) {
+                note_simd_dispatch();
+                return out;
+            }
+            scalar::dot_panel_dense::<B>(q, panel)
+        }
+        _ => scalar::dot_panel_dense::<B>(q, panel),
+    }
+}
+
+/// The scalar reference kernels — the PR-5 inner loops kept verbatim. Every
+/// SIMD variant in this module is fuzzed bit-identical against these.
+pub(crate) mod scalar {
+    /// Inner-loop block width (in 64-bit words) for the XOR/popcount
+    /// kernels. Accumulating into independent lanes keeps the popcounts
+    /// flowing even on a single core.
+    const BLOCK_WORDS: usize = 4;
+
+    /// Word-blocked XOR + popcount over two packed word slices.
+    pub(crate) fn xor_popcount(a: &[u64], b: &[u64]) -> u64 {
+        let mut lanes = [0u64; BLOCK_WORDS];
+        let blocks = a.len() / BLOCK_WORDS;
+        for blk in 0..blocks {
+            let base = blk * BLOCK_WORDS;
+            for (lane, acc) in lanes.iter_mut().enumerate() {
+                *acc += (a[base + lane] ^ b[base + lane]).count_ones() as u64;
+            }
+        }
+        let mut total: u64 = lanes.iter().sum();
+        for i in blocks * BLOCK_WORDS..a.len() {
+            total += (a[i] ^ b[i]).count_ones() as u64;
+        }
+        total
+    }
+
+    /// Word-blocked masked XOR + popcount (perforated reductions).
+    pub(crate) fn xor_popcount_masked(a: &[u64], b: &[u64], mask: &[u64]) -> u64 {
+        let mut lanes = [0u64; BLOCK_WORDS];
+        let blocks = a.len() / BLOCK_WORDS;
+        for blk in 0..blocks {
+            let base = blk * BLOCK_WORDS;
+            for (lane, acc) in lanes.iter_mut().enumerate() {
+                let i = base + lane;
+                *acc += ((a[i] ^ b[i]) & mask[i]).count_ones() as u64;
+            }
+        }
+        let mut total: u64 = lanes.iter().sum();
+        for i in blocks * BLOCK_WORDS..a.len() {
+            total += ((a[i] ^ b[i]) & mask[i]).count_ones() as u64;
+        }
+        total
+    }
+
+    /// Unpack the ±1 signs in `words` and add them into the accumulator
+    /// slots, one column at a time in ascending order.
+    pub(crate) fn add_signs(acc: &mut [f64], words: &[u64]) {
+        for (c, slot) in acc.iter_mut().enumerate() {
+            let bit = (words[c / 64] >> (c % 64)) & 1;
+            // bit set = negative element.
+            *slot += 1.0 - 2.0 * bit as f64;
+        }
+    }
+
+    /// Dense `f64` dot-panel: `B` independent accumulator chains, ascending
+    /// element order, separate multiply and add.
+    pub(crate) fn dot_panel_dense<const B: usize>(q: &[f64], panel: &[f64]) -> [f64; B] {
+        let mut acc = [0.0f64; B];
+        for (lanes, &qv) in panel.chunks_exact(B).zip(q.iter()) {
+            for k in 0..B {
+                acc[k] += qv * lanes[k];
+            }
+        }
+        acc
+    }
+}
+
+/// AVX2 kernels. Every `unsafe` block's only obligation is the `avx2` (and
+/// `popcnt`) target features, guaranteed by construction: these functions
+/// are reachable only through the dispatch tables, which select them only
+/// when [`detected`] confirmed the features at runtime.
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    use super::SIGN_LUT4;
+    use std::arch::x86_64::*;
+
+    pub(super) fn xor_popcount(a: &[u64], b: &[u64]) -> u64 {
+        // SAFETY: only dispatched on hosts where avx2+popcnt are detected.
+        unsafe { xor_popcount_impl(a, b) }
+    }
+
+    pub(super) fn xor_popcount_masked(a: &[u64], b: &[u64], mask: &[u64]) -> u64 {
+        // SAFETY: only dispatched on hosts where avx2+popcnt are detected.
+        unsafe { xor_popcount_masked_impl(a, b, mask) }
+    }
+
+    pub(super) fn add_signs(acc: &mut [f64], words: &[u64]) {
+        // SAFETY: only dispatched on hosts where avx2+popcnt are detected.
+        unsafe { add_signs_impl(acc, words) }
+    }
+
+    pub(super) fn dot_panel<const B: usize>(q: &[f64], panel: &[f64]) -> Option<[f64; B]> {
+        let mut out = [0.0f64; B];
+        // SAFETY: only dispatched on hosts where avx2+popcnt are detected.
+        unsafe {
+            match B {
+                8 => out.copy_from_slice(&dot8_impl(q, panel)),
+                4 => out.copy_from_slice(&dot4_impl(q, panel)),
+                2 => out.copy_from_slice(&dot2_impl(q, panel)),
+                _ => return None,
+            }
+        }
+        Some(out)
+    }
+
+    /// Popcount of each byte of `v` via the classic nibble-LUT `pshufb`
+    /// (counts per byte, summed into the four 64-bit lanes by `psadbw`).
+    ///
+    /// Must carry `target_feature(avx2)` itself: without it the intrinsics
+    /// are compiled for the baseline target whenever the call is not
+    /// inlined, and LLVM legalizes the 256-bit ops into a scalar expansion
+    /// an order of magnitude slower than the plain `count_ones` loop.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn popcount_bytes(v: __m256i) -> __m256i {
+        let lut = _mm256_setr_epi8(
+            0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4, 0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2,
+            3, 3, 4,
+        );
+        let low_mask = _mm256_set1_epi8(0x0f);
+        let lo = _mm256_and_si256(v, low_mask);
+        let hi = _mm256_and_si256(_mm256_srli_epi16::<4>(v), low_mask);
+        let counts = _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo), _mm256_shuffle_epi8(lut, hi));
+        _mm256_sad_epu8(counts, _mm256_setzero_si256())
+    }
+
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn horizontal_sum_u64(v: __m256i) -> u64 {
+        let mut lanes = [0u64; 4];
+        _mm256_storeu_si256(lanes.as_mut_ptr() as *mut __m256i, v);
+        lanes.iter().sum()
+    }
+
+    #[target_feature(enable = "avx2,popcnt")]
+    unsafe fn xor_popcount_impl(a: &[u64], b: &[u64]) -> u64 {
+        let blocks = a.len() / 4;
+        let mut total = _mm256_setzero_si256();
+        for blk in 0..blocks {
+            let pa = _mm256_loadu_si256(a.as_ptr().add(blk * 4) as *const __m256i);
+            let pb = _mm256_loadu_si256(b.as_ptr().add(blk * 4) as *const __m256i);
+            total = _mm256_add_epi64(total, popcount_bytes(_mm256_xor_si256(pa, pb)));
+        }
+        let mut count = horizontal_sum_u64(total);
+        for i in blocks * 4..a.len() {
+            count += (a[i] ^ b[i]).count_ones() as u64;
+        }
+        count
+    }
+
+    #[target_feature(enable = "avx2,popcnt")]
+    unsafe fn xor_popcount_masked_impl(a: &[u64], b: &[u64], mask: &[u64]) -> u64 {
+        let blocks = a.len() / 4;
+        let mut total = _mm256_setzero_si256();
+        for blk in 0..blocks {
+            let pa = _mm256_loadu_si256(a.as_ptr().add(blk * 4) as *const __m256i);
+            let pb = _mm256_loadu_si256(b.as_ptr().add(blk * 4) as *const __m256i);
+            let pm = _mm256_loadu_si256(mask.as_ptr().add(blk * 4) as *const __m256i);
+            let masked = _mm256_and_si256(_mm256_xor_si256(pa, pb), pm);
+            total = _mm256_add_epi64(total, popcount_bytes(masked));
+        }
+        let mut count = horizontal_sum_u64(total);
+        for i in blocks * 4..a.len() {
+            count += ((a[i] ^ b[i]) & mask[i]).count_ones() as u64;
+        }
+        count
+    }
+
+    #[target_feature(enable = "avx2")]
+    unsafe fn add_signs_impl(acc: &mut [f64], words: &[u64]) {
+        let cols = acc.len();
+        let chunks = cols / 4;
+        for i in 0..chunks {
+            // Columns 4i..4i+4 share one nibble (64 % 4 == 0, so a nibble
+            // never straddles a word boundary).
+            let bit = i * 4;
+            let nibble = ((words[bit / 64] >> (bit % 64)) & 0xf) as usize;
+            let slots = acc.as_mut_ptr().add(bit);
+            let sum = _mm256_add_pd(
+                _mm256_loadu_pd(slots),
+                _mm256_loadu_pd(SIGN_LUT4[nibble].as_ptr()),
+            );
+            _mm256_storeu_pd(slots, sum);
+        }
+        for c in chunks * 4..cols {
+            let bit = (words[c / 64] >> (c % 64)) & 1;
+            acc[c] += 1.0 - 2.0 * bit as f64;
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    unsafe fn dot8_impl(q: &[f64], panel: &[f64]) -> [f64; 8] {
+        let n = q.len().min(panel.len() / 8);
+        let mut acc0 = _mm256_setzero_pd();
+        let mut acc1 = _mm256_setzero_pd();
+        for i in 0..n {
+            let qv = _mm256_set1_pd(*q.get_unchecked(i));
+            let base = panel.as_ptr().add(i * 8);
+            acc0 = _mm256_add_pd(acc0, _mm256_mul_pd(qv, _mm256_loadu_pd(base)));
+            acc1 = _mm256_add_pd(acc1, _mm256_mul_pd(qv, _mm256_loadu_pd(base.add(4))));
+        }
+        let mut out = [0.0f64; 8];
+        _mm256_storeu_pd(out.as_mut_ptr(), acc0);
+        _mm256_storeu_pd(out.as_mut_ptr().add(4), acc1);
+        out
+    }
+
+    #[target_feature(enable = "avx2")]
+    unsafe fn dot4_impl(q: &[f64], panel: &[f64]) -> [f64; 4] {
+        let n = q.len().min(panel.len() / 4);
+        let mut acc = _mm256_setzero_pd();
+        for i in 0..n {
+            let qv = _mm256_set1_pd(*q.get_unchecked(i));
+            let lanes = _mm256_loadu_pd(panel.as_ptr().add(i * 4));
+            acc = _mm256_add_pd(acc, _mm256_mul_pd(qv, lanes));
+        }
+        let mut out = [0.0f64; 4];
+        _mm256_storeu_pd(out.as_mut_ptr(), acc);
+        out
+    }
+
+    #[target_feature(enable = "avx2")]
+    unsafe fn dot2_impl(q: &[f64], panel: &[f64]) -> [f64; 2] {
+        let n = q.len().min(panel.len() / 2);
+        let mut acc = _mm_setzero_pd();
+        for i in 0..n {
+            let qv = _mm_set1_pd(*q.get_unchecked(i));
+            let lanes = _mm_loadu_pd(panel.as_ptr().add(i * 2));
+            acc = _mm_add_pd(acc, _mm_mul_pd(qv, lanes));
+        }
+        let mut out = [0.0f64; 2];
+        _mm_storeu_pd(out.as_mut_ptr(), acc);
+        out
+    }
+}
+
+/// NEON kernels, mirroring the AVX2 set. Same safety argument: reachable
+/// only through the dispatch tables after runtime detection.
+#[cfg(target_arch = "aarch64")]
+mod neon {
+    use super::SIGN_LUT4;
+    use std::arch::aarch64::*;
+
+    pub(super) fn xor_popcount(a: &[u64], b: &[u64]) -> u64 {
+        // SAFETY: only dispatched on hosts where neon is detected.
+        unsafe { xor_popcount_impl(a, b) }
+    }
+
+    pub(super) fn xor_popcount_masked(a: &[u64], b: &[u64], mask: &[u64]) -> u64 {
+        // SAFETY: only dispatched on hosts where neon is detected.
+        unsafe { xor_popcount_masked_impl(a, b, mask) }
+    }
+
+    pub(super) fn add_signs(acc: &mut [f64], words: &[u64]) {
+        // SAFETY: only dispatched on hosts where neon is detected.
+        unsafe { add_signs_impl(acc, words) }
+    }
+
+    pub(super) fn dot_panel<const B: usize>(q: &[f64], panel: &[f64]) -> Option<[f64; B]> {
+        let mut out = [0.0f64; B];
+        // SAFETY: only dispatched on hosts where neon is detected.
+        unsafe {
+            match B {
+                8 => out.copy_from_slice(&dot8_impl(q, panel)),
+                4 => out.copy_from_slice(&dot4_impl(q, panel)),
+                2 => out.copy_from_slice(&dot2_impl(q, panel)),
+                _ => return None,
+            }
+        }
+        Some(out)
+    }
+
+    #[target_feature(enable = "neon")]
+    unsafe fn xor_popcount_impl(a: &[u64], b: &[u64]) -> u64 {
+        let blocks = a.len() / 2;
+        let mut count: u64 = 0;
+        for blk in 0..blocks {
+            let va = vld1q_u64(a.as_ptr().add(blk * 2));
+            let vb = vld1q_u64(b.as_ptr().add(blk * 2));
+            let bytes = vcntq_u8(vreinterpretq_u8_u64(veorq_u64(va, vb)));
+            // 16 byte-counts of at most 8 each: the horizontal sum fits u8.
+            count += vaddvq_u8(bytes) as u64;
+        }
+        for i in blocks * 2..a.len() {
+            count += (a[i] ^ b[i]).count_ones() as u64;
+        }
+        count
+    }
+
+    #[target_feature(enable = "neon")]
+    unsafe fn xor_popcount_masked_impl(a: &[u64], b: &[u64], mask: &[u64]) -> u64 {
+        let blocks = a.len() / 2;
+        let mut count: u64 = 0;
+        for blk in 0..blocks {
+            let va = vld1q_u64(a.as_ptr().add(blk * 2));
+            let vb = vld1q_u64(b.as_ptr().add(blk * 2));
+            let vm = vld1q_u64(mask.as_ptr().add(blk * 2));
+            let masked = vandq_u64(veorq_u64(va, vb), vm);
+            count += vaddvq_u8(vcntq_u8(vreinterpretq_u8_u64(masked))) as u64;
+        }
+        for i in blocks * 2..a.len() {
+            count += ((a[i] ^ b[i]) & mask[i]).count_ones() as u64;
+        }
+        count
+    }
+
+    #[target_feature(enable = "neon")]
+    unsafe fn add_signs_impl(acc: &mut [f64], words: &[u64]) {
+        let cols = acc.len();
+        let chunks = cols / 4;
+        for i in 0..chunks {
+            let bit = i * 4;
+            let nibble = ((words[bit / 64] >> (bit % 64)) & 0xf) as usize;
+            let signs = SIGN_LUT4[nibble].as_ptr();
+            let slots = acc.as_mut_ptr().add(bit);
+            vst1q_f64(slots, vaddq_f64(vld1q_f64(slots), vld1q_f64(signs)));
+            vst1q_f64(
+                slots.add(2),
+                vaddq_f64(vld1q_f64(slots.add(2)), vld1q_f64(signs.add(2))),
+            );
+        }
+        for c in chunks * 4..cols {
+            let bit = (words[c / 64] >> (c % 64)) & 1;
+            acc[c] += 1.0 - 2.0 * bit as f64;
+        }
+    }
+
+    #[target_feature(enable = "neon")]
+    unsafe fn dot8_impl(q: &[f64], panel: &[f64]) -> [f64; 8] {
+        let n = q.len().min(panel.len() / 8);
+        let mut acc = [vdupq_n_f64(0.0); 4];
+        for i in 0..n {
+            let qv = vdupq_n_f64(*q.get_unchecked(i));
+            let base = panel.as_ptr().add(i * 8);
+            for (k, lane) in acc.iter_mut().enumerate() {
+                *lane = vaddq_f64(*lane, vmulq_f64(qv, vld1q_f64(base.add(k * 2))));
+            }
+        }
+        let mut out = [0.0f64; 8];
+        for (k, lane) in acc.iter().enumerate() {
+            vst1q_f64(out.as_mut_ptr().add(k * 2), *lane);
+        }
+        out
+    }
+
+    #[target_feature(enable = "neon")]
+    unsafe fn dot4_impl(q: &[f64], panel: &[f64]) -> [f64; 4] {
+        let n = q.len().min(panel.len() / 4);
+        let mut acc0 = vdupq_n_f64(0.0);
+        let mut acc1 = vdupq_n_f64(0.0);
+        for i in 0..n {
+            let qv = vdupq_n_f64(*q.get_unchecked(i));
+            let base = panel.as_ptr().add(i * 4);
+            acc0 = vaddq_f64(acc0, vmulq_f64(qv, vld1q_f64(base)));
+            acc1 = vaddq_f64(acc1, vmulq_f64(qv, vld1q_f64(base.add(2))));
+        }
+        let mut out = [0.0f64; 4];
+        vst1q_f64(out.as_mut_ptr(), acc0);
+        vst1q_f64(out.as_mut_ptr().add(2), acc1);
+        out
+    }
+
+    #[target_feature(enable = "neon")]
+    unsafe fn dot2_impl(q: &[f64], panel: &[f64]) -> [f64; 2] {
+        let n = q.len().min(panel.len() / 2);
+        let mut acc = vdupq_n_f64(0.0);
+        for i in 0..n {
+            let qv = vdupq_n_f64(*q.get_unchecked(i));
+            acc = vaddq_f64(acc, vmulq_f64(qv, vld1q_f64(panel.as_ptr().add(i * 2))));
+        }
+        let mut out = [0.0f64; 2];
+        vst1q_f64(out.as_mut_ptr(), acc);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_resolution_is_pure_and_forced() {
+        assert_eq!(resolve(Some("scalar")), KernelBackend::Scalar);
+        assert_eq!(resolve(Some(" scalar ")), KernelBackend::Scalar);
+        // Forcing a SIMD backend falls back to scalar when unsupported,
+        // returns it verbatim when supported.
+        for (name, backend) in [("avx2", KernelBackend::Avx2), ("neon", KernelBackend::Neon)] {
+            let resolved = resolve(Some(name));
+            if supported(backend) {
+                assert_eq!(resolved, backend);
+            } else {
+                assert_eq!(resolved, KernelBackend::Scalar);
+            }
+        }
+        // Unset / unknown defer to detection.
+        assert_eq!(resolve(None), detected());
+        assert_eq!(resolve(Some("vector9000")), detected());
+    }
+
+    #[test]
+    fn backend_names_round_trip() {
+        for b in [
+            KernelBackend::Scalar,
+            KernelBackend::Avx2,
+            KernelBackend::Neon,
+        ] {
+            assert_eq!(resolve(Some(b.name())) == b, supported(b));
+            assert_eq!(b.to_string(), b.name());
+        }
+        assert!(!KernelBackend::Scalar.is_simd());
+        assert!(KernelBackend::Avx2.is_simd() && KernelBackend::Neon.is_simd());
+    }
+
+    #[test]
+    fn unsupported_backend_is_rejected() {
+        assert!(supported(KernelBackend::Scalar));
+        for b in [KernelBackend::Avx2, KernelBackend::Neon] {
+            if !supported(b) {
+                assert_eq!(
+                    set_backend(b),
+                    Err(HdcError::UnsupportedBackend {
+                        requested: b.name()
+                    })
+                );
+            }
+        }
+        // The detected backend is always settable.
+        set_backend(detected()).unwrap();
+    }
+
+    #[test]
+    fn sign_lut_matches_bit_convention() {
+        for (n, entry) in SIGN_LUT4.iter().enumerate() {
+            for (k, &v) in entry.iter().enumerate() {
+                let expect = if (n >> k) & 1 != 0 { -1.0 } else { 1.0 };
+                assert_eq!(v, expect);
+            }
+        }
+    }
+
+    #[test]
+    fn scalar_popcount_handles_tails() {
+        let a = [u64::MAX, 0, 0b1011, u64::MAX, 0xF0F0];
+        let b = [0u64, 0, 0b0001, u64::MAX, 0x0F0F];
+        // Per-word distances: 64, 0, 2, 0, 16.
+        assert_eq!(scalar::xor_popcount(&a, &b), 82, "blocked path + tail");
+        let mask = [u64::MAX; 5];
+        assert_eq!(
+            scalar::xor_popcount_masked(&a, &b, &mask),
+            scalar::xor_popcount(&a, &b)
+        );
+    }
+}

@@ -1,0 +1,263 @@
+//! Backend equivalence suite: every SIMD kernel must be **bit-identical**
+//! to the scalar oracle.
+//!
+//! The suite fuzzes dimensions (including odd tails that don't divide the
+//! vector width), class/query counts, and perforation descriptors across
+//! backends, comparing outputs with exact `assert_eq!` on the `f64` bits —
+//! popcounts are exact integers and the panel kernels keep per-chain
+//! accumulation order, so *any* difference is a backend bug.
+//!
+//! Tests that flip the process-global backend serialize on a mutex; the
+//! `HDC_KERNEL_BACKEND=scalar` regression re-runs itself in a child process
+//! so the environment override is exercised on a fresh backend cache.
+
+use hdc_core::batch::accumulate_by_segment_bits;
+use hdc_core::prelude::*;
+use hdc_core::random::{bipolar_hypermatrix, random_hypermatrix};
+use hdc_core::simd::{self, KernelBackend};
+use std::sync::{Mutex, MutexGuard};
+
+/// Serializes tests that mutate the process-global backend selection.
+static BACKEND_LOCK: Mutex<()> = Mutex::new(());
+
+fn lock_backend() -> MutexGuard<'static, ()> {
+    // A poisoned lock only means another test failed while holding it.
+    BACKEND_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Run `body` once under the scalar backend and once under the detected
+/// backend, returning both results. On a host without SIMD support the two
+/// runs both use scalar and the comparison is trivially true (the fuzz
+/// suite still exercises the dispatch plumbing).
+fn on_both_backends<R>(mut body: impl FnMut() -> R) -> (R, R) {
+    let _guard = lock_backend();
+    simd::set_backend(KernelBackend::Scalar).unwrap();
+    let scalar = body();
+    simd::set_backend(simd::detected()).unwrap();
+    let simd_result = body();
+    (scalar, simd_result)
+}
+
+fn bit_matrix(rows: usize, cols: usize, seed: u64) -> BitMatrix {
+    let mut rng = HdcRng::seed_from_u64(seed);
+    BitMatrix::from_dense(&bipolar_hypermatrix::<f64>(rows, cols, &mut rng))
+}
+
+fn dense_matrix(rows: usize, cols: usize, seed: u64) -> HyperMatrix<f64> {
+    let mut rng = HdcRng::seed_from_u64(seed);
+    random_hypermatrix(rows, cols, &mut rng)
+}
+
+/// Dims chosen to hit every tail case: below one word, exact word/block
+/// multiples, one past them, odd primes, and panel widths 8/4/2/1.
+const FUZZ_DIMS: &[usize] = &[
+    1, 7, 63, 64, 65, 127, 128, 129, 130, 191, 193, 256, 333, 1027,
+];
+
+fn fuzz_perforations(dim: usize) -> Vec<Perforation> {
+    let mut ps = vec![
+        Perforation::NONE,
+        Perforation::strided(0, usize::MAX, 2),
+        Perforation::strided(0, usize::MAX, 3),
+    ];
+    if dim > 8 {
+        ps.push(Perforation::segment(1, dim - 1));
+        ps.push(Perforation::strided(3, dim - 2, 7));
+    }
+    ps
+}
+
+#[test]
+fn hamming_batch_matches_scalar_across_backends() {
+    for &dim in FUZZ_DIMS {
+        let queries = bit_matrix(5, dim, 0xA11CE ^ dim as u64);
+        let classes = bit_matrix(9, dim, 0xB0B ^ dim as u64);
+        for perf in fuzz_perforations(dim) {
+            let (scalar, simd_out) =
+                on_both_backends(|| hamming_distance_batch(&queries, &classes, perf).unwrap());
+            assert_eq!(
+                scalar.as_slice(),
+                simd_out.as_slice(),
+                "hamming dim={dim} perf={perf:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn cosine_batch_matches_scalar_across_backends() {
+    for &dim in FUZZ_DIMS {
+        let queries = dense_matrix(5, dim, 0xC051 ^ dim as u64);
+        let classes = dense_matrix(9, dim, 0x51AB ^ dim as u64);
+        for perf in fuzz_perforations(dim) {
+            let (scalar, simd_out) =
+                on_both_backends(|| cosine_similarity_batch(&queries, &classes, perf).unwrap());
+            // Exact bit equality, not approximate: the SIMD panels must
+            // reproduce the scalar accumulation chains.
+            assert_eq!(
+                scalar.as_slice(),
+                simd_out.as_slice(),
+                "cosine dim={dim} perf={perf:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn matmul_batch_matches_scalar_across_backends() {
+    for &dim in &[1usize, 63, 64, 65, 130, 193, 333] {
+        let queries = dense_matrix(11, dim, 0x44AA ^ dim as u64);
+        let proj = dense_matrix(17, dim, 0x77EE ^ dim as u64);
+        for perf in fuzz_perforations(dim) {
+            let (scalar, simd_out) =
+                on_both_backends(|| hdc_core::matmul::matmul_batch(&queries, &proj, perf).unwrap());
+            assert_eq!(
+                scalar.as_slice(),
+                simd_out.as_slice(),
+                "matmul dim={dim} perf={perf:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn segment_accumulation_matches_scalar_across_backends() {
+    for &dim in FUZZ_DIMS {
+        let rows = bit_matrix(13, dim, 0x5E6 ^ dim as u64);
+        let segments: Vec<usize> = (0..13).map(|i| i % 3).collect();
+        let init = dense_matrix(3, dim, 0x111 ^ dim as u64);
+        let (scalar, simd_out) =
+            on_both_backends(|| accumulate_by_segment_bits(&rows, &segments, &init).unwrap());
+        assert_eq!(scalar.as_slice(), simd_out.as_slice(), "segments dim={dim}");
+    }
+}
+
+#[test]
+fn batched_matches_sequential_oracle_on_simd_backend() {
+    // The per-sample kernels stay scalar by design; the batched kernels on
+    // the SIMD backend must still match them row by row.
+    let _guard = lock_backend();
+    simd::set_backend(simd::detected()).unwrap();
+    let dim = 193;
+    let queries = bit_matrix(6, dim, 42);
+    let classes = bit_matrix(7, dim, 43);
+    for perf in fuzz_perforations(dim) {
+        let batched = hamming_distance_batch(&queries, &classes, perf).unwrap();
+        for (q, query) in queries.iter().enumerate() {
+            let seq = classes.hamming_distances(query, perf).unwrap();
+            assert_eq!(
+                batched.row(q).unwrap(),
+                seq.as_slice(),
+                "row {q} perf={perf:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn score_epoch_matches_scalar_across_backends() {
+    use hdc_core::batch::score_epoch;
+    for &dim in &[64usize, 130, 333] {
+        let queries = dense_matrix(6, dim, 0x9A9 ^ dim as u64);
+        let classes = dense_matrix(5, dim, 0x7C7 ^ dim as u64);
+        let (scalar, simd_out) = on_both_backends(|| {
+            score_epoch(
+                &queries,
+                &classes,
+                hdc_core::batch::SimilarityMetric::Cosine,
+                Perforation::NONE,
+            )
+            .unwrap()
+        });
+        assert_eq!(
+            scalar.as_slice(),
+            simd_out.as_slice(),
+            "score_epoch dim={dim}"
+        );
+    }
+}
+
+#[test]
+fn unsupported_backend_rejected_supported_accepted() {
+    let _guard = lock_backend();
+    for backend in [KernelBackend::Avx2, KernelBackend::Neon] {
+        if simd::supported(backend) {
+            simd::set_backend(backend).unwrap();
+            assert_eq!(simd::selected(), backend);
+        } else {
+            assert_eq!(
+                simd::set_backend(backend),
+                Err(HdcError::UnsupportedBackend {
+                    requested: backend.name()
+                })
+            );
+        }
+    }
+    simd::set_backend(simd::detected()).unwrap();
+}
+
+#[test]
+fn scalar_backend_makes_zero_simd_dispatches() {
+    let _guard = lock_backend();
+    simd::set_backend(KernelBackend::Scalar).unwrap();
+    let before = simd::simd_dispatch_count();
+    let queries = bit_matrix(4, 256, 1);
+    let classes = bit_matrix(4, 256, 2);
+    hamming_distance_batch(&queries, &classes, Perforation::NONE).unwrap();
+    let dq = dense_matrix(4, 256, 3);
+    let dc = dense_matrix(4, 256, 4);
+    cosine_similarity_batch(&dq, &dc, Perforation::NONE).unwrap();
+    accumulate_by_segment_bits(&queries, &[0, 1, 0, 1], &dense_matrix(2, 256, 5)).unwrap();
+    assert_eq!(
+        simd::simd_dispatch_count(),
+        before,
+        "scalar backend must never enter a SIMD path"
+    );
+    simd::set_backend(simd::detected()).unwrap();
+}
+
+#[test]
+fn simd_backend_registers_dispatches_when_available() {
+    if !simd::detected().is_simd() {
+        return; // nothing to observe on a scalar-only host
+    }
+    let _guard = lock_backend();
+    simd::set_backend(simd::detected()).unwrap();
+    let before = simd::simd_dispatch_count();
+    let queries = bit_matrix(2, 256, 6);
+    let classes = bit_matrix(2, 256, 7);
+    hamming_distance_batch(&queries, &classes, Perforation::NONE).unwrap();
+    assert!(simd::simd_dispatch_count() > before);
+}
+
+/// Regression for the `HDC_KERNEL_BACKEND=scalar` environment override: the
+/// selection is cached once per process, so the override is exercised in a
+/// child process (this same test binary, re-running only this test) with
+/// the variable set, asserting a scalar selection and zero SIMD dispatches.
+#[test]
+fn scalar_env_override_forces_scalar_with_zero_dispatches() {
+    if std::env::var("HDC_KE_CHILD").is_ok() {
+        assert_eq!(simd::selected(), KernelBackend::Scalar);
+        let queries = bit_matrix(4, 300, 8);
+        let classes = bit_matrix(4, 300, 9);
+        hamming_distance_batch(&queries, &classes, Perforation::NONE).unwrap();
+        let dq = dense_matrix(4, 300, 10);
+        cosine_similarity_batch(&dq, &dq, Perforation::NONE).unwrap();
+        assert_eq!(simd::simd_dispatch_count(), 0);
+        return;
+    }
+    let status = std::process::Command::new(std::env::current_exe().unwrap())
+        .args([
+            "scalar_env_override_forces_scalar_with_zero_dispatches",
+            "--exact",
+            "--nocapture",
+        ])
+        .env("HDC_KE_CHILD", "1")
+        .env("HDC_KERNEL_BACKEND", "scalar")
+        .status()
+        .expect("spawn child test process");
+    assert!(
+        status.success(),
+        "child process with scalar override failed"
+    );
+}

@@ -114,6 +114,10 @@ pub struct ExecStats {
     /// frozen. Zero when every epoch's updates happen after its last sample
     /// (or in sequential mode); `epochs x samples` is the worst case.
     pub rescored_samples: usize,
+    /// Name of the [`hdc_core::simd`] kernel backend the run dispatched to
+    /// (`scalar` / `avx2` / `neon`), stamped at the start of every run.
+    /// Empty only on a default-constructed counter set.
+    pub kernel_backend: &'static str,
 }
 
 impl ExecStats {
@@ -127,6 +131,9 @@ impl ExecStats {
         self.accelerated_stage_samples += other.accelerated_stage_samples;
         self.epoch_kernel_ops += other.epoch_kernel_ops;
         self.rescored_samples += other.rescored_samples;
+        if self.kernel_backend.is_empty() {
+            self.kernel_backend = other.kernel_backend;
+        }
     }
 }
 
@@ -415,7 +422,10 @@ impl<'p> Executor<'p> {
             Some(baseline) => self.store = baseline.clone(),
             None => self.baseline = Some(self.store.clone()),
         }
-        self.stats = ExecStats::default();
+        self.stats = ExecStats {
+            kernel_backend: hdc_core::simd::selected().name(),
+            ..ExecStats::default()
+        };
         self.stage_trace.clear();
         let program = self.program;
         for (i, info) in program.values().iter().enumerate() {

@@ -116,6 +116,10 @@ fn batched_inference_matches_sequential_across_configs() {
                     "batched stages still account per sample"
                 );
                 assert_eq!(s_stats.stage_samples, QUERIES);
+                // Every run stamps the dispatched kernel backend.
+                let backend = hdc_core::simd::selected().name();
+                assert_eq!(b_stats.kernel_backend, backend);
+                assert_eq!(s_stats.kernel_backend, backend);
             }
         }
     }
