@@ -1,18 +1,75 @@
 //! Offline, API-compatible subset of the `rayon` crate.
 //!
 //! The workspace uses rayon for one pattern — `vec.into_par_iter().map(f)
-//! .collect()` on the batched matmul hot path — so that is what this crate
-//! provides. Work is split into one chunk per available core and executed on
+//! .collect()` on the batched kernel hot paths — so that is what this crate
+//! provides. Work is split into one chunk per worker thread and executed on
 //! scoped `std::thread`s; order is preserved. Unlike upstream rayon the
 //! `map` adapter is **eager** (it runs when called, not at `collect`), which
 //! is observationally identical for the map-then-collect pattern.
+//!
+//! # Thread-count control
+//!
+//! The worker count is resolved per parallel call, in precedence order:
+//!
+//! 1. a process-wide programmatic override ([`set_num_threads`], used by
+//!    benchmarks sweeping a scaling curve within one process);
+//! 2. the `HDC_NUM_THREADS` environment variable (a positive integer;
+//!    anything else is ignored with a warning printed once);
+//! 3. [`std::thread::available_parallelism`].
+//!
+//! [`current_num_threads`] reports the resolved count, mirroring upstream
+//! rayon's function of the same name. `set_num_threads` is an extension
+//! upstream rayon expresses through `ThreadPoolBuilder`; this crate has no
+//! persistent pool, so a plain setter is the equivalent knob.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Once;
+
 /// Glob-import surface mirroring `rayon::prelude`.
 pub mod prelude {
     pub use crate::IntoParallelIterator;
+}
+
+/// `0` = no override; otherwise the forced worker count.
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Warn about a malformed `HDC_NUM_THREADS` value only once per process.
+static ENV_WARNING: Once = Once::new();
+
+/// The number of worker threads parallel calls currently split into:
+/// the [`set_num_threads`] override if set, else a positive-integer
+/// `HDC_NUM_THREADS`, else [`std::thread::available_parallelism`].
+///
+/// The environment variable is re-read on every call (selection is not
+/// cached), so a child process spawned with a different `HDC_NUM_THREADS`
+/// sees its own value without any re-initialization hook.
+pub fn current_num_threads() -> usize {
+    let forced = THREAD_OVERRIDE.load(Ordering::Relaxed);
+    if forced > 0 {
+        return forced;
+    }
+    if let Ok(raw) = std::env::var("HDC_NUM_THREADS") {
+        match raw.trim().parse::<usize>() {
+            Ok(n) if n > 0 => return n,
+            _ => ENV_WARNING.call_once(|| {
+                eprintln!("rayon-compat: ignoring invalid HDC_NUM_THREADS `{raw}`");
+            }),
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Force the worker count for every later parallel call in this process,
+/// overriding both `HDC_NUM_THREADS` and hardware detection. Pass `0` to
+/// clear the override. Intended for benchmarks that measure a thread
+/// scaling curve (1/2/4/8 workers) within one process.
+pub fn set_num_threads(threads: usize) {
+    THREAD_OVERRIDE.store(threads, Ordering::Relaxed);
 }
 
 /// Conversion into a parallel iterator, mirroring
@@ -63,9 +120,7 @@ where
     U: Send,
     F: Fn(T) -> U + Sync,
 {
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
+    let threads = current_num_threads();
     if threads <= 1 || items.len() <= 1 {
         return items.into_iter().map(f).collect();
     }
@@ -118,5 +173,22 @@ mod tests {
         assert!(out.is_empty());
         let one: Vec<i32> = vec![41].into_par_iter().map(|x| x + 1).collect();
         assert_eq!(one, vec![42]);
+    }
+
+    #[test]
+    fn thread_override_is_respected_and_clearable() {
+        // Serialize against any other test touching the process-wide knob.
+        super::set_num_threads(3);
+        assert_eq!(super::current_num_threads(), 3);
+        // Parallel results are identical regardless of the worker count.
+        let xs: Vec<i64> = (0..1000).collect();
+        let out: Vec<i64> = xs.clone().into_par_iter().map(|x| x * 3).collect();
+        assert_eq!(out, xs.iter().map(|x| x * 3).collect::<Vec<_>>());
+        super::set_num_threads(1);
+        assert_eq!(super::current_num_threads(), 1);
+        let seq: Vec<i64> = xs.clone().into_par_iter().map(|x| x * 3).collect();
+        assert_eq!(seq, out);
+        super::set_num_threads(0);
+        assert!(super::current_num_threads() >= 1);
     }
 }

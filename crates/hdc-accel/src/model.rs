@@ -26,6 +26,17 @@
 //! bits(classes)` at `program_bits_per_sec`). The trained class memory is
 //! read back once at stage exit, as before.
 //!
+//! **Multi-chip tiling**: when the persistent footprint exceeds one
+//! device's array capacity ([`AccelParams::array_bits`]), the class memory
+//! tiles across `chips = ceil(bits / array_bits)` devices, each holding a
+//! contiguous row-block — the hardware mirror of the runtime's class-memory
+//! sharding. The chips score their row-blocks in parallel (per-sample
+//! cycles shrink to `ceil(cycles / chips)`), but every extra chip costs an
+//! interconnect transfer per sample: the query row broadcast in plus a
+//! 64-bit partial arg-min/arg-max result merged back, at
+//! [`AccelParams::interconnect_bits_per_sec`]. A single-chip fit pays
+//! nothing — every term below is unchanged when `chips == 1`.
+//!
 //! The CPU comparison point runs the *same* nests through a two-term
 //! roofline ([`CpuParams`]), so a modeled speedup is a ratio of two
 //! estimates derived from one IR description, not a mix of wall-clock and
@@ -42,6 +53,10 @@ use hdc_passes::lowering::{lower_instr, LoopNest};
 
 /// Bits a predicted label / index occupies on the host link.
 const INDEX_BITS: u64 = 32;
+
+/// Bits one chip's partial selection result (best score + global row index)
+/// occupies on the chip-to-chip interconnect of a multi-chip tiling.
+const PARTIAL_MERGE_BITS: u64 = 64;
 
 /// The modeled cost of one accelerated stage execution.
 ///
@@ -74,12 +89,23 @@ pub struct StageCost {
     /// Bits read back once at stage exit (the trained class memory of a
     /// `training_loop`; zero otherwise).
     pub readback_bits: u64,
-    /// Datapath cycles per sample, summed over the stage body's loop nests.
+    /// Datapath cycles per sample, summed over the stage body's loop nests
+    /// (full-array cycles; a multi-chip tiling divides these across chips).
     pub cycles_per_sample: u64,
+    /// Devices the persistent footprint tiles across:
+    /// `max(1, ceil(programming_bits / array_bits))`.
+    pub chips: u64,
+    /// Interconnect bits per sample of the multi-chip tiling:
+    /// `(chips - 1) × (query row broadcast + 64-bit partial merge)`; zero
+    /// on a single chip.
+    pub interconnect_bits_per_sample: u64,
     /// Programming-phase time (s).
     pub programming_seconds: f64,
     /// Total streaming time (s): per-sample transfers plus readback.
     pub streaming_seconds: f64,
+    /// Total chip-to-chip transfer time of a multi-chip tiling (s); zero on
+    /// a single chip.
+    pub interconnect_seconds: f64,
     /// Total datapath compute time (s).
     pub compute_seconds: f64,
     /// Modeled CPU time for the same stage (roofline over the same nests).
@@ -89,9 +115,14 @@ pub struct StageCost {
 }
 
 impl StageCost {
-    /// Total modeled accelerator time: programming + streaming + compute.
+    /// Total modeled accelerator time: programming + streaming +
+    /// interconnect + compute. The interconnect term is zero whenever the
+    /// persistent footprint fits one chip.
     pub fn accel_seconds(&self) -> f64 {
-        self.programming_seconds + self.streaming_seconds + self.compute_seconds
+        self.programming_seconds
+            + self.streaming_seconds
+            + self.interconnect_seconds
+            + self.compute_seconds
     }
 
     /// Modeled accelerator-vs-CPU speedup for this stage.
@@ -191,16 +222,30 @@ impl AcceleratorModel {
             })
             .sum();
 
+        // Multi-chip tiling: a persistent footprint larger than one array
+        // splits row-blocks across chips. Chips compute in parallel, so the
+        // per-sample critical path is the per-chip share of the cycles; the
+        // price is the per-sample query broadcast + partial-merge transfer
+        // to every extra chip. chips == 1 leaves every term bit-exact.
+        let chips = programming_bits.div_ceil(params.array_bits).max(1);
+        let query_bits = row_bits(&program.value(stage.interface.queries).ty);
+        let interconnect_bits_per_sample = (chips - 1) * (query_bits + PARTIAL_MERGE_BITS);
+
         let n = samples as f64;
         let programming_seconds =
             (programming_bits + reprogramming_bits) as f64 / params.program_bits_per_sec;
         let streaming_seconds =
             (n * stream_bits_per_sample as f64 + readback_bits as f64) / params.stream_bits_per_sec;
-        let compute_seconds = n * cycles_per_sample as f64 / params.clock_hz;
+        let interconnect_seconds =
+            n * interconnect_bits_per_sample as f64 / params.interconnect_bits_per_sec;
+        let compute_seconds = n * cycles_per_sample.div_ceil(chips) as f64 / params.clock_hz;
         let moved_bits = (programming_bits + reprogramming_bits + readback_bits) as f64
             + n * stream_bits_per_sample as f64;
+        // Every chip's datapath burns its share of the cycles: the total
+        // compute energy is the full-array cycle count regardless of tiling.
         let energy_joules = moved_bits * params.energy_per_bit_j
-            + n * cycles_per_sample as f64 * params.energy_per_cycle_j;
+            + n * cycles_per_sample as f64 * params.energy_per_cycle_j
+            + n * interconnect_bits_per_sample as f64 * params.interconnect_energy_per_bit_j;
 
         let (flops, bytes) = stage.body.iter().fold((0.0, 0.0), |(f, by), instr| {
             let nest = lower_instr(program, instr);
@@ -219,8 +264,11 @@ impl AcceleratorModel {
             stream_bits_per_sample,
             readback_bits,
             cycles_per_sample,
+            chips,
+            interconnect_bits_per_sample,
             programming_seconds,
             streaming_seconds,
+            interconnect_seconds,
             compute_seconds,
             cpu_seconds,
             energy_joules,
@@ -359,6 +407,10 @@ mod tests {
         assert_eq!(cost.readback_bits, 0);
         // Compute: ceil(26*2048 bits / 8192 lanes) = 7 cycles per sample.
         assert_eq!(cost.cycles_per_sample, 7);
+        // 53 Kbit of class memory fits one 16 Mbit array: no tiling terms.
+        assert_eq!(cost.chips, 1);
+        assert_eq!(cost.interconnect_bits_per_sample, 0);
+        assert_eq!(cost.interconnect_seconds, 0.0);
         // Seconds are the integers over the documented rates.
         let params = AccelParams::digital_asic();
         assert_eq!(
@@ -507,6 +559,66 @@ mod tests {
             CpuParams::calibrated(f64::INFINITY, f64::INFINITY),
             CpuParams::default()
         );
+    }
+
+    #[test]
+    fn oversized_class_memory_tiles_across_chips_with_pinned_accounting() {
+        // 1024 classes x 32768-bit rows = 33 554 432 persistent bits:
+        // exactly two 16 Mbit ASIC arrays, but still inside the 64 Mbit
+        // ReRAM array — the same program tiles on one device and not the
+        // other.
+        let mut b = ProgramBuilder::new("tiled_stage");
+        let q = b.input_matrix("queries", ElementKind::Bit, 500, 32768);
+        let c = b.input_matrix("classes", ElementKind::Bit, 1024, 32768);
+        let preds = b.inference_loop("infer", q, c, ScorePolarity::Distance, |b, s| {
+            b.hamming_distance(s, c)
+        });
+        b.mark_output(preds);
+        let mut p = b.finish();
+        hoist_data_movement(&mut p);
+        let model = AcceleratorModel::default();
+        let cost_on = |target: Target| {
+            let mut q = p.clone();
+            assign_targets(&mut q, &TargetConfig::accelerator(target));
+            let node = q.nodes().iter().find(|n| n.name == "infer").unwrap();
+            model.stage_cost(&q, node, 500).unwrap()
+        };
+
+        let asic = cost_on(Target::DigitalAsic);
+        assert_eq!(asic.programming_bits, 1024 * 32768);
+        assert_eq!(asic.chips, 2, "33.5 Mbit over 16 Mbit arrays");
+        // Per sample each extra chip receives the 32768-bit query broadcast
+        // and returns a 64-bit partial arg-min.
+        assert_eq!(asic.interconnect_bits_per_sample, 32768 + 64);
+        let params = AccelParams::digital_asic();
+        assert_eq!(
+            asic.interconnect_seconds,
+            500.0 * (32768.0 + 64.0) / params.interconnect_bits_per_sec
+        );
+        // Full-array reduction is 4096 lane passes; two chips halve the
+        // per-sample critical path.
+        assert_eq!(asic.cycles_per_sample, 4096);
+        assert_eq!(asic.compute_seconds, 500.0 * 2048.0 / params.clock_hz);
+        // The tiling term is part of the total and of the energy.
+        assert_eq!(
+            asic.accel_seconds(),
+            asic.programming_seconds
+                + asic.streaming_seconds
+                + asic.interconnect_seconds
+                + asic.compute_seconds
+        );
+        let moved = asic.programming_bits as f64 + 500.0 * asic.stream_bits_per_sample as f64;
+        assert_eq!(
+            asic.energy_joules,
+            moved * params.energy_per_bit_j
+                + 500.0 * 4096.0 * params.energy_per_cycle_j
+                + 500.0 * (32768.0 + 64.0) * params.interconnect_energy_per_bit_j
+        );
+
+        let reram = cost_on(Target::ReRamAccelerator);
+        assert_eq!(reram.chips, 1, "fits the 64 Mbit ReRAM array");
+        assert_eq!(reram.interconnect_bits_per_sample, 0);
+        assert_eq!(reram.interconnect_seconds, 0.0);
     }
 
     #[test]

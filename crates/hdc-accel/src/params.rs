@@ -54,6 +54,17 @@ pub struct AccelParams {
     pub energy_per_cycle_j: f64,
     /// Energy per bit moved over the host link or programmed (J).
     pub energy_per_bit_j: f64,
+    /// Persistent-memory capacity of one device (bits). A class memory
+    /// larger than this tiles across `ceil(bits / array_bits)` chips, each
+    /// holding a contiguous row-block — the hardware mirror of the
+    /// runtime's class-memory sharding.
+    pub array_bits: u64,
+    /// Chip-to-chip interconnect bandwidth for multi-chip tilings (bits/s):
+    /// the query broadcast to every extra chip plus the 64-bit partial
+    /// arg-min/arg-max result each merges back.
+    pub interconnect_bits_per_sec: f64,
+    /// Energy per bit moved over the chip-to-chip interconnect (J).
+    pub interconnect_energy_per_bit_j: f64,
 }
 
 impl AccelParams {
@@ -70,6 +81,9 @@ impl AccelParams {
             program_bits_per_sec: 16.0e9,
             energy_per_cycle_j: 40.0e-12,
             energy_per_bit_j: 5.0e-12,
+            array_bits: 16 * 1024 * 1024,
+            interconnect_bits_per_sec: 32.0e9,
+            interconnect_energy_per_bit_j: 2.0e-12,
         }
     }
 
@@ -87,6 +101,9 @@ impl AccelParams {
             program_bits_per_sec: 1.0e9,
             energy_per_cycle_j: 10.0e-12,
             energy_per_bit_j: 8.0e-12,
+            array_bits: 64 * 1024 * 1024,
+            interconnect_bits_per_sec: 16.0e9,
+            interconnect_energy_per_bit_j: 4.0e-12,
         }
     }
 }
@@ -156,6 +173,9 @@ mod tests {
             assert!(p.reduce_lane_bits > 0 && p.map_lane_bits > 0);
             assert!(p.stream_bits_per_sec > 0.0 && p.program_bits_per_sec > 0.0);
             assert!(p.energy_per_cycle_j > 0.0 && p.energy_per_bit_j > 0.0);
+            assert!(p.array_bits > 0);
+            assert!(p.interconnect_bits_per_sec > 0.0);
+            assert!(p.interconnect_energy_per_bit_j > 0.0);
         }
         assert_ne!(AccelParams::digital_asic(), AccelParams::reram());
         let cpu = CpuParams::default();

@@ -20,7 +20,14 @@
 //!   grid points and all three apps re-targeted onto the two modeled HDC
 //!   accelerators (`hdc-accel`), with outputs asserted identical to the
 //!   batched CPU run and the *modeled* accelerator-vs-CPU speedup, cycle
-//!   and energy accounting recorded (deterministic — no wall clocks).
+//!   and energy accounting recorded (deterministic — no wall clocks);
+//! * the **scaling section** (`scaling`): the unperforated kernel grid
+//!   re-run on the batched path at 1/2/4/8 worker threads
+//!   (`rayon::set_num_threads`), each point's labels asserted identical to
+//!   the sequential oracle and its class-memory shard/merge counters
+//!   recorded — the measured two-axis (rows × class shards) scaling curve,
+//!   stamped with the physical core count so a 1-core container's flat
+//!   curve reads as what it is.
 //!
 //! Results land as JSON (default `BENCH_results.json`), establishing the
 //! perf-trajectory snapshot every future PR is measured against. Run
@@ -50,6 +57,9 @@ use std::time::Instant;
 
 /// The accelerator targets the model covers, in report order.
 const ACCEL_TARGETS: [Target; 2] = [Target::DigitalAsic, Target::ReRamAccelerator];
+
+/// Worker-thread counts the scaling section sweeps the batched path over.
+const THREAD_SWEEP: [usize; 4] = [1, 2, 4, 8];
 
 /// One grid point: an inference workload shape.
 #[derive(Debug, Clone, Copy)]
@@ -91,6 +101,9 @@ struct Record {
     sequential_ms: f64,
     batched_ms: f64,
     outputs_match: bool,
+    /// Worker threads the batched run executed with
+    /// (`rayon::current_num_threads()` at measurement time).
+    threads_used: usize,
     sequential_stats: ExecStats,
     batched_stats: ExecStats,
 }
@@ -245,9 +258,69 @@ fn measure(cfg: Config, reps: usize) -> Record {
         sequential_ms,
         batched_ms,
         outputs_match: seq_labels == bat_labels,
+        threads_used: rayon::current_num_threads(),
         sequential_stats,
         batched_stats,
     }
+}
+
+// ---------------------------------------------------------------------------
+// scaling section: the batched kernel grid across worker-thread counts
+// ---------------------------------------------------------------------------
+
+/// One thread count of one scaling record.
+struct ScalingPoint {
+    threads_requested: usize,
+    /// What `rayon::current_num_threads()` resolved to under the override —
+    /// equal to the request (the pool oversubscribes a smaller host; the
+    /// top-level `cores_physical` field says whether it did).
+    threads_used: usize,
+    batched_ms: f64,
+    /// This point's time relative to the same configuration at 1 thread.
+    speedup_vs_1: f64,
+    /// Batched labels identical to the sequential oracle at this count.
+    outputs_match: bool,
+    /// Class-memory shards the executor chose across the run (second
+    /// parallel axis; 0 when every kernel ran unsharded).
+    class_shards: usize,
+    /// Pairwise reduction-tree merges performed to fold shard partials.
+    shard_merge_ops: usize,
+}
+
+/// One unperforated grid point swept over [`THREAD_SWEEP`].
+struct ScalingRecord {
+    cfg: Config,
+    points: Vec<ScalingPoint>,
+}
+
+/// Sweep the batched path over the thread counts, asserting every point
+/// against the sequential oracle. The thread override is cleared before
+/// returning.
+fn measure_scaling(grid: &[Config], reps: usize) -> Vec<ScalingRecord> {
+    let mut out = Vec::new();
+    for &cfg in grid.iter().filter(|c| c.stride == 1) {
+        let (program, preds) = build_program(&cfg);
+        let (queries, classes) = build_data(&cfg);
+        let (_, reference, _) = run_mode(&program, preds, &queries, &classes, false, 1);
+        let mut points: Vec<ScalingPoint> = Vec::with_capacity(THREAD_SWEEP.len());
+        for &threads in &THREAD_SWEEP {
+            rayon::set_num_threads(threads);
+            let (ms, labels, stats) = run_mode(&program, preds, &queries, &classes, true, reps);
+            let base_ms = points.first().map_or(ms, |p| p.batched_ms);
+            points.push(ScalingPoint {
+                threads_requested: threads,
+                threads_used: rayon::current_num_threads(),
+                batched_ms: ms,
+                speedup_vs_1: base_ms / ms,
+                outputs_match: labels == reference,
+                class_shards: stats.class_shards,
+                shard_merge_ops: stats.shard_merge_ops,
+            });
+        }
+        rayon::set_num_threads(0);
+        out.push(ScalingRecord { cfg, points });
+    }
+    out
 }
 
 // ---------------------------------------------------------------------------
@@ -553,6 +626,12 @@ struct AccelSummary {
     modeled_cpu_ms: f64,
     modeled_speedup: f64,
     modeled_energy_uj: f64,
+    /// Widest multi-chip tiling any stage needed (1 = everything fit one
+    /// device array).
+    chips_max: u64,
+    /// Total modeled chip-to-chip transfer time of multi-chip tilings (ms);
+    /// zero when every stage fit one chip.
+    modeled_interconnect_ms: f64,
     outputs_match: bool,
 }
 
@@ -570,6 +649,13 @@ fn summarize(report: &hdc_accel::AccelReport, outputs_match: bool) -> AccelSumma
         modeled_cpu_ms: report.cpu_seconds() * 1e3,
         modeled_speedup: report.modeled_speedup(),
         modeled_energy_uj: report.energy_joules() * 1e6,
+        chips_max: report.stages.iter().map(|s| s.chips).max().unwrap_or(1),
+        modeled_interconnect_ms: report
+            .stages
+            .iter()
+            .map(|s| s.interconnect_seconds)
+            .sum::<f64>()
+            * 1e3,
         outputs_match,
     }
 }
@@ -586,6 +672,8 @@ fn summary_json_fields(s: &AccelSummary) -> String {
             "        \"modeled_cpu_ms\": {:.6},\n",
             "        \"modeled_speedup\": {:.2},\n",
             "        \"modeled_energy_uj\": {:.3},\n",
+            "        \"chips_max\": {},\n",
+            "        \"modeled_interconnect_ms\": {:.6},\n",
             "        \"outputs_match\": {}\n"
         ),
         s.accelerated_stages,
@@ -596,6 +684,8 @@ fn summary_json_fields(s: &AccelSummary) -> String {
         s.modeled_cpu_ms,
         s.modeled_speedup,
         s.modeled_energy_uj,
+        s.chips_max,
+        s.modeled_interconnect_ms,
         s.outputs_match,
     )
 }
@@ -772,9 +862,12 @@ fn record_json(r: &Record) -> String {
             "      \"batched_ms\": {:.3},\n",
             "      \"speedup\": {:.2},\n",
             "      \"outputs_match\": {},\n",
+            "      \"threads_used\": {},\n",
             "      \"sequential_tensor_bytes_copied\": {},\n",
             "      \"batched_tensor_bytes_copied\": {},\n",
-            "      \"batched_kernel_ops\": {}\n",
+            "      \"batched_kernel_ops\": {},\n",
+            "      \"class_shards\": {},\n",
+            "      \"shard_merge_ops\": {}\n",
             "    }}"
         ),
         r.cfg.dim,
@@ -787,9 +880,53 @@ fn record_json(r: &Record) -> String {
         r.batched_ms,
         speedup,
         r.outputs_match,
+        r.threads_used,
         r.sequential_stats.tensor_bytes_copied,
         r.batched_stats.tensor_bytes_copied,
         r.batched_stats.batched_kernel_ops,
+        r.batched_stats.class_shards,
+        r.batched_stats.shard_merge_ops,
+    )
+}
+
+fn scaling_point_json(p: &ScalingPoint) -> String {
+    format!(
+        concat!(
+            "        {{ \"threads_requested\": {}, \"threads_used\": {}, ",
+            "\"batched_ms\": {:.3}, \"speedup_vs_1\": {:.2}, ",
+            "\"outputs_match\": {}, \"class_shards\": {}, ",
+            "\"shard_merge_ops\": {} }}"
+        ),
+        p.threads_requested,
+        p.threads_used,
+        p.batched_ms,
+        p.speedup_vs_1,
+        p.outputs_match,
+        p.class_shards,
+        p.shard_merge_ops,
+    )
+}
+
+fn scaling_json(r: &ScalingRecord) -> String {
+    format!(
+        concat!(
+            "      {{\n",
+            "        \"dim\": {},\n",
+            "        \"classes\": {},\n",
+            "        \"queries\": {},\n",
+            "        \"representation\": \"{}\",\n",
+            "        \"threads\": [\n{}\n        ]\n",
+            "      }}"
+        ),
+        r.cfg.dim,
+        r.cfg.classes,
+        r.cfg.queries,
+        json_escape_free(r.cfg.representation()),
+        r.points
+            .iter()
+            .map(scaling_point_json)
+            .collect::<Vec<_>>()
+            .join(",\n"),
     )
 }
 
@@ -904,7 +1041,10 @@ fn accel_params_json(model: &AcceleratorModel) -> String {
                 "        \"stream_bits_per_sec\": {:e},\n",
                 "        \"program_bits_per_sec\": {:e},\n",
                 "        \"energy_per_cycle_j\": {:e},\n",
-                "        \"energy_per_bit_j\": {:e}\n",
+                "        \"energy_per_bit_j\": {:e},\n",
+                "        \"array_bits\": {},\n",
+                "        \"interconnect_bits_per_sec\": {:e},\n",
+                "        \"interconnect_energy_per_bit_j\": {:e}\n",
                 "      }}"
             ),
             p.target,
@@ -915,6 +1055,9 @@ fn accel_params_json(model: &AcceleratorModel) -> String {
             p.program_bits_per_sec,
             p.energy_per_cycle_j,
             p.energy_per_bit_j,
+            p.array_bits,
+            p.interconnect_bits_per_sec,
+            p.interconnect_energy_per_bit_j,
         )
     };
     format!(
@@ -967,7 +1110,7 @@ fn cpu_json(info: &CpuInfo, model: &AcceleratorModel) -> String {
         concat!(
             "  \"cpu\": {{\n",
             "    \"arch\": \"{}\",\n",
-            "    \"cores\": {},\n",
+            "    \"cores_physical\": {},\n",
             "    \"kernel_backend\": \"{}\",\n",
             "    \"features\": [{}],\n",
             "    \"rustc_version\": \"{}\",\n",
@@ -994,6 +1137,7 @@ struct ReportSections<'a> {
     records: &'a [Record],
     apps: &'a [AppRecord],
     training: &'a [TrainingRecord],
+    scaling: &'a [ScalingRecord],
     cpu: &'a CpuInfo,
     model: &'a AcceleratorModel,
     accel_kernels: &'a [AccelKernelRecord],
@@ -1005,6 +1149,7 @@ fn emit_json(sections: &ReportSections<'_>, smoke: bool) -> String {
         records,
         apps,
         training,
+        scaling,
         cpu,
         model,
         accel_kernels,
@@ -1013,20 +1158,27 @@ fn emit_json(sections: &ReportSections<'_>, smoke: bool) -> String {
     let rows: Vec<String> = records.iter().map(record_json).collect();
     let app_rows: Vec<String> = apps.iter().map(app_json).collect();
     let training_rows: Vec<String> = training.iter().map(training_json).collect();
+    let scaling_rows: Vec<String> = scaling.iter().map(scaling_json).collect();
     let accel_kernel_rows: Vec<String> = accel_kernels.iter().map(accel_kernel_json).collect();
     let accel_app_rows: Vec<String> = accel_apps.iter().map(accel_app_json).collect();
+    let sweep: Vec<String> = THREAD_SWEEP.iter().map(|t| t.to_string()).collect();
     format!(
         concat!(
             "{{\n",
-            "  \"schema\": \"hdc-bench/perf_json/v5\",\n",
+            "  \"schema\": \"hdc-bench/perf_json/v6\",\n",
             "  \"workload\": \"batched_inference_vs_sequential\",\n",
             "  \"grid\": \"{}\",\n",
-            "  \"cores\": {},\n",
+            "  \"cores_physical\": {},\n",
             "  \"command\": \"cargo run --release -p hdc-bench --bin perf_json\",\n",
             "{},\n",
             "  \"records\": [\n{}\n  ],\n",
             "  \"apps\": [\n{}\n  ],\n",
             "  \"training\": [\n{}\n  ],\n",
+            "  \"scaling\": {{\n",
+            "    \"threads_swept\": [{}],\n",
+            "    \"cores_physical\": {},\n",
+            "    \"records\": [\n{}\n    ]\n",
+            "  }},\n",
             "  \"accelerator\": {{\n",
             "{},\n",
             "    \"kernel_grid\": [\n{}\n    ],\n",
@@ -1040,6 +1192,9 @@ fn emit_json(sections: &ReportSections<'_>, smoke: bool) -> String {
         rows.join(",\n"),
         app_rows.join(",\n"),
         training_rows.join(",\n"),
+        sweep.join(", "),
+        cpu.cores,
+        scaling_rows.join(",\n"),
         accel_params_json(model),
         accel_kernel_rows.join(",\n"),
         accel_app_rows.join(",\n"),
@@ -1057,7 +1212,13 @@ reference reductions, per-row selection) and once on the batched kernel
 path, asserting identical outputs before recording timings. A `training`
 section records how the batched-epoch training schedule and the
 segmented-reduction clustering update executed (epoch kernels, re-scored
-samples, rescore rate, end-to-end speedup). The same
+samples, rescore rate, end-to-end speedup). A `scaling` section re-runs the
+unperforated kernel grid on the batched path at 1/2/4/8 worker threads
+(HDC_NUM_THREADS-equivalent overrides), asserting every point against the
+sequential oracle and recording the class-memory shard counts and
+reduction-tree merges of the two-axis parallel schedule; the curve is
+stamped with the physical core count, so oversubscribed points on a small
+host are identifiable. The same
 workloads are then re-targeted onto the two modeled HDC accelerators
 (hdc-accel: the digital ASIC and the ReRAM PIM design) — outputs asserted
 identical to the batched CPU run, modeled accelerator-vs-CPU speedups,
@@ -1089,14 +1250,14 @@ OPTIONS:
                    BENCH_results.json).
     -h, --help     Print this help and exit.
 
-OUTPUT (schema \"hdc-bench/perf_json/v5\"):
+OUTPUT (schema \"hdc-bench/perf_json/v6\"):
     {
-      \"schema\": \"hdc-bench/perf_json/v5\",
+      \"schema\": \"hdc-bench/perf_json/v6\",
       \"grid\": \"full\" | \"smoke\",
-      \"cores\": <host cores>,
+      \"cores_physical\": <host cores detected>,
       \"cpu\": {      // host + kernel-backend metadata
-        \"arch\", \"cores\",
-        \"kernel_backend\",          // scalar | avx2 | neon (runtime-selected)
+        \"arch\", \"cores_physical\",
+        \"kernel_backend\",          // scalar | avx2 | avx512 | neon (runtime-selected)
         \"features\": [...],         // detected CPU features
         \"rustc_version\",
         \"calibrated\",              // true when --calibrate ran
@@ -1111,8 +1272,10 @@ OUTPUT (schema \"hdc-bench/perf_json/v5\"):
           \"perforation_fraction\",             // red_perf visit fraction
           \"sequential_ms\", \"batched_ms\", \"speedup\",
           \"outputs_match\",                    // batched == sequential labels
+          \"threads_used\",                     // worker threads of the batched run
           \"sequential_tensor_bytes_copied\", \"batched_tensor_bytes_copied\",
-          \"batched_kernel_ops\" } ],
+          \"batched_kernel_ops\",
+          \"class_shards\", \"shard_merge_ops\" } ],  // second parallel axis
       \"apps\": [     // application suite, one object per app
         { \"app\", \"dataset\", \"dim\", \"samples\",
           \"quality_metric\", \"quality\",        // accuracy / purity / recall@k
@@ -1128,12 +1291,24 @@ OUTPUT (schema \"hdc-bench/perf_json/v5\"):
           \"rescored_samples\",       // replays against the live class matrix
           \"rescore_rate\",           // rescored / (passes * train_samples)
           \"speedup\", \"outputs_match\" } ],
+      \"scaling\": {  // batched kernel grid across worker-thread counts
+        \"threads_swept\": [1, 2, 4, 8],
+        \"cores_physical\": <host cores detected>,
+        \"records\": [   // unperforated grid points
+          { \"dim\", \"classes\", \"queries\", \"representation\",
+            \"threads\": [  // one point per swept count
+              { \"threads_requested\", \"threads_used\",
+                \"batched_ms\", \"speedup_vs_1\",
+                \"outputs_match\",     // batched == sequential oracle labels
+                \"class_shards\", \"shard_merge_ops\" } ] } ] },
       \"accelerator\": {  // modeled accelerator back end (hdc-accel)
         \"cpu_model\": { \"flops_per_sec\", \"bytes_per_sec\" },  // CPU roofline
         \"targets\": [   // the modeled device parameters, one per target
           { \"target\", \"clock_hz\", \"reduce_lane_bits\", \"map_lane_bits\",
             \"stream_bits_per_sec\", \"program_bits_per_sec\",
-            \"energy_per_cycle_j\", \"energy_per_bit_j\" } ],
+            \"energy_per_cycle_j\", \"energy_per_bit_j\",
+            \"array_bits\",                     // per-chip capacity (tiling)
+            \"interconnect_bits_per_sec\", \"interconnect_energy_per_bit_j\" } ],
         \"kernel_grid\": [  // unperforated grid points x targets
           { \"dim\", \"classes\", \"queries\", \"representation\", \"target\",
             \"accelerated_stages\", \"demoted_stages\",
@@ -1141,12 +1316,15 @@ OUTPUT (schema \"hdc-bench/perf_json/v5\"):
             \"modeled_cycles_total\",           // datapath cycles, all stages x samples
             \"modeled_accel_ms\", \"modeled_cpu_ms\", \"modeled_speedup\",
             \"modeled_energy_uj\",
+            \"chips_max\",                      // widest multi-chip tiling
+            \"modeled_interconnect_ms\",        // chip-to-chip transfer time
             \"outputs_match\" } ],             // accelerated == batched labels
         \"apps\": [        // application suite x targets, same fields
           { \"app\", \"target\", \"accelerated_stages\", \"demoted_stages\",
             \"programming_bits\", \"modeled_cycles_total\",
             \"modeled_accel_ms\", \"modeled_cpu_ms\", \"modeled_speedup\",
-            \"modeled_energy_uj\", \"outputs_match\" } ]
+            \"modeled_energy_uj\", \"chips_max\", \"modeled_interconnect_ms\",
+            \"outputs_match\" } ]
       }
     }
 
@@ -1312,6 +1490,31 @@ fn main() {
         );
     }
 
+    // ----- scaling section -----
+    let grid_for_scaling = if smoke { smoke_grid() } else { full_grid() };
+    println!(
+        "\n{:>6} {:>8} {:>10} {:>8} {:>12} {:>12} {:>8} {:>8}  match",
+        "dim", "classes", "repr", "threads", "batched_ms", "speedup_vs_1", "shards", "merges"
+    );
+    let scaling = measure_scaling(&grid_for_scaling, reps);
+    for record in &scaling {
+        for p in &record.points {
+            all_match &= p.outputs_match;
+            println!(
+                "{:>6} {:>8} {:>10} {:>8} {:>12.3} {:>11.2}x {:>8} {:>8}  {}",
+                record.cfg.dim,
+                record.cfg.classes,
+                record.cfg.representation(),
+                p.threads_requested,
+                p.batched_ms,
+                p.speedup_vs_1,
+                p.class_shards,
+                p.shard_merge_ops,
+                if p.outputs_match { "ok" } else { "MISMATCH" }
+            );
+        }
+    }
+
     // ----- modeled accelerator section -----
     // One shared CpuParams source: the calibrated roofline when --calibrate
     // ran, the documented defaults otherwise.
@@ -1391,6 +1594,7 @@ fn main() {
             records: &records,
             apps: &apps,
             training: &training,
+            scaling: &scaling,
             cpu: &cpu_info,
             model: &model,
             accel_kernels: &accel_kernels,

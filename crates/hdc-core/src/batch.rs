@@ -29,6 +29,7 @@ use crate::hypermatrix::HyperMatrix;
 use crate::hypervector::HyperVector;
 use crate::ops::TotalOrd;
 use crate::perforation::Perforation;
+use crate::shard::ShardPlan;
 use crate::similarity::norm_sq_perforated;
 use rayon::prelude::*;
 
@@ -466,6 +467,288 @@ pub fn arg_top_k_batch<T: Element + TotalOrd>(
     Ok(picked.into_iter().flatten().collect())
 }
 
+/// Validate that a shard plan was built for this class-row count.
+fn check_shard_plan(plan: &ShardPlan, class_rows: usize) -> Result<()> {
+    if plan.rows() != class_rows {
+        return Err(HdcError::DimensionMismatch {
+            expected: class_rows,
+            actual: plan.rows(),
+            context: "shard plan class rows",
+        });
+    }
+    Ok(())
+}
+
+/// Enumerate the flattened `(query row, shard)` work list of a two-axis
+/// sharded kernel. The class axis is folded into the same flat list the
+/// rayon compat layer chunks over — shard work steals idle threads when
+/// there are few query rows without ever nesting parallel scopes.
+fn sharded_items(query_rows: usize, shards: usize) -> Vec<(usize, usize)> {
+    let mut items = Vec::with_capacity(query_rows * shards);
+    for q in 0..query_rows {
+        for s in 0..shards {
+            items.push((q, s));
+        }
+    }
+    items
+}
+
+/// Stitch per-`(row, shard)` score blocks (row-major, ascending shard
+/// order) back into the full `rows x cols` score matrix.
+fn stitch_blocks(
+    rows: usize,
+    shards: usize,
+    cols: usize,
+    blocks: Vec<Vec<f64>>,
+) -> Result<HyperMatrix<f64>> {
+    let stitched: Vec<HyperVector<f64>> = (0..rows)
+        .map(|r| {
+            let mut row = Vec::with_capacity(cols);
+            for block in &blocks[r * shards..(r + 1) * shards] {
+                row.extend_from_slice(block);
+            }
+            HyperVector::from_vec(row)
+        })
+        .collect();
+    HyperMatrix::from_rows(stitched)
+}
+
+/// Class-memory-sharded form of [`hamming_distance_batch`]: every
+/// `(query row, class shard)` pair is an independent work item, and the
+/// per-shard score blocks are stitched into the same `queries.rows() x
+/// classes.rows()` matrix. Bit-identical to the unsharded kernel — each
+/// distance is the same exact integer popcount regardless of which shard
+/// computes it. A single-shard plan delegates to the unsharded kernel.
+///
+/// # Errors
+///
+/// As [`hamming_distance_batch`], plus a dimension-mismatch error when
+/// `plan` was not built for `classes.rows()` rows.
+pub fn hamming_distance_batch_sharded(
+    queries: &BitMatrix,
+    classes: &BitMatrix,
+    perforation: Perforation,
+    plan: &ShardPlan,
+) -> Result<HyperMatrix<f64>> {
+    check_shard_plan(plan, classes.rows())?;
+    if plan.shard_count() <= 1 {
+        return hamming_distance_batch(queries, classes, perforation);
+    }
+    check_cols(queries.cols(), classes.cols(), "hamming distance batch")?;
+    perforation.validate(queries.cols())?;
+    let mask = if perforation.is_dense_over(queries.cols()) {
+        None
+    } else {
+        Some(perforation_mask(queries.cols(), perforation))
+    };
+    let kernels = crate::simd::bit_kernels();
+    let query_words: Vec<&[u64]> = queries.iter().map(|r| r.as_words()).collect();
+    let class_words: Vec<&[u64]> = classes.iter().map(|r| r.as_words()).collect();
+    let shards = plan.shard_count();
+    let blocks: Vec<Vec<f64>> = sharded_items(query_words.len(), shards)
+        .into_par_iter()
+        .map(|(qi, si)| {
+            let q = query_words[qi];
+            plan.ranges()[si]
+                .clone()
+                .map(|c| {
+                    let count = match &mask {
+                        None => (kernels.xor_popcount)(q, class_words[c]),
+                        Some(m) => (kernels.xor_popcount_masked)(q, class_words[c], m),
+                    };
+                    count as f64
+                })
+                .collect()
+        })
+        .collect();
+    stitch_blocks(query_words.len(), shards, classes.rows(), blocks)
+}
+
+/// Class-memory-sharded form of [`cosine_similarity_batch`]. The class
+/// panels are packed per shard with the same `[4, 2, 1]` width schedule;
+/// since every class row keeps its own accumulator chain in ascending
+/// element order, panel grouping cannot change any value and the stitched
+/// matrix is bit-identical to the unsharded kernel. A single-shard plan
+/// delegates to the unsharded kernel.
+///
+/// # Errors
+///
+/// As [`cosine_similarity_batch`], plus a dimension-mismatch error when
+/// `plan` was not built for `classes.rows()` rows.
+pub fn cosine_similarity_batch_sharded<T: Element>(
+    queries: &HyperMatrix<T>,
+    classes: &HyperMatrix<T>,
+    perforation: Perforation,
+    plan: &ShardPlan,
+) -> Result<HyperMatrix<f64>> {
+    check_shard_plan(plan, classes.rows())?;
+    if plan.shard_count() <= 1 {
+        return cosine_similarity_batch(queries, classes, perforation);
+    }
+    check_cols(queries.cols(), classes.cols(), "cosine similarity batch")?;
+    perforation.validate(queries.cols())?;
+    let dense = perforation.is_dense_over(queries.cols());
+    let class_rows: Vec<&[T]> = classes.iter_rows().collect();
+    let class_norms: Vec<f64> = class_rows
+        .iter()
+        .map(|row| norm_sq_perforated(row, perforation).sqrt())
+        .collect();
+    let shard_panels: Vec<Vec<ClassPanel>> = plan
+        .ranges()
+        .iter()
+        .map(|r| pack_class_panels(&class_rows[r.clone()], classes.cols()))
+        .collect();
+    let query_rows: Vec<&[T]> = queries.iter_rows().collect();
+    let shards = plan.shard_count();
+    let blocks: Vec<Vec<f64>> = sharded_items(query_rows.len(), shards)
+        .into_par_iter()
+        .map(|(qi, si)| {
+            let q = query_rows[qi];
+            // Recomputed per (row, shard): the same exact sqrt of the same
+            // exact sum, so duplication cannot diverge from the unsharded
+            // per-row value.
+            let qn = norm_sq_perforated(q, perforation).sqrt();
+            let range = plan.ranges()[si].clone();
+            let mut dots: Vec<f64> = Vec::with_capacity(range.len());
+            for p in &shard_panels[si] {
+                match p.width {
+                    4 => dots.extend(dot_panel::<T, 4>(q, &p.panel, dense, perforation)),
+                    2 => dots.extend(dot_panel::<T, 2>(q, &p.panel, dense, perforation)),
+                    _ => dots.extend(dot_panel::<T, 1>(q, &p.panel, dense, perforation)),
+                }
+            }
+            dots.into_iter()
+                .zip(class_norms[range].iter())
+                .map(|(dot, &rn)| {
+                    if qn == 0.0 || rn == 0.0 {
+                        0.0
+                    } else {
+                        dot / (qn * rn)
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    stitch_blocks(query_rows.len(), shards, classes.rows(), blocks)
+}
+
+/// Class-memory-sharded form of [`hamming_distance_batch_dense`];
+/// bit-identical (exact integer counts). A single-shard plan delegates to
+/// the unsharded kernel.
+///
+/// # Errors
+///
+/// As [`hamming_distance_batch_dense`], plus a dimension-mismatch error
+/// when `plan` was not built for `classes.rows()` rows.
+pub fn hamming_distance_batch_dense_sharded<T: Element>(
+    queries: &HyperMatrix<T>,
+    classes: &HyperMatrix<T>,
+    perforation: Perforation,
+    plan: &ShardPlan,
+) -> Result<HyperMatrix<f64>> {
+    check_shard_plan(plan, classes.rows())?;
+    if plan.shard_count() <= 1 {
+        return hamming_distance_batch_dense(queries, classes, perforation);
+    }
+    check_cols(queries.cols(), classes.cols(), "hamming distance batch")?;
+    perforation.validate(queries.cols())?;
+    let dense = perforation.is_dense_over(queries.cols());
+    let class_rows: Vec<&[T]> = classes.iter_rows().collect();
+    let query_rows: Vec<&[T]> = queries.iter_rows().collect();
+    let shards = plan.shard_count();
+    let blocks: Vec<Vec<f64>> = sharded_items(query_rows.len(), shards)
+        .into_par_iter()
+        .map(|(qi, si)| {
+            let q = query_rows[qi];
+            plan.ranges()[si]
+                .clone()
+                .map(|c| {
+                    let row = class_rows[c];
+                    let count = if dense {
+                        q.iter().zip(row.iter()).filter(|(x, y)| x != y).count()
+                    } else {
+                        perforation
+                            .indices(q.len())
+                            .filter(|&i| q[i] != row[i])
+                            .count()
+                    };
+                    count as f64
+                })
+                .collect()
+        })
+        .collect();
+    stitch_blocks(query_rows.len(), shards, classes.rows(), blocks)
+}
+
+/// Class-memory-sharded form of [`score_epoch`]: the epoch-scoring kernel
+/// with the class (frozen class matrix) axis sharded. Bit-identical to
+/// [`score_epoch`] for any plan.
+///
+/// # Errors
+///
+/// Same contract as [`score_epoch`] plus the shard-plan check.
+pub fn score_epoch_sharded<T: Element>(
+    train: &HyperMatrix<T>,
+    classes: &HyperMatrix<T>,
+    metric: SimilarityMetric,
+    perforation: Perforation,
+    plan: &ShardPlan,
+) -> Result<HyperMatrix<f64>> {
+    match metric {
+        SimilarityMetric::Cosine => {
+            cosine_similarity_batch_sharded(train, classes, perforation, plan)
+        }
+        SimilarityMetric::Hamming => {
+            hamming_distance_batch_dense_sharded(train, classes, perforation, plan)
+        }
+    }
+}
+
+/// Class-memory-sharded form of [`arg_top_k_batch`]: each row's selection
+/// runs per shard and merges through the reduction tree
+/// ([`crate::shard::merge_top_k`]). Returns the flattened row-major picks
+/// plus the total pairwise merge-op count (for `ExecStats` accounting).
+/// Bit-identical to [`arg_top_k_batch`], including the short-row rejection:
+/// the merged list is shorter than `k` exactly when the whole row has fewer
+/// than `k` comparable scores.
+///
+/// # Errors
+///
+/// Same contract as [`arg_top_k_batch`] plus the shard-plan check (the
+/// plan must cover the score columns, i.e. the class axis).
+pub fn arg_top_k_batch_sharded(
+    scores: &HyperMatrix<f64>,
+    k: usize,
+    plan: &ShardPlan,
+) -> Result<(Vec<usize>, usize)> {
+    check_shard_plan(plan, scores.cols())?;
+    if plan.shard_count() <= 1 {
+        return Ok((arg_top_k_batch(scores, k)?, 0));
+    }
+    if k == 0 || k > scores.cols() {
+        return Err(HdcError::IndexOutOfBounds {
+            index: k,
+            len: scores.cols(),
+        });
+    }
+    let rows: Vec<&[f64]> = scores.iter_rows().collect();
+    let picked: Vec<crate::shard::Merged<Vec<usize>>> = rows
+        .into_par_iter()
+        .map(|row| crate::shard::row_arg_top_k_sharded(row, k, plan))
+        .collect();
+    if let Some(short) = picked.iter().find(|p| p.value.len() < k) {
+        return Err(HdcError::IndexOutOfBounds {
+            index: k,
+            len: short.value.len(),
+        });
+    }
+    let merge_ops = picked.iter().map(|p| p.merge_ops).sum();
+    Ok((
+        picked.into_iter().flat_map(|p| p.value).collect(),
+        merge_ops,
+    ))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -653,6 +936,77 @@ mod tests {
         let wide = HyperMatrix::<f64>::zeros(2, 9);
         assert!(accumulate_by_segment(&rows, &[0, 1, 0, 1], &wide).is_err());
         assert!(accumulate_by_segment(&rows, &[0, 1, 0, 1], &init).is_ok());
+    }
+
+    #[test]
+    fn sharded_kernels_are_bit_identical_to_unsharded() {
+        let mut rng = HdcRng::seed_from_u64(0x5AAD);
+        let (q, c, qb, cb) = fixtures(5, 19, 193);
+        let qg: HyperMatrix<f64> = random::gaussian_hypermatrix(5, 193, &mut rng);
+        let cg: HyperMatrix<f64> = random::gaussian_hypermatrix(19, 193, &mut rng);
+        for shards in [1, 2, 3, 7, 16] {
+            let plan = ShardPlan::split(19, shards);
+            for perf in perforations(193) {
+                let bit = hamming_distance_batch(&qb, &cb, perf).unwrap();
+                let bit_sharded = hamming_distance_batch_sharded(&qb, &cb, perf, &plan).unwrap();
+                assert_eq!(bit.as_slice(), bit_sharded.as_slice(), "bit {shards}");
+                let cos = cosine_similarity_batch(&qg, &cg, perf).unwrap();
+                let cos_sharded = cosine_similarity_batch_sharded(&qg, &cg, perf, &plan).unwrap();
+                assert_eq!(cos.as_slice(), cos_sharded.as_slice(), "cosine {shards}");
+                let ham = hamming_distance_batch_dense(&q, &c, perf).unwrap();
+                let ham_sharded =
+                    hamming_distance_batch_dense_sharded(&q, &c, perf, &plan).unwrap();
+                assert_eq!(ham.as_slice(), ham_sharded.as_slice(), "dense {shards}");
+                for metric in [SimilarityMetric::Cosine, SimilarityMetric::Hamming] {
+                    let epoch = score_epoch(&qg, &cg, metric, perf).unwrap();
+                    let epoch_sharded = score_epoch_sharded(&qg, &cg, metric, perf, &plan).unwrap();
+                    assert_eq!(epoch.as_slice(), epoch_sharded.as_slice(), "epoch {shards}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_top_k_matches_unsharded_and_counts_merges() {
+        let mut rng = HdcRng::seed_from_u64(0x70FF);
+        let scores: HyperMatrix<f64> = random::gaussian_hypermatrix(6, 23, &mut rng);
+        for shards in [1, 2, 3, 7, 16] {
+            let plan = ShardPlan::split(23, shards);
+            for k in [1, 4, 23] {
+                let (flat, merges) = arg_top_k_batch_sharded(&scores, k, &plan).unwrap();
+                assert_eq!(
+                    flat,
+                    arg_top_k_batch(&scores, k).unwrap(),
+                    "shards {shards}"
+                );
+                if plan.shard_count() > 1 {
+                    assert_eq!(merges, 6 * (plan.shard_count() - 1), "tree merges per row");
+                } else {
+                    assert_eq!(merges, 0);
+                }
+            }
+        }
+        // NaN-short rows are rejected identically to the unsharded batch.
+        let mut with_nan = scores.clone();
+        let mut row: Vec<f64> = with_nan.row(2).unwrap().to_vec();
+        for x in row.iter_mut() {
+            *x = f64::NAN;
+        }
+        with_nan.set_row(2, &HyperVector::from_vec(row)).unwrap();
+        let plan = ShardPlan::split(23, 7);
+        assert!(arg_top_k_batch(&with_nan, 2).is_err());
+        assert!(arg_top_k_batch_sharded(&with_nan, 2, &plan).is_err());
+    }
+
+    #[test]
+    fn sharded_kernels_reject_mismatched_plans() {
+        let (_, _, qb, cb) = fixtures(2, 5, 64);
+        let wrong = ShardPlan::split(6, 2);
+        assert!(hamming_distance_batch_sharded(&qb, &cb, Perforation::NONE, &wrong).is_err());
+        let m = HyperMatrix::<f64>::zeros(2, 8);
+        assert!(cosine_similarity_batch_sharded(&m, &m, Perforation::NONE, &wrong).is_err());
+        assert!(hamming_distance_batch_dense_sharded(&m, &m, Perforation::NONE, &wrong).is_err());
+        assert!(arg_top_k_batch_sharded(&m, 1, &wrong).is_err());
     }
 
     #[test]

@@ -53,11 +53,14 @@ pub mod matmul;
 pub mod ops;
 pub mod perforation;
 pub mod random;
+pub mod shard;
 pub mod simd;
 pub mod similarity;
 
 pub use batch::{
-    arg_top_k_batch, cosine_similarity_batch, hamming_distance_batch, hamming_distance_batch_dense,
+    arg_top_k_batch, arg_top_k_batch_sharded, cosine_similarity_batch,
+    cosine_similarity_batch_sharded, hamming_distance_batch, hamming_distance_batch_dense,
+    hamming_distance_batch_dense_sharded, hamming_distance_batch_sharded,
 };
 pub use binary::{BitMatrix, BitVector};
 pub use element::Element;
@@ -66,6 +69,7 @@ pub use hypermatrix::HyperMatrix;
 pub use hypervector::HyperVector;
 pub use perforation::Perforation;
 pub use random::HdcRng;
+pub use shard::{default_shard_count, ShardPlan};
 pub use simd::KernelBackend;
 
 /// Commonly used items, for glob import in examples and applications.

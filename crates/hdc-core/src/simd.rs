@@ -2,24 +2,25 @@
 //!
 //! The two primitive loops every committed speedup rests on — XOR/popcount
 //! over bit-packed words and the dense `f64` dot-product panels — have
-//! `std::arch` variants here: AVX2 on `x86_64` and NEON on `aarch64`. A
-//! [`KernelBackend`] is selected **once per process** by runtime feature
-//! detection (no compile-time `target-cpu` flags needed) and every batched
-//! kernel call fetches a small dispatch table from it:
+//! `std::arch` variants here: AVX2 and AVX-512 (`vpopcntdq`) on `x86_64`
+//! and NEON on `aarch64`. A [`KernelBackend`] is selected **once per
+//! process** by runtime feature detection (no compile-time `target-cpu`
+//! flags needed) and every batched kernel call fetches a small dispatch
+//! table from it:
 //!
 //! ```text
-//!            HDC_KERNEL_BACKEND env ──┐  (scalar | avx2 | neon)
+//!            HDC_KERNEL_BACKEND env ──┐  (scalar | avx2 | avx512 | neon)
 //!                                     ▼
 //!   is_x86_feature_detected! ──► selected(): KernelBackend   (once, atomic)
 //!   is_aarch64_feature_detected!      │
 //!                                     ▼
 //!        batch kernel call ──► bit_kernels() / dot_panel_dense::<B>()
 //!                                     │
-//!              ┌──────────────────────┼──────────────────────┐
-//!              ▼                      ▼                      ▼
-//!          Scalar (oracle)          Avx2                   Neon
-//!     lane-blocked u64 loops   pshufb popcount        vcntq_u8 popcount
-//!     ascending-order f64      mul+add __m256d        mul+add float64x2
+//!         ┌───────────────┬───────────┴───────────┬───────────────┐
+//!         ▼               ▼                       ▼               ▼
+//!   Scalar (oracle)      Avx2                  Avx512            Neon
+//!   lane-blocked u64   pshufb popcount    vpopcntq __m512i   vcntq_u8 pop
+//!   ascending f64      mul+add __m256d    (panels on Avx2)   mul+add f64x2
 //! ```
 //!
 //! **Equivalence contract.** Every SIMD variant is bit-identical to the
@@ -39,9 +40,9 @@
 //! kernels — the batched==sequential oracle suites pass unchanged on either
 //! path.
 //!
-//! Set `HDC_KERNEL_BACKEND=scalar` (or `avx2` / `neon`) to force a backend;
-//! an unsupported forced SIMD backend falls back to scalar. Tests and
-//! benchmarks can switch at runtime with [`set_backend`].
+//! Set `HDC_KERNEL_BACKEND=scalar` (or `avx2` / `avx512` / `neon`) to force
+//! a backend; an unsupported forced SIMD backend falls back to scalar.
+//! Tests and benchmarks can switch at runtime with [`set_backend`].
 #![allow(unsafe_code)]
 
 use crate::error::{HdcError, Result};
@@ -54,17 +55,23 @@ pub enum KernelBackend {
     Scalar,
     /// `std::arch` AVX2 kernels (`x86_64`, runtime-detected).
     Avx2,
+    /// `std::arch` AVX-512 kernels (`x86_64` with `avx512f` +
+    /// `avx512vpopcntdq`, runtime-detected): native 64-bit-lane popcount
+    /// over 512-bit registers for the XOR/popcount family; the `f64`
+    /// panels stay on the AVX2 kernels (panel widths are ≤ 4 lanes).
+    Avx512,
     /// `std::arch` NEON kernels (`aarch64`, runtime-detected).
     Neon,
 }
 
 impl KernelBackend {
-    /// Stable lowercase name (`scalar` / `avx2` / `neon`), as accepted by
-    /// the `HDC_KERNEL_BACKEND` environment variable.
+    /// Stable lowercase name (`scalar` / `avx2` / `avx512` / `neon`), as
+    /// accepted by the `HDC_KERNEL_BACKEND` environment variable.
     pub fn name(self) -> &'static str {
         match self {
             KernelBackend::Scalar => "scalar",
             KernelBackend::Avx2 => "avx2",
+            KernelBackend::Avx512 => "avx512",
             KernelBackend::Neon => "neon",
         }
     }
@@ -79,6 +86,7 @@ impl KernelBackend {
             KernelBackend::Scalar => 1,
             KernelBackend::Avx2 => 2,
             KernelBackend::Neon => 3,
+            KernelBackend::Avx512 => 4,
         }
     }
 
@@ -87,6 +95,7 @@ impl KernelBackend {
             1 => Some(KernelBackend::Scalar),
             2 => Some(KernelBackend::Avx2),
             3 => Some(KernelBackend::Neon),
+            4 => Some(KernelBackend::Avx512),
             _ => None,
         }
     }
@@ -106,29 +115,51 @@ static BACKEND: AtomicU8 = AtomicU8::new(0);
 static SIMD_DISPATCHES: AtomicU64 = AtomicU64::new(0);
 
 /// The backend runtime feature detection picks on this host, ignoring the
-/// environment override: AVX2 on a capable `x86_64`, NEON on a capable
-/// `aarch64`, scalar everywhere else.
+/// environment override: AVX-512 then AVX2 on a capable `x86_64`, NEON on
+/// a capable `aarch64`, scalar everywhere else.
 pub fn detected() -> KernelBackend {
     #[cfg(target_arch = "x86_64")]
     {
-        if std::arch::is_x86_feature_detected!("avx2")
-            && std::arch::is_x86_feature_detected!("popcnt")
-        {
+        if supported(KernelBackend::Avx512) {
+            return KernelBackend::Avx512;
+        }
+        if supported(KernelBackend::Avx2) {
             return KernelBackend::Avx2;
         }
     }
     #[cfg(target_arch = "aarch64")]
     {
-        if std::arch::is_aarch64_feature_detected!("neon") {
+        if supported(KernelBackend::Neon) {
             return KernelBackend::Neon;
         }
     }
     KernelBackend::Scalar
 }
 
-/// Whether `backend` can run on this host (scalar always can).
+/// Whether `backend` can run on this host (scalar always can). This is a
+/// per-backend feature check, not equality with [`detected`]: an AVX-512
+/// host supports `avx2` too, so forcing the narrower backend still works.
 pub fn supported(backend: KernelBackend) -> bool {
-    backend == KernelBackend::Scalar || backend == detected()
+    match backend {
+        KernelBackend::Scalar => true,
+        #[cfg(target_arch = "x86_64")]
+        KernelBackend::Avx2 => {
+            std::arch::is_x86_feature_detected!("avx2")
+                && std::arch::is_x86_feature_detected!("popcnt")
+        }
+        #[cfg(target_arch = "x86_64")]
+        KernelBackend::Avx512 => {
+            // The f64 panels and `add_signs` dispatch to the AVX2 kernels,
+            // so the AVX-512 backend requires the AVX2 features as well.
+            supported(KernelBackend::Avx2)
+                && std::arch::is_x86_feature_detected!("avx512f")
+                && std::arch::is_x86_feature_detected!("avx512vpopcntdq")
+        }
+        #[cfg(target_arch = "aarch64")]
+        KernelBackend::Neon => std::arch::is_aarch64_feature_detected!("neon"),
+        #[allow(unreachable_patterns)]
+        _ => false,
+    }
 }
 
 /// Resolve an `HDC_KERNEL_BACKEND` value to a backend: a recognized name
@@ -140,6 +171,13 @@ fn resolve(env: Option<&str>) -> KernelBackend {
         Some("avx2") => {
             if supported(KernelBackend::Avx2) {
                 KernelBackend::Avx2
+            } else {
+                KernelBackend::Scalar
+            }
+        }
+        Some("avx512") => {
+            if supported(KernelBackend::Avx512) {
+                KernelBackend::Avx512
             } else {
                 KernelBackend::Scalar
             }
@@ -292,6 +330,17 @@ pub(crate) fn bit_kernels() -> BitKernels {
                 add_signs: avx2::add_signs,
             }
         }
+        #[cfg(target_arch = "x86_64")]
+        KernelBackend::Avx512 => {
+            note_simd_dispatch();
+            BitKernels {
+                xor_popcount: avx512::xor_popcount,
+                xor_popcount_masked: avx512::xor_popcount_masked,
+                // No 512-bit win for the 4-lane sign LUT; Avx512 implies
+                // the AVX2 features (see `supported`).
+                add_signs: avx2::add_signs,
+            }
+        }
         #[cfg(target_arch = "aarch64")]
         KernelBackend::Neon => {
             note_simd_dispatch();
@@ -311,8 +360,10 @@ pub(crate) fn bit_kernels() -> BitKernels {
 /// Bit-identical to [`scalar::dot_panel_dense`] on every backend.
 pub(crate) fn dot_panel_dense<const B: usize>(q: &[f64], panel: &[f64]) -> [f64; B] {
     match selected() {
+        // Avx512 uses the AVX2 panels: widths are ≤ 4 f64 lanes (256 bits),
+        // and the accumulation-order contract is already satisfied there.
         #[cfg(target_arch = "x86_64")]
-        KernelBackend::Avx2 => {
+        KernelBackend::Avx2 | KernelBackend::Avx512 => {
             if let Some(out) = avx2::dot_panel::<B>(q, panel) {
                 note_simd_dispatch();
                 return out;
@@ -566,6 +617,77 @@ mod avx2 {
     }
 }
 
+/// AVX-512 kernels for the XOR/popcount family: 512-bit lanes with the
+/// native per-64-bit-lane popcount of `avx512vpopcntdq`, replacing the
+/// AVX2 `pshufb` nibble LUT. Popcounts are exact integers, so the counts
+/// are trivially bit-identical to the scalar oracle. Same safety argument
+/// as `avx2`: reachable only through the dispatch tables after runtime
+/// detection confirmed `avx512f` + `avx512vpopcntdq`. The `f64` panels and
+/// `add_signs` intentionally stay on the AVX2 kernels — panel widths are
+/// at most 4 `f64` lanes (256 bits), so wider registers buy nothing and
+/// the accumulation-order contract is already satisfied there.
+#[cfg(target_arch = "x86_64")]
+mod avx512 {
+    use std::arch::x86_64::*;
+
+    pub(super) fn xor_popcount(a: &[u64], b: &[u64]) -> u64 {
+        // SAFETY: only dispatched on hosts where avx512f+avx512vpopcntdq
+        // are detected.
+        unsafe { xor_popcount_impl(a, b) }
+    }
+
+    pub(super) fn xor_popcount_masked(a: &[u64], b: &[u64], mask: &[u64]) -> u64 {
+        // SAFETY: only dispatched on hosts where avx512f+avx512vpopcntdq
+        // are detected.
+        unsafe { xor_popcount_masked_impl(a, b, mask) }
+    }
+
+    /// Same `target_feature` obligation as the AVX2 helpers: without it a
+    /// non-inlined call compiles the 512-bit ops for the baseline target
+    /// and LLVM legalizes them into a slow scalar expansion.
+    #[inline]
+    #[target_feature(enable = "avx512f")]
+    unsafe fn horizontal_sum_u64(v: __m512i) -> u64 {
+        let mut lanes = [0u64; 8];
+        _mm512_storeu_si512(lanes.as_mut_ptr() as *mut _, v);
+        lanes.iter().sum()
+    }
+
+    #[target_feature(enable = "avx512f,avx512vpopcntdq,popcnt")]
+    unsafe fn xor_popcount_impl(a: &[u64], b: &[u64]) -> u64 {
+        let blocks = a.len() / 8;
+        let mut total = _mm512_setzero_si512();
+        for blk in 0..blocks {
+            let pa = _mm512_loadu_si512(a.as_ptr().add(blk * 8) as *const _);
+            let pb = _mm512_loadu_si512(b.as_ptr().add(blk * 8) as *const _);
+            total = _mm512_add_epi64(total, _mm512_popcnt_epi64(_mm512_xor_si512(pa, pb)));
+        }
+        let mut count = horizontal_sum_u64(total);
+        for i in blocks * 8..a.len() {
+            count += (a[i] ^ b[i]).count_ones() as u64;
+        }
+        count
+    }
+
+    #[target_feature(enable = "avx512f,avx512vpopcntdq,popcnt")]
+    unsafe fn xor_popcount_masked_impl(a: &[u64], b: &[u64], mask: &[u64]) -> u64 {
+        let blocks = a.len() / 8;
+        let mut total = _mm512_setzero_si512();
+        for blk in 0..blocks {
+            let pa = _mm512_loadu_si512(a.as_ptr().add(blk * 8) as *const _);
+            let pb = _mm512_loadu_si512(b.as_ptr().add(blk * 8) as *const _);
+            let pm = _mm512_loadu_si512(mask.as_ptr().add(blk * 8) as *const _);
+            let masked = _mm512_and_si512(_mm512_xor_si512(pa, pb), pm);
+            total = _mm512_add_epi64(total, _mm512_popcnt_epi64(masked));
+        }
+        let mut count = horizontal_sum_u64(total);
+        for i in blocks * 8..a.len() {
+            count += ((a[i] ^ b[i]) & mask[i]).count_ones() as u64;
+        }
+        count
+    }
+}
+
 /// NEON kernels, mirroring the AVX2 set. Same safety argument: reachable
 /// only through the dispatch tables after runtime detection.
 #[cfg(target_arch = "aarch64")]
@@ -716,7 +838,11 @@ mod tests {
         assert_eq!(resolve(Some(" scalar ")), KernelBackend::Scalar);
         // Forcing a SIMD backend falls back to scalar when unsupported,
         // returns it verbatim when supported.
-        for (name, backend) in [("avx2", KernelBackend::Avx2), ("neon", KernelBackend::Neon)] {
+        for (name, backend) in [
+            ("avx2", KernelBackend::Avx2),
+            ("avx512", KernelBackend::Avx512),
+            ("neon", KernelBackend::Neon),
+        ] {
             let resolved = resolve(Some(name));
             if supported(backend) {
                 assert_eq!(resolved, backend);
@@ -734,6 +860,7 @@ mod tests {
         for b in [
             KernelBackend::Scalar,
             KernelBackend::Avx2,
+            KernelBackend::Avx512,
             KernelBackend::Neon,
         ] {
             assert_eq!(resolve(Some(b.name())) == b, supported(b));
@@ -741,12 +868,27 @@ mod tests {
         }
         assert!(!KernelBackend::Scalar.is_simd());
         assert!(KernelBackend::Avx2.is_simd() && KernelBackend::Neon.is_simd());
+        assert!(KernelBackend::Avx512.is_simd());
+    }
+
+    #[test]
+    fn avx512_support_implies_avx2_support() {
+        // The AVX-512 backend delegates panels and add_signs to AVX2, so
+        // the feature lattice must be monotone.
+        if supported(KernelBackend::Avx512) {
+            assert!(supported(KernelBackend::Avx2));
+            assert_eq!(detected(), KernelBackend::Avx512);
+        }
     }
 
     #[test]
     fn unsupported_backend_is_rejected() {
         assert!(supported(KernelBackend::Scalar));
-        for b in [KernelBackend::Avx2, KernelBackend::Neon] {
+        for b in [
+            KernelBackend::Avx2,
+            KernelBackend::Avx512,
+            KernelBackend::Neon,
+        ] {
             if !supported(b) {
                 assert_eq!(
                     set_backend(b),

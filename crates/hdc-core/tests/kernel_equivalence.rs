@@ -15,6 +15,10 @@ use hdc_core::batch::accumulate_by_segment_bits;
 use hdc_core::prelude::*;
 use hdc_core::random::{bipolar_hypermatrix, random_hypermatrix};
 use hdc_core::simd::{self, KernelBackend};
+use hdc_core::{
+    cosine_similarity_batch_sharded, hamming_distance_batch_dense_sharded,
+    hamming_distance_batch_sharded,
+};
 use std::sync::{Mutex, MutexGuard};
 
 /// Serializes tests that mutate the process-global backend selection.
@@ -259,5 +263,173 @@ fn scalar_env_override_forces_scalar_with_zero_dispatches() {
     assert!(
         status.success(),
         "child process with scalar override failed"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// class-memory sharding fuzz: sharded kernels and reduction-tree merges must
+// be bit-identical to the unsharded kernels for every shard count, dimension,
+// perforation mask, and score edge case — on every backend.
+// ---------------------------------------------------------------------------
+
+/// Shard counts crossing every interesting boundary: trivial, even/odd splits,
+/// counts that don't divide the row count, and counts above it (clamped).
+const FUZZ_SHARDS: &[usize] = &[1, 2, 3, 7, 16];
+
+#[test]
+fn sharded_kernels_match_unsharded_across_backends() {
+    use hdc_core::batch::{score_epoch_sharded, SimilarityMetric};
+    use hdc_core::shard::ShardPlan;
+    for &dim in &[1usize, 63, 65, 130, 193, 333] {
+        let bq = bit_matrix(5, dim, 0x5AAD ^ dim as u64);
+        let bc = bit_matrix(11, dim, 0xC1A5 ^ dim as u64);
+        let dq = dense_matrix(5, dim, 0xD0D0 ^ dim as u64);
+        let dc = dense_matrix(11, dim, 0xACED ^ dim as u64);
+        for perf in fuzz_perforations(dim) {
+            for &shards in FUZZ_SHARDS {
+                let plan = ShardPlan::split(11, shards);
+                let (scalar, simd_out) = on_both_backends(|| {
+                    (
+                        hamming_distance_batch_sharded(&bq, &bc, perf, &plan).unwrap(),
+                        cosine_similarity_batch_sharded(&dq, &dc, perf, &plan).unwrap(),
+                        hamming_distance_batch_dense_sharded(&dq, &dc, perf, &plan).unwrap(),
+                        score_epoch_sharded(&dq, &dc, SimilarityMetric::Cosine, perf, &plan)
+                            .unwrap(),
+                    )
+                });
+                // Bit-identical across backends...
+                assert_eq!(
+                    scalar.0.as_slice(),
+                    simd_out.0.as_slice(),
+                    "sharded hamming dim={dim} shards={shards} perf={perf:?}"
+                );
+                assert_eq!(scalar.1.as_slice(), simd_out.1.as_slice());
+                assert_eq!(scalar.2.as_slice(), simd_out.2.as_slice());
+                assert_eq!(scalar.3.as_slice(), simd_out.3.as_slice());
+                // ...and to the unsharded kernels on the current backend.
+                let _guard = lock_backend();
+                assert_eq!(
+                    simd_out.0.as_slice(),
+                    hamming_distance_batch(&bq, &bc, perf).unwrap().as_slice(),
+                    "sharded vs unsharded hamming dim={dim} shards={shards}"
+                );
+                assert_eq!(
+                    simd_out.1.as_slice(),
+                    cosine_similarity_batch(&dq, &dc, perf).unwrap().as_slice()
+                );
+                assert_eq!(
+                    simd_out.2.as_slice(),
+                    hamming_distance_batch_dense(&dq, &dc, perf)
+                        .unwrap()
+                        .as_slice()
+                );
+                assert_eq!(
+                    simd_out.3.as_slice(),
+                    hdc_core::batch::score_epoch(&dq, &dc, SimilarityMetric::Cosine, perf)
+                        .unwrap()
+                        .as_slice()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn sharded_selection_merges_match_global_ops_on_edge_cases() {
+    use hdc_core::ops::{arg_max, arg_min, arg_top_k};
+    use hdc_core::shard::{
+        row_arg_max_sharded, row_arg_min_sharded, row_arg_top_k_sharded, ShardPlan,
+    };
+    // Score rows engineered so every shard boundary can split a tie, a NaN
+    // run, or a -0.0/0.0 pair: the merge tree must reproduce the global
+    // skip-NaN, total-order, first-occurrence semantics exactly.
+    let rows: Vec<Vec<f64>> = vec![
+        vec![f64::NAN; 9], // all-NaN -> None
+        vec![3.0, f64::NAN, -1.0, -1.0, f64::NAN, -1.0, 2.0, 0.5, -0.25],
+        vec![-0.0, 0.0, -0.0, 0.0, -0.0, 0.0, -0.0, 0.0, -0.0], // -0.0 < 0.0
+        vec![1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0],      // global tie
+        vec![
+            f64::NAN,
+            f64::NAN,
+            5.0,
+            f64::NAN,
+            f64::NAN,
+            f64::NAN,
+            5.0,
+            f64::NAN,
+            4.0,
+        ],
+        vec![
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            0.0,
+            f64::NAN,
+            -0.0,
+            7.0,
+            7.0,
+            -3.5,
+            1.0,
+        ],
+    ];
+    for row in &rows {
+        let expect_min = arg_min(row);
+        let expect_max = arg_max(row);
+        for &shards in FUZZ_SHARDS {
+            let plan = ShardPlan::split(row.len(), shards);
+            let merged_min = row_arg_min_sharded(row, &plan);
+            let merged_max = row_arg_max_sharded(row, &plan);
+            assert_eq!(
+                merged_min.value, expect_min,
+                "min row={row:?} shards={shards}"
+            );
+            assert_eq!(
+                merged_max.value, expect_max,
+                "max row={row:?} shards={shards}"
+            );
+            assert_eq!(merged_min.merge_ops, plan.shard_count() - 1);
+            for k in [1, 3, row.len()] {
+                let merged = row_arg_top_k_sharded(row, k, &plan);
+                assert_eq!(
+                    merged.value,
+                    arg_top_k(row, k),
+                    "top-{k} row={row:?} shards={shards}"
+                );
+            }
+        }
+    }
+}
+
+/// Regression for the `HDC_NUM_THREADS` override: thread-count resolution is
+/// read from the environment inside the rayon compat layer, so a child
+/// process (this same binary, re-running only this test) with the variable
+/// set must observe exactly that many threads and still produce sharded
+/// results bit-identical to unsharded.
+#[test]
+fn num_threads_env_override_controls_pool_width() {
+    use hdc_core::shard::ShardPlan;
+    if std::env::var("HDC_KE_THREADS_CHILD").is_ok() {
+        assert_eq!(rayon::current_num_threads(), 3);
+        let queries = bit_matrix(6, 300, 11);
+        let classes = bit_matrix(10, 300, 12);
+        let plan = ShardPlan::split(10, 4);
+        let sharded =
+            hamming_distance_batch_sharded(&queries, &classes, Perforation::NONE, &plan).unwrap();
+        let unsharded = hamming_distance_batch(&queries, &classes, Perforation::NONE).unwrap();
+        assert_eq!(sharded.as_slice(), unsharded.as_slice());
+        return;
+    }
+    let status = std::process::Command::new(std::env::current_exe().unwrap())
+        .args([
+            "num_threads_env_override_controls_pool_width",
+            "--exact",
+            "--nocapture",
+        ])
+        .env("HDC_KE_THREADS_CHILD", "1")
+        .env("HDC_NUM_THREADS", "3")
+        .status()
+        .expect("spawn child test process");
+    assert!(
+        status.success(),
+        "child process with HDC_NUM_THREADS override failed"
     );
 }

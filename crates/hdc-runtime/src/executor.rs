@@ -68,7 +68,7 @@ use hdc_core::{BitMatrix, BitVector, HdcRng, HyperMatrix, HyperVector, Perforati
 use hdc_ir::instr::{HdcInstr, Operand};
 use hdc_ir::ops::HdcOp;
 use hdc_ir::program::{Node, NodeBody, Program, ValueId, ValueRole};
-use hdc_ir::stage::{StageKind, StageNode};
+use hdc_ir::stage::{ScorePolarity, StageKind, StageNode};
 use hdc_ir::types::ValueType;
 use rand::SeedableRng;
 use rayon::prelude::*;
@@ -114,9 +114,18 @@ pub struct ExecStats {
     /// frozen. Zero when every epoch's updates happen after its last sample
     /// (or in sequential mode); `epochs x samples` is the worst case.
     pub rescored_samples: usize,
+    /// Class-memory shard blocks launched by sharded batched kernels (the
+    /// sum of shard counts over every batched call that ran sharded). Zero
+    /// when every call ran unsharded — one thread, a small class memory, or
+    /// sequential mode.
+    pub class_shards: usize,
+    /// Pairwise partial-result merges performed by the reduction trees that
+    /// combine per-shard `arg_min` / `arg_max` / top-k selections back into
+    /// global winners (`shards - 1` per merged selection row).
+    pub shard_merge_ops: usize,
     /// Name of the [`hdc_core::simd`] kernel backend the run dispatched to
-    /// (`scalar` / `avx2` / `neon`), stamped at the start of every run.
-    /// Empty only on a default-constructed counter set.
+    /// (`scalar` / `avx2` / `avx512` / `neon`), stamped at the start of
+    /// every run. Empty only on a default-constructed counter set.
     pub kernel_backend: &'static str,
 }
 
@@ -131,6 +140,8 @@ impl ExecStats {
         self.accelerated_stage_samples += other.accelerated_stage_samples;
         self.epoch_kernel_ops += other.epoch_kernel_ops;
         self.rescored_samples += other.rescored_samples;
+        self.class_shards += other.class_shards;
+        self.shard_merge_ops += other.shard_merge_ops;
         if self.kernel_backend.is_empty() {
             self.kernel_backend = other.kernel_backend;
         }
@@ -294,6 +305,10 @@ pub struct Executor<'p> {
     stats: ExecStats,
     batch_stages: bool,
     parallel_loops: bool,
+    /// `Some(n)` forces every sharded batched kernel to split the class
+    /// memory into `n` row-blocks; `None` picks the count from worker
+    /// threads × class-matrix size ([`hdc_core::shard::default_shard_count`]).
+    class_shard_override: Option<usize>,
     row_log: Option<RowLog>,
     stage_trace: Vec<StageTraceEntry>,
     /// The bound store as it looked when [`Executor::run`] first started
@@ -318,10 +333,32 @@ impl<'p> Executor<'p> {
             stats: ExecStats::default(),
             batch_stages: true,
             parallel_loops: true,
+            class_shard_override: None,
             row_log: None,
             stage_trace: Vec::new(),
             baseline: None,
         })
+    }
+
+    /// Force the class-memory shard count of every sharded batched kernel
+    /// (clamped per call to the class-row count), or restore the automatic
+    /// heuristic with `None`. The sharded path is bit-identical to the
+    /// unsharded kernels for any count, so this only affects scheduling —
+    /// it exists for tests pinning shard/merge accounting and benchmarks
+    /// sweeping the class axis.
+    pub fn set_class_shards(&mut self, shards: Option<usize>) -> &mut Self {
+        self.class_shard_override = shards;
+        self
+    }
+
+    /// The shard plan for a class memory of `class_rows` rows: the
+    /// override if set, else one shard per worker thread with at least
+    /// [`hdc_core::shard::MIN_ROWS_PER_SHARD`] rows each.
+    fn shard_plan(&self, class_rows: usize) -> hdc_core::ShardPlan {
+        let shards = self.class_shard_override.unwrap_or_else(|| {
+            hdc_core::default_shard_count(class_rows, rayon::current_num_threads())
+        });
+        hdc_core::ShardPlan::split(class_rows, shards)
     }
 
     /// Enable or disable batched execution (default: enabled). Disabling
@@ -681,6 +718,9 @@ impl<'p> Executor<'p> {
         let program = self.program;
         let base_store = &self.store;
         let batch_stages = self.batch_stages;
+        // Iterations already occupy the worker threads; nested class
+        // sharding inside them would only add merge overhead.
+        let class_shard_override = Some(1);
         let targets = &row_targets;
         let private = &private_slots;
         let outcomes: Vec<Result<IterOutcome>> = (0..count)
@@ -693,6 +733,7 @@ impl<'p> Executor<'p> {
                     stats: ExecStats::default(),
                     batch_stages,
                     parallel_loops: false,
+                    class_shard_override,
                     row_log: Some(RowLog {
                         targets: targets.clone(),
                         writes: Vec::new(),
@@ -1159,6 +1200,27 @@ impl<'p> Executor<'p> {
         }
     }
 
+    /// Per-row winner selection: through per-shard partials and the
+    /// reduction-tree merge when the plan is sharded (bit-identical to the
+    /// direct selection — global lowest-index tie-break and NaN skipping
+    /// are preserved across shard boundaries), directly otherwise.
+    fn select_sharded(
+        &mut self,
+        polarity: ScorePolarity,
+        row: &[f64],
+        plan: &hdc_core::ShardPlan,
+    ) -> Option<usize> {
+        if plan.shard_count() <= 1 {
+            return polarity.select(row);
+        }
+        let merged = match polarity {
+            ScorePolarity::Similarity => hdc_core::shard::row_arg_max_sharded(row, plan),
+            ScorePolarity::Distance => hdc_core::shard::row_arg_min_sharded(row, plan),
+        };
+        self.stats.shard_merge_ops += merged.merge_ops;
+        merged.value
+    }
+
     /// Try to execute a stage as one batched kernel call. Returns `false`
     /// (leaving the store untouched) when the body or the operand
     /// representations don't fit the batched kernels.
@@ -1174,9 +1236,15 @@ impl<'p> Executor<'p> {
             } => {
                 let queries = self.value(stage.interface.queries)?.clone();
                 let classes_val = self.value(classes)?.clone();
+                let class_rows = match &classes_val {
+                    Value::BitMatrix(c) => c.rows(),
+                    Value::Matrix(c) => c.rows(),
+                    _ => return Ok(false),
+                };
+                let plan = self.shard_plan(class_rows);
                 let scores: HyperMatrix<f64> = match (&queries, &classes_val) {
                     (Value::BitMatrix(q), Value::BitMatrix(c)) => {
-                        let h = hdc_core::batch::hamming_distance_batch(q, c, perf)?;
+                        let h = hdc_core::batch::hamming_distance_batch_sharded(q, c, perf, &plan)?;
                         self.stats.bit_kernel_ops += q.rows();
                         match metric {
                             Metric::Hamming => h,
@@ -1187,13 +1255,17 @@ impl<'p> Executor<'p> {
                         }
                     }
                     (Value::Matrix(q), Value::Matrix(c)) => match metric {
-                        Metric::Cosine => {
-                            hdc_core::batch::cosine_similarity_batch(q.as_ref(), c.as_ref(), perf)?
-                        }
-                        Metric::Hamming => hdc_core::batch::hamming_distance_batch_dense(
+                        Metric::Cosine => hdc_core::batch::cosine_similarity_batch_sharded(
                             q.as_ref(),
                             c.as_ref(),
                             perf,
+                            &plan,
+                        )?,
+                        Metric::Hamming => hdc_core::batch::hamming_distance_batch_dense_sharded(
+                            q.as_ref(),
+                            c.as_ref(),
+                            perf,
+                            &plan,
                         )?,
                     },
                     // Mixed packed/dense operands: sequential oracle.
@@ -1203,11 +1275,15 @@ impl<'p> Executor<'p> {
                 let labels: Vec<usize> = scores
                     .iter_rows()
                     .map(|row| {
-                        stage.polarity.select(row).ok_or(RuntimeError::Core(
-                            hdc_core::HdcError::EmptyInput("stage scores"),
-                        ))
+                        self.select_sharded(stage.polarity, row, &plan)
+                            .ok_or(RuntimeError::Core(hdc_core::HdcError::EmptyInput(
+                                "stage scores",
+                            )))
                     })
                     .collect::<Result<_>>()?;
+                if plan.shard_count() > 1 {
+                    self.stats.class_shards += plan.shard_count();
+                }
                 self.stats.batched_kernel_ops += 1;
                 self.stats.stage_samples += rows;
                 self.stats.instructions_executed += rows;
@@ -1284,14 +1360,25 @@ impl<'p> Executor<'p> {
             Metric::Hamming => hdc_core::batch::SimilarityMetric::Hamming,
         };
         let n = queries.rows();
+        let plan = self.shard_plan(classes_m.rows());
         for _epoch in 0..epochs {
-            let frozen =
-                hdc_core::batch::score_epoch(queries.as_ref(), &classes_m, batch_metric, perf)?;
+            let frozen = hdc_core::batch::score_epoch_sharded(
+                queries.as_ref(),
+                &classes_m,
+                batch_metric,
+                perf,
+                &plan,
+            )?;
             self.stats.epoch_kernel_ops += 1;
             self.stats.batched_kernel_ops += 1;
+            if plan.shard_count() > 1 {
+                self.stats.class_shards += plan.shard_count();
+            }
             let mut stale = false;
             for (r, &label) in truth.iter().enumerate().take(n) {
                 let pred = if stale {
+                    // Live-matrix rescore: the per-sample reference kernel
+                    // and direct selection, exactly the sequential oracle.
                     let sample = queries.row_vector(r)?;
                     self.note_copy(sample.dimension() * 8);
                     let scores = match metric {
@@ -1301,7 +1388,7 @@ impl<'p> Executor<'p> {
                     self.stats.rescored_samples += 1;
                     stage.polarity.select(scores.as_slice())
                 } else {
-                    stage.polarity.select(frozen.row(r)?)
+                    self.select_sharded(stage.polarity, frozen.row(r)?, &plan)
                 }
                 .ok_or(RuntimeError::Core(hdc_core::HdcError::EmptyInput(
                     "stage scores",
@@ -1783,8 +1870,17 @@ impl<'p> Executor<'p> {
                 let (m, copied) = input.dense_matrix("arg_top_k")?;
                 self.note_copy(copied);
                 if self.batch_stages {
-                    let flat = hdc_core::batch::arg_top_k_batch(m.as_ref(), k)?;
+                    // The candidate axis (score columns) is the class
+                    // memory here; shard it like the scoring kernels and
+                    // merge per-shard top-k lists through the tree.
+                    let plan = self.shard_plan(m.cols());
+                    let (flat, merge_ops) =
+                        hdc_core::batch::arg_top_k_batch_sharded(m.as_ref(), k, &plan)?;
                     self.stats.batched_kernel_ops += 1;
+                    self.stats.shard_merge_ops += merge_ops;
+                    if plan.shard_count() > 1 {
+                        self.stats.class_shards += plan.shard_count();
+                    }
                     Value::indices(flat)
                 } else {
                     // Sequential reference: one per-row selection at a time.
@@ -1836,7 +1932,11 @@ impl<'p> Executor<'p> {
             (Value::BitMatrix(a), Value::BitMatrix(b)) if self.batch_stages => {
                 self.stats.bit_kernel_ops += 1;
                 self.stats.batched_kernel_ops += 1;
-                let h = hdc_core::batch::hamming_distance_batch(a, b, perf)?;
+                let plan = self.shard_plan(b.rows());
+                if plan.shard_count() > 1 {
+                    self.stats.class_shards += plan.shard_count();
+                }
+                let h = hdc_core::batch::hamming_distance_batch_sharded(a, b, perf, &plan)?;
                 Value::matrix(match metric {
                     Metric::Hamming => h,
                     Metric::Cosine => {

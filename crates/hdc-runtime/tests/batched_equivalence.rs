@@ -675,3 +675,131 @@ fn binarized_pipeline_equivalence_through_passes() {
     };
     assert_eq!(run(true), run(false));
 }
+
+// ---------------------------------------------------------------------------
+// class-memory sharding: the second parallel axis must stay bit-identical
+// to the sequential per-sample oracle for every forced shard count, and the
+// shard/merge counters must account exactly.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn sharded_inference_is_bit_identical_to_sequential_oracle() {
+    for binarized in [false, true] {
+        for metric in [Metric::Hamming, Metric::Cosine] {
+            for perf in perforations() {
+                let (program, preds) = build_inference(binarized, metric, perf);
+                let (queries, classes) = inference_data(binarized);
+                let (sequential, s_stats) =
+                    run_inference(&program, preds, &queries, &classes, false);
+                assert_eq!(s_stats.class_shards, 0, "oracle never shards");
+                assert_eq!(s_stats.shard_merge_ops, 0);
+                for shards in [1, 2, 3, 7, 16] {
+                    let mut exec = Executor::new(&program).unwrap();
+                    exec.set_class_shards(Some(shards));
+                    exec.bind("queries", queries.clone()).unwrap();
+                    exec.bind("classes", classes.clone()).unwrap();
+                    let out = exec.run().unwrap();
+                    assert_eq!(
+                        out.indices(preds).unwrap(),
+                        sequential.as_slice(),
+                        "binarized={binarized} metric={metric:?} perf={perf:?} shards={shards}"
+                    );
+                    let stats = exec.stats();
+                    // The plan clamps to the class-row count; a single
+                    // effective shard runs the unsharded path with zero
+                    // shard accounting.
+                    let effective = shards.min(CLASSES);
+                    if effective > 1 {
+                        assert_eq!(stats.class_shards, effective, "shards={shards}");
+                        assert_eq!(
+                            stats.shard_merge_ops,
+                            QUERIES * (effective - 1),
+                            "one reduction tree per query row"
+                        );
+                    } else {
+                        assert_eq!(stats.class_shards, 0);
+                        assert_eq!(stats.shard_merge_ops, 0);
+                    }
+                    // Sharding changes scheduling only; the batched-call
+                    // accounting is untouched.
+                    assert_eq!(stats.batched_kernel_ops, 1);
+                    assert_eq!(stats.stage_samples, QUERIES);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn sharded_training_is_bit_identical_to_sequential_oracle() {
+    let data = training_data();
+    for metric in [Metric::Cosine, Metric::Hamming] {
+        for perf in perforations() {
+            let (program, trained) = build_training(metric, perf, 2);
+            let (sequential, _) = run_training(&program, trained, &data, false);
+            for shards in [2, 3, 7] {
+                let mut exec = Executor::new(&program).unwrap();
+                exec.set_class_shards(Some(shards));
+                exec.bind("train", data.0.clone()).unwrap();
+                exec.bind("labels", data.1.clone()).unwrap();
+                exec.bind("classes", data.2.clone()).unwrap();
+                let out = exec.run().unwrap();
+                assert_eq!(
+                    out.matrix(trained).unwrap().as_slice(),
+                    sequential.as_slice(),
+                    "metric={metric:?} perf={perf:?} shards={shards}"
+                );
+                let stats = exec.stats();
+                assert_eq!(stats.epoch_kernel_ops, 2);
+                assert_eq!(
+                    stats.class_shards,
+                    2 * shards,
+                    "one sharded epoch kernel per epoch"
+                );
+                // Frozen-score selections merge through the tree; stale
+                // re-scores use the per-sample oracle directly, so merges
+                // are bounded by the non-rescored sample count.
+                let frozen_selections = 2 * TRAIN_SAMPLES - stats.rescored_samples;
+                assert_eq!(stats.shard_merge_ops, frozen_selections * (shards - 1));
+            }
+        }
+    }
+}
+
+#[test]
+fn sharded_top_k_and_all_pairs_match_unsharded() {
+    // An all-pairs bit similarity feeding arg_top_k: both the scoring and
+    // the selection run sharded, and must agree with the unsharded path.
+    const LIBRARY: usize = 23;
+    let mut b = ProgramBuilder::new("sharded_topk");
+    let q = b.input_matrix("queries", ElementKind::Bit, QUERIES, DIM);
+    let lib = b.input_matrix("library", ElementKind::Bit, LIBRARY, DIM);
+    let scores = b.cossim(q, lib);
+    let picks = b.arg_top_k(scores, 4);
+    b.mark_output(picks);
+    let program = b.finish();
+
+    let mut rng = HdcRng::seed_from_u64(0x70F2);
+    let qm: HyperMatrix<f64> = hdc_core::random::bipolar_hypermatrix(QUERIES, DIM, &mut rng);
+    let lm: HyperMatrix<f64> = hdc_core::random::bipolar_hypermatrix(LIBRARY, DIM, &mut rng);
+    let run = |shards: Option<usize>| {
+        let mut exec = Executor::new(&program).unwrap();
+        exec.set_class_shards(shards);
+        exec.bind("queries", Value::bit_matrix(BitMatrix::from_dense(&qm)))
+            .unwrap();
+        exec.bind("library", Value::bit_matrix(BitMatrix::from_dense(&lm)))
+            .unwrap();
+        let out = exec.run().unwrap();
+        (out.indices(picks).unwrap().to_vec(), exec.stats())
+    };
+    let (baseline, base_stats) = run(Some(1));
+    assert_eq!(base_stats.class_shards, 0);
+    for shards in [2, 3, 7, 16] {
+        let (sharded, stats) = run(Some(shards));
+        assert_eq!(sharded, baseline, "shards={shards}");
+        let effective = shards.min(LIBRARY);
+        // Both the all-pairs score kernel and the top-k selection shard.
+        assert_eq!(stats.class_shards, 2 * effective);
+        assert_eq!(stats.shard_merge_ops, QUERIES * (effective - 1));
+    }
+}
