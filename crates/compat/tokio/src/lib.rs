@@ -1,0 +1,455 @@
+//! Offline, API-compatible subset of the `tokio` crate.
+//!
+//! The serving crate (`hdc-serve`) uses tokio for four things — a runtime
+//! to `block_on` a future, `spawn` for concurrent tasks, `sync::oneshot`
+//! channels to scatter per-request results back to callers, and
+//! `time::{sleep, timeout}` — so that is what this crate provides. Like the
+//! sibling `rayon` stand-in, it exists because the build environment has no
+//! registry access; the API mirrors upstream tokio so swapping in the real
+//! dependency is a one-line `Cargo.toml` change.
+//!
+//! # Execution model
+//!
+//! Upstream tokio multiplexes tasks onto a worker pool; this stand-in maps
+//! each [`spawn`] to one OS thread driving the task future to completion
+//! with a park/unpark waker. That is observationally equivalent for the
+//! coalescer workloads this workspace runs (tens of in-flight requests,
+//! each blocking on a oneshot response), though it would not scale to the
+//! hundreds of thousands of tasks upstream tokio handles. Timers
+//! ([`time::sleep`], [`time::timeout`]) arm a helper thread that wakes the
+//! task at the deadline.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::task::{Context, Poll, Wake, Waker};
+use std::time::{Duration, Instant};
+
+/// Park/unpark waker: `wake` unparks the thread that is driving the future.
+struct ThreadWaker {
+    thread: std::thread::Thread,
+}
+
+impl Wake for ThreadWaker {
+    fn wake(self: Arc<Self>) {
+        self.thread.unpark();
+    }
+}
+
+/// Drive a future to completion on the current thread, parking between
+/// polls. This is the single scheduling primitive everything else builds
+/// on.
+fn block_on_current<F: Future>(fut: F) -> F::Output {
+    let mut fut = Box::pin(fut);
+    let waker = Waker::from(Arc::new(ThreadWaker {
+        thread: std::thread::current(),
+    }));
+    let mut cx = Context::from_waker(&waker);
+    loop {
+        match fut.as_mut().poll(&mut cx) {
+            Poll::Ready(out) => return out,
+            // A spurious unpark just re-polls, which is always sound.
+            Poll::Pending => std::thread::park(),
+        }
+    }
+}
+
+pub mod runtime {
+    //! The task runtime: [`Runtime::block_on`] is the bridge from
+    //! synchronous code into the async surface.
+
+    use super::*;
+
+    /// A handle to the (thread-backed) runtime.
+    #[derive(Debug, Default)]
+    pub struct Runtime {
+        _priv: (),
+    }
+
+    impl Runtime {
+        /// Create a runtime. Never fails in this stand-in; the `Result` is
+        /// kept for upstream signature compatibility.
+        pub fn new() -> std::io::Result<Runtime> {
+            Ok(Runtime { _priv: () })
+        }
+
+        /// Run a future to completion on the calling thread.
+        pub fn block_on<F: Future>(&self, fut: F) -> F::Output {
+            block_on_current(fut)
+        }
+
+        /// Spawn a future onto the runtime; identical to the free
+        /// [`spawn`] function.
+        pub fn spawn<F>(&self, fut: F) -> JoinHandle<F::Output>
+        where
+            F: Future + Send + 'static,
+            F::Output: Send + 'static,
+        {
+            super::spawn(fut)
+        }
+    }
+
+    /// Builder mirroring `tokio::runtime::Builder` far enough for the
+    /// common `new_multi_thread().enable_all().build()` incantation.
+    #[derive(Debug, Default)]
+    pub struct Builder {
+        _priv: (),
+    }
+
+    impl Builder {
+        /// A builder for a multi-threaded runtime (every runtime here is
+        /// thread-backed already).
+        pub fn new_multi_thread() -> Builder {
+            Builder { _priv: () }
+        }
+
+        /// Enable timers and I/O. A no-op: the stand-in's timers are
+        /// always available.
+        pub fn enable_all(&mut self) -> &mut Builder {
+            self
+        }
+
+        /// Build the runtime.
+        pub fn build(&mut self) -> std::io::Result<Runtime> {
+            Runtime::new()
+        }
+    }
+}
+
+/// Error returned when awaiting a [`JoinHandle`] whose task panicked.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JoinError {
+    _priv: (),
+}
+
+impl std::fmt::Display for JoinError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("task panicked")
+    }
+}
+
+impl std::error::Error for JoinError {}
+
+/// An owned handle awaiting the output of a [`spawn`]ed task.
+///
+/// Awaiting yields `Err(JoinError)` if the task panicked, mirroring
+/// upstream. Dropping the handle detaches the task (it keeps running).
+#[derive(Debug)]
+pub struct JoinHandle<T> {
+    result: mpsc::Receiver<std::thread::Result<T>>,
+    /// Waker slot the task thread signals on completion.
+    waker: Arc<Mutex<Option<Waker>>>,
+}
+
+impl<T> Future for JoinHandle<T> {
+    type Output = Result<T, JoinError>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        match self.result.try_recv() {
+            Ok(Ok(v)) => Poll::Ready(Ok(v)),
+            Ok(Err(_panic)) => Poll::Ready(Err(JoinError { _priv: () })),
+            Err(mpsc::TryRecvError::Disconnected) => Poll::Ready(Err(JoinError { _priv: () })),
+            Err(mpsc::TryRecvError::Empty) => {
+                *self.waker.lock().unwrap() = Some(cx.waker().clone());
+                Poll::Pending
+            }
+        }
+    }
+}
+
+/// Spawn a future as a concurrent task, returning a handle that can be
+/// awaited for its output. Each task gets a dedicated thread driving it.
+pub fn spawn<F>(fut: F) -> JoinHandle<F::Output>
+where
+    F: Future + Send + 'static,
+    F::Output: Send + 'static,
+{
+    let (tx, rx) = mpsc::channel();
+    let waker: Arc<Mutex<Option<Waker>>> = Arc::new(Mutex::new(None));
+    let signal = Arc::clone(&waker);
+    std::thread::spawn(move || {
+        let outcome =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| block_on_current(fut)));
+        // The receiver may already be dropped (detached task): ignore.
+        let _ = tx.send(outcome);
+        if let Some(w) = signal.lock().unwrap().take() {
+            w.wake();
+        }
+    });
+    JoinHandle { result: rx, waker }
+}
+
+pub mod sync {
+    //! Synchronization primitives (the oneshot channel).
+
+    pub mod oneshot {
+        //! A one-value channel whose receiver is a future — the scatter
+        //! half of the coalescer's gather/scatter protocol.
+
+        use super::super::*;
+
+        /// Shared channel state.
+        #[derive(Debug)]
+        struct Slot<T> {
+            value: Option<T>,
+            closed: bool,
+            waker: Option<Waker>,
+        }
+
+        /// Sending half; consumed by [`Sender::send`].
+        #[derive(Debug)]
+        pub struct Sender<T> {
+            slot: Arc<Mutex<Slot<T>>>,
+        }
+
+        /// Receiving half; a future resolving to the sent value.
+        #[derive(Debug)]
+        pub struct Receiver<T> {
+            slot: Arc<Mutex<Slot<T>>>,
+        }
+
+        /// Error awaited out of a [`Receiver`] whose sender was dropped.
+        #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+        pub struct RecvError;
+
+        impl std::fmt::Display for RecvError {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                f.write_str("oneshot sender dropped without sending")
+            }
+        }
+
+        impl std::error::Error for RecvError {}
+
+        /// Create a connected sender/receiver pair.
+        pub fn channel<T>() -> (Sender<T>, Receiver<T>) {
+            let slot = Arc::new(Mutex::new(Slot {
+                value: None,
+                closed: false,
+                waker: None,
+            }));
+            (
+                Sender {
+                    slot: Arc::clone(&slot),
+                },
+                Receiver { slot },
+            )
+        }
+
+        impl<T> Sender<T> {
+            /// Send the value, waking the receiver. Returns the value back
+            /// if the receiver was dropped.
+            pub fn send(self, value: T) -> Result<(), T> {
+                let mut slot = self.slot.lock().unwrap();
+                if Arc::strong_count(&self.slot) == 1 {
+                    return Err(value);
+                }
+                slot.value = Some(value);
+                if let Some(w) = slot.waker.take() {
+                    w.wake();
+                }
+                Ok(())
+            }
+        }
+
+        impl<T> Drop for Sender<T> {
+            fn drop(&mut self) {
+                let mut slot = self.slot.lock().unwrap();
+                slot.closed = true;
+                if let Some(w) = slot.waker.take() {
+                    w.wake();
+                }
+            }
+        }
+
+        impl<T> Future for Receiver<T> {
+            type Output = Result<T, RecvError>;
+
+            fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+                let mut slot = self.slot.lock().unwrap();
+                if let Some(v) = slot.value.take() {
+                    return Poll::Ready(Ok(v));
+                }
+                if slot.closed {
+                    return Poll::Ready(Err(RecvError));
+                }
+                slot.waker = Some(cx.waker().clone());
+                Poll::Pending
+            }
+        }
+    }
+}
+
+pub mod time {
+    //! Timers: deadline futures backed by a helper thread per armed timer.
+
+    use super::*;
+
+    /// A future that resolves once the deadline passes.
+    #[derive(Debug)]
+    pub struct Sleep {
+        deadline: Instant,
+        timer_armed: bool,
+    }
+
+    impl Future for Sleep {
+        type Output = ();
+
+        fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+            let now = Instant::now();
+            if now >= self.deadline {
+                return Poll::Ready(());
+            }
+            if !self.timer_armed {
+                self.timer_armed = true;
+                let waker = cx.waker().clone();
+                let wait = self.deadline - now;
+                std::thread::spawn(move || {
+                    std::thread::sleep(wait);
+                    waker.wake();
+                });
+            }
+            Poll::Pending
+        }
+    }
+
+    /// Sleep for `duration`.
+    pub fn sleep(duration: Duration) -> Sleep {
+        Sleep {
+            deadline: Instant::now() + duration,
+            timer_armed: false,
+        }
+    }
+
+    /// Error returned by [`timeout`] when the inner future missed the
+    /// deadline.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct Elapsed;
+
+    impl std::fmt::Display for Elapsed {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str("deadline has elapsed")
+        }
+    }
+
+    impl std::error::Error for Elapsed {}
+
+    /// A future racing an inner future against a deadline.
+    #[derive(Debug)]
+    pub struct Timeout<F> {
+        inner: Pin<Box<F>>,
+        sleep: Sleep,
+    }
+
+    impl<F: Future> Future for Timeout<F> {
+        type Output = Result<F::Output, Elapsed>;
+
+        fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+            if let Poll::Ready(out) = self.inner.as_mut().poll(cx) {
+                return Poll::Ready(Ok(out));
+            }
+            match Pin::new(&mut self.sleep).poll(cx) {
+                Poll::Ready(()) => Poll::Ready(Err(Elapsed)),
+                Poll::Pending => Poll::Pending,
+            }
+        }
+    }
+
+    /// Await `fut` for at most `duration`; `Err(Elapsed)` on timeout.
+    pub fn timeout<F: Future>(duration: Duration, fut: F) -> Timeout<F> {
+        Timeout {
+            inner: Box::pin(fut),
+            sleep: sleep(duration),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_on_ready_future() {
+        let rt = runtime::Runtime::new().unwrap();
+        assert_eq!(rt.block_on(async { 41 + 1 }), 42);
+    }
+
+    #[test]
+    fn spawn_and_join() {
+        let rt = runtime::Runtime::new().unwrap();
+        let out = rt.block_on(async {
+            let handles: Vec<_> = (0..8).map(|i| spawn(async move { i * i })).collect();
+            let mut sum = 0;
+            for h in handles {
+                sum += h.await.unwrap();
+            }
+            sum
+        });
+        assert_eq!(out, (0..8).map(|i| i * i).sum::<i32>());
+    }
+
+    #[test]
+    fn join_surfaces_panic_as_error() {
+        let rt = runtime::Runtime::new().unwrap();
+        let err = rt.block_on(async { spawn(async { panic!("boom") }).await });
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn oneshot_roundtrip_across_tasks() {
+        let rt = runtime::Runtime::new().unwrap();
+        let got = rt.block_on(async {
+            let (tx, rx) = sync::oneshot::channel();
+            spawn(async move {
+                time::sleep(Duration::from_millis(5)).await;
+                tx.send(7_u32).unwrap();
+            });
+            rx.await.unwrap()
+        });
+        assert_eq!(got, 7);
+    }
+
+    #[test]
+    fn oneshot_dropped_sender_errors() {
+        let rt = runtime::Runtime::new().unwrap();
+        let got: Result<u32, _> = rt.block_on(async {
+            let (tx, rx) = sync::oneshot::channel::<u32>();
+            drop(tx);
+            rx.await
+        });
+        assert_eq!(got, Err(sync::oneshot::RecvError));
+    }
+
+    #[test]
+    fn oneshot_send_to_dropped_receiver_returns_value() {
+        let (tx, rx) = sync::oneshot::channel::<u32>();
+        drop(rx);
+        assert_eq!(tx.send(9), Err(9));
+    }
+
+    #[test]
+    fn timeout_elapses_and_completes() {
+        let rt = runtime::Runtime::new().unwrap();
+        rt.block_on(async {
+            let fast = time::timeout(Duration::from_millis(200), async { 1 }).await;
+            assert_eq!(fast, Ok(1));
+            let slow = time::timeout(
+                Duration::from_millis(5),
+                time::sleep(Duration::from_millis(500)),
+            )
+            .await;
+            assert_eq!(slow, Err(time::Elapsed));
+        });
+    }
+
+    #[test]
+    fn sleep_waits_at_least_the_duration() {
+        let rt = runtime::Runtime::new().unwrap();
+        let t0 = Instant::now();
+        rt.block_on(time::sleep(Duration::from_millis(20)));
+        assert!(t0.elapsed() >= Duration::from_millis(20));
+    }
+}

@@ -53,7 +53,12 @@ use hdc_ir::program::{Program, ValueId};
 use hdc_ir::stage::ScorePolarity;
 use hdc_ir::Target;
 use hdc_runtime::{ExecStats, Executor, Value};
-use std::time::Instant;
+use hdc_serve::{
+    run_load, LoadConfig, LoadReport, ModelRegistry, ServableModel, Service, ServiceConfig,
+    WindowConfig,
+};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// The accelerator targets the model covers, in report order.
 const ACCEL_TARGETS: [Target; 2] = [Target::DigitalAsic, Target::ReRamAccelerator];
@@ -802,6 +807,177 @@ fn measure_accel_apps(
     vec![classification, clustering, matching]
 }
 
+// ---------------------------------------------------------------------------
+// serving section: micro-batching coalescer vs batch-size-1 dispatch
+// ---------------------------------------------------------------------------
+
+/// Concurrency levels (submitter lanes) the serving section sweeps.
+const SERVING_CONCURRENCY: [usize; 2] = [4, 16];
+
+/// Requests per load run: enough windows for stable percentiles while
+/// keeping the smoke tier in CI time.
+fn serving_requests(smoke: bool) -> usize {
+    if smoke {
+        240
+    } else {
+        960
+    }
+}
+
+/// One load run: a window policy at one concurrency level.
+struct ServingRecord {
+    /// `micro_batch` (time/size-windowed coalescing) or `single`
+    /// (batch-size-1 dispatch — every request is its own window).
+    mode: &'static str,
+    window_batch: usize,
+    window_delay_us: u64,
+    report: LoadReport,
+    /// Windows the service dispatched, and how they flushed.
+    windows: u64,
+    size_full_windows: u64,
+    deadline_windows: u64,
+    max_window_rows: u64,
+}
+
+/// Run the open-loop load generator against the serving stack: the
+/// classification app's model behind a [`Service`], each concurrency level
+/// under the micro-batching window and under batch-size-1 dispatch, every
+/// response checked against the sequential per-request oracle.
+fn measure_serving(suite: &AppSuite, smoke: bool) -> Vec<ServingRecord> {
+    let model = Arc::new(
+        ServableModel::classifier("classification", &suite.classification)
+            .expect("servable model builds"),
+    );
+    let queries: Vec<Vec<f64>> = {
+        let test = &suite.classification.dataset().test;
+        (0..test.len())
+            .map(|i| test.features.row(i).expect("row in range").to_vec())
+            .collect()
+    };
+    let requests = serving_requests(smoke);
+    // Offered far above either policy's capacity so both runs are
+    // throughput-bound and the QPS comparison is a capacity comparison.
+    let offered_qps = 50_000.0;
+    let mut records = Vec::new();
+    for &concurrency in &SERVING_CONCURRENCY {
+        // The micro-batch window is sized to the offered parallelism so
+        // saturated lanes flush size-full; the deadline is only the
+        // straggler bound (docs/serving.md discusses the tradeoff).
+        let policies: [(&'static str, WindowConfig); 2] = [
+            (
+                "micro_batch",
+                WindowConfig {
+                    max_batch: concurrency,
+                    max_delay: Duration::from_micros(300),
+                },
+            ),
+            (
+                "single",
+                WindowConfig {
+                    max_batch: 1,
+                    max_delay: Duration::ZERO,
+                },
+            ),
+        ];
+        for (mode, window) in policies {
+            let registry = Arc::new(ModelRegistry::new());
+            registry.register("classification", Arc::clone(&model));
+            let service = Service::start(
+                registry,
+                ServiceConfig {
+                    window,
+                    ..ServiceConfig::default()
+                },
+            );
+            let report = run_load(
+                &service,
+                &model,
+                &queries,
+                &LoadConfig {
+                    model: "classification".to_string(),
+                    concurrency,
+                    qps: offered_qps,
+                    requests,
+                    check: true,
+                },
+            );
+            let stats = service.stats();
+            service.shutdown();
+            records.push(ServingRecord {
+                mode,
+                window_batch: window.max_batch,
+                window_delay_us: window.max_delay.as_micros() as u64,
+                report,
+                windows: stats.windows,
+                size_full_windows: stats.size_full_windows,
+                deadline_windows: stats.deadline_windows,
+                max_window_rows: stats.max_window_rows,
+            });
+        }
+    }
+    records
+}
+
+fn serving_record_json(r: &ServingRecord) -> String {
+    format!(
+        concat!(
+            "      {{\n",
+            "        \"mode\": \"{}\",\n",
+            "        \"window_batch\": {},\n",
+            "        \"window_delay_us\": {},\n",
+            "        \"concurrency\": {},\n",
+            "        \"offered_qps\": {:.1},\n",
+            "        \"achieved_qps\": {:.1},\n",
+            "        \"completed\": {},\n",
+            "        \"failed\": {},\n",
+            "        \"mismatched\": {},\n",
+            "        \"p50_us\": {},\n",
+            "        \"p99_us\": {},\n",
+            "        \"mean_us\": {},\n",
+            "        \"max_us\": {},\n",
+            "        \"windows\": {},\n",
+            "        \"size_full_windows\": {},\n",
+            "        \"deadline_windows\": {},\n",
+            "        \"max_window_rows\": {}\n",
+            "      }}"
+        ),
+        json_escape_free(r.mode),
+        r.window_batch,
+        r.window_delay_us,
+        r.report.concurrency,
+        r.report.offered_qps,
+        r.report.achieved_qps,
+        r.report.completed,
+        r.report.failed,
+        r.report.mismatched,
+        r.report.p50_us,
+        r.report.p99_us,
+        r.report.mean_us,
+        r.report.max_us,
+        r.windows,
+        r.size_full_windows,
+        r.deadline_windows,
+        r.max_window_rows,
+    )
+}
+
+fn serving_json(suite: &AppSuite, records: &[ServingRecord], smoke: bool) -> String {
+    let rows: Vec<String> = records.iter().map(serving_record_json).collect();
+    format!(
+        concat!(
+            "  \"serving\": {{\n",
+            "    \"model\": \"classification\",\n",
+            "    \"dim\": {},\n",
+            "    \"requests_per_run\": {},\n",
+            "    \"records\": [\n{}\n    ]\n",
+            "  }}"
+        ),
+        suite.classification_dim,
+        serving_requests(smoke),
+        rows.join(",\n"),
+    )
+}
+
 /// Host metadata stamped into the report's `cpu` section: what machine and
 /// kernel backend produced these numbers, so the perf trajectory separates
 /// hardware changes from algorithmic wins.
@@ -1142,6 +1318,8 @@ struct ReportSections<'a> {
     model: &'a AcceleratorModel,
     accel_kernels: &'a [AccelKernelRecord],
     accel_apps: &'a [AccelAppRecord],
+    suite: &'a AppSuite,
+    serving: &'a [ServingRecord],
 }
 
 fn emit_json(sections: &ReportSections<'_>, smoke: bool) -> String {
@@ -1154,6 +1332,8 @@ fn emit_json(sections: &ReportSections<'_>, smoke: bool) -> String {
         model,
         accel_kernels,
         accel_apps,
+        suite,
+        serving,
     } = sections;
     let rows: Vec<String> = records.iter().map(record_json).collect();
     let app_rows: Vec<String> = apps.iter().map(app_json).collect();
@@ -1165,7 +1345,7 @@ fn emit_json(sections: &ReportSections<'_>, smoke: bool) -> String {
     format!(
         concat!(
             "{{\n",
-            "  \"schema\": \"hdc-bench/perf_json/v6\",\n",
+            "  \"schema\": \"hdc-bench/perf_json/v7\",\n",
             "  \"workload\": \"batched_inference_vs_sequential\",\n",
             "  \"grid\": \"{}\",\n",
             "  \"cores_physical\": {},\n",
@@ -1183,7 +1363,8 @@ fn emit_json(sections: &ReportSections<'_>, smoke: bool) -> String {
             "{},\n",
             "    \"kernel_grid\": [\n{}\n    ],\n",
             "    \"apps\": [\n{}\n    ]\n",
-            "  }}\n",
+            "  }},\n",
+            "{}\n",
             "}}\n"
         ),
         if smoke { "smoke" } else { "full" },
@@ -1198,6 +1379,7 @@ fn emit_json(sections: &ReportSections<'_>, smoke: bool) -> String {
         accel_params_json(model),
         accel_kernel_rows.join(",\n"),
         accel_app_rows.join(",\n"),
+        serving_json(suite, serving, smoke),
     )
 }
 
@@ -1228,6 +1410,15 @@ demoted off the accelerators by the target-assignment legality rules, so
 there is nothing to model. The accelerator numbers are fully deterministic
 (no wall clocks); see docs/accelerator-model.md for the equations.
 
+A `serving` section runs the open-loop load generator (hdc-serve) against
+the classification model behind the micro-batching service: each
+concurrency level in {4, 16} under the coalescing window (32 rows / 300us)
+and under batch-size-1 dispatch, offered load far above capacity so the
+achieved-QPS comparison is a capacity comparison. Every response is checked
+against the sequential per-request oracle; failed and mismatched counts
+must be zero. p50/p99/mean/max latency are measured from each request's
+scheduled arrival (coordinated-omission corrected).
+
 The `cpu` section stamps host metadata (arch, cores, detected CPU features,
 the runtime-selected SIMD kernel backend, rustc version). With --calibrate
 it additionally times the selected backend on this host (popcount
@@ -1250,9 +1441,9 @@ OPTIONS:
                    BENCH_results.json).
     -h, --help     Print this help and exit.
 
-OUTPUT (schema \"hdc-bench/perf_json/v6\"):
+OUTPUT (schema \"hdc-bench/perf_json/v7\"):
     {
-      \"schema\": \"hdc-bench/perf_json/v6\",
+      \"schema\": \"hdc-bench/perf_json/v7\",
       \"grid\": \"full\" | \"smoke\",
       \"cores_physical\": <host cores detected>,
       \"cpu\": {      // host + kernel-backend metadata
@@ -1325,7 +1516,17 @@ OUTPUT (schema \"hdc-bench/perf_json/v6\"):
             \"modeled_accel_ms\", \"modeled_cpu_ms\", \"modeled_speedup\",
             \"modeled_energy_uj\", \"chips_max\", \"modeled_interconnect_ms\",
             \"outputs_match\" } ]
-      }
+      },
+      \"serving\": {  // micro-batching service vs batch-size-1 dispatch
+        \"model\": \"classification\", \"dim\", \"requests_per_run\",
+        \"records\": [  // window policies x concurrency levels
+          { \"mode\",                  // micro_batch | single
+            \"window_batch\", \"window_delay_us\", \"concurrency\",
+            \"offered_qps\", \"achieved_qps\",
+            \"completed\", \"failed\", \"mismatched\",  // oracle-checked; must be 0
+            \"p50_us\", \"p99_us\", \"mean_us\", \"max_us\",  // from scheduled arrival
+            \"windows\", \"size_full_windows\", \"deadline_windows\",
+            \"max_window_rows\" } ] }
     }
 
 Exit status: 0 on success, 1 if any batched or accelerated output diverged
@@ -1589,6 +1790,44 @@ fn main() {
         }
     }
 
+    // ----- serving section -----
+    println!(
+        "\n{:>12} {:>12} {:>10} {:>12} {:>8} {:>8} {:>8}  ok",
+        "mode", "concurrency", "window", "achieved_qps", "p50_us", "p99_us", "windows"
+    );
+    let serving = measure_serving(&suite, smoke);
+    for r in &serving {
+        let clean = r.report.failed == 0 && r.report.mismatched == 0;
+        all_match &= clean;
+        println!(
+            "{:>12} {:>12} {:>10} {:>12.0} {:>8} {:>8} {:>8}  {}",
+            r.mode,
+            r.report.concurrency,
+            format!("{}/{}us", r.window_batch, r.window_delay_us),
+            r.report.achieved_qps,
+            r.report.p50_us,
+            r.report.p99_us,
+            r.windows,
+            if clean { "ok" } else { "FAILED" }
+        );
+    }
+    for &concurrency in &SERVING_CONCURRENCY {
+        let qps_of = |mode: &str| {
+            serving
+                .iter()
+                .find(|r| r.mode == mode && r.report.concurrency == concurrency)
+                .map(|r| r.report.achieved_qps)
+                .unwrap_or(0.0)
+        };
+        println!(
+            "  concurrency {}: micro-batch {:.0} qps vs single {:.0} qps ({:.2}x)",
+            concurrency,
+            qps_of("micro_batch"),
+            qps_of("single"),
+            qps_of("micro_batch") / qps_of("single").max(1.0),
+        );
+    }
+
     let json = emit_json(
         &ReportSections {
             records: &records,
@@ -1599,6 +1838,8 @@ fn main() {
             model: &model,
             accel_kernels: &accel_kernels,
             accel_apps: &accel_apps,
+            suite: &suite,
+            serving: &serving,
         },
         smoke,
     );

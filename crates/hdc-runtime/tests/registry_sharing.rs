@@ -1,0 +1,185 @@
+//! Executor-sharing regression battery: two executors built over the same
+//! `Arc`-shared artifacts (the serving-registry pattern — one bound model,
+//! many request executors) must never observe each other's run state.
+//!
+//! This extends the run-reset fix (repeated `run()`s on one executor are
+//! independent) across executors: [`Executor::fork`] hands out
+//! refcount-bump copies of the bound store, and the COW `Value` payloads
+//! guarantee a fork's in-place stage mutations (training loops update the
+//! class matrix in place) stay invisible to the parent and to sibling
+//! forks — even when the forks run concurrently on worker threads.
+
+use hdc_core::element::ElementKind;
+use hdc_core::prelude::*;
+use hdc_ir::builder::ProgramBuilder;
+use hdc_ir::program::{Program, ValueId};
+use hdc_ir::stage::ScorePolarity;
+use hdc_runtime::{Executor, Value};
+
+const DIM: usize = 128;
+const CLASSES: usize = 5;
+const SAMPLES: usize = 20;
+
+/// A training + inference program: the training loop mutates the bound
+/// class matrix *in place* (the exact run-state hazard), then inference
+/// scores the queries against the trained classes.
+fn build_train_infer() -> (Program, ValueId) {
+    let mut b = ProgramBuilder::new("registry_sharing");
+    let train = b.input_matrix("train", ElementKind::F64, SAMPLES, DIM);
+    let labels = b.input_indices("labels", SAMPLES);
+    let classes = b.input_matrix("classes", ElementKind::F64, CLASSES, DIM);
+    let queries = b.input_matrix("queries", ElementKind::F64, SAMPLES, DIM);
+    b.training_loop(
+        "train",
+        train,
+        labels,
+        classes,
+        2,
+        ScorePolarity::Similarity,
+        |b, s| b.cossim(s, classes),
+    );
+    let preds = b.inference_loop(
+        "infer",
+        queries,
+        classes,
+        ScorePolarity::Similarity,
+        |b, s| b.cossim(s, classes),
+    );
+    b.mark_output(preds);
+    b.mark_output(classes);
+    (b.finish(), preds)
+}
+
+/// The shared artifacts, `Arc`-backed exactly as a registry would hold
+/// them: binding them to an executor is a refcount bump.
+fn artifacts(seed: u64) -> (Value, Value, Value, Value) {
+    let mut rng = HdcRng::seed_from_u64(seed);
+    let train: HyperMatrix<f64> = hdc_core::random::bipolar_hypermatrix(SAMPLES, DIM, &mut rng);
+    let queries: HyperMatrix<f64> = hdc_core::random::bipolar_hypermatrix(SAMPLES, DIM, &mut rng);
+    let classes = HyperMatrix::from_flat(CLASSES, DIM, vec![0.0; CLASSES * DIM]).unwrap();
+    let labels: Vec<usize> = (0..SAMPLES).map(|i| i % CLASSES).collect();
+    (
+        Value::matrix(train),
+        Value::indices(labels),
+        Value::matrix(classes),
+        Value::matrix(queries),
+    )
+}
+
+fn bind_all(exec: &mut Executor<'_>, arts: &(Value, Value, Value, Value)) {
+    exec.bind("train", arts.0.clone()).unwrap();
+    exec.bind("labels", arts.1.clone()).unwrap();
+    exec.bind("classes", arts.2.clone()).unwrap();
+    exec.bind("queries", arts.3.clone()).unwrap();
+}
+
+#[test]
+fn fork_does_not_observe_parent_run_state() {
+    let (program, preds) = build_train_infer();
+    let arts = artifacts(0x5A);
+    let mut parent = Executor::new(&program).unwrap();
+    bind_all(&mut parent, &arts);
+    // Fork BEFORE the parent runs: carries the bound inputs.
+    let mut pre_fork = parent.fork();
+    let parent_out = parent.run().unwrap();
+    // Fork AFTER the parent ran: must start from the bound inputs, not
+    // the class matrix the parent's training loop mutated in place.
+    let mut post_fork = parent.fork();
+    let pre_out = pre_fork.run().unwrap();
+    let post_out = post_fork.run().unwrap();
+    assert_eq!(
+        parent_out.indices(preds).unwrap(),
+        pre_out.indices(preds).unwrap()
+    );
+    assert_eq!(
+        parent_out.indices(preds).unwrap(),
+        post_out.indices(preds).unwrap()
+    );
+    assert_eq!(parent_out, pre_out, "pre-run fork diverged");
+    assert_eq!(
+        parent_out, post_out,
+        "post-run fork observed parent run state"
+    );
+    // And the parent re-runs unchanged (the original run-reset contract).
+    assert_eq!(parent.run().unwrap(), parent_out);
+}
+
+#[test]
+fn sibling_forks_are_isolated_and_concurrent_runs_identical() {
+    let (program, _) = build_train_infer();
+    let arts = artifacts(0x5B);
+    let mut root = Executor::new(&program).unwrap();
+    bind_all(&mut root, &arts);
+    let reference = root.run().unwrap();
+    let outputs: Vec<_> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let mut fork = root.fork();
+                scope.spawn(move || {
+                    let out = fork.run().unwrap();
+                    (out, fork.stats())
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    for (i, (out, stats)) in outputs.iter().enumerate() {
+        assert_eq!(out, &reference, "fork {i} diverged from the root run");
+        assert_eq!(
+            stats.instructions_executed,
+            root.stats().instructions_executed,
+            "fork {i} counted different work"
+        );
+    }
+    // The shared artifacts themselves are untouched: a fresh executor
+    // bound from the same Arcs still reproduces the reference.
+    let mut fresh = Executor::new(&program).unwrap();
+    bind_all(&mut fresh, &arts);
+    assert_eq!(fresh.run().unwrap(), reference);
+}
+
+#[test]
+fn fork_rebind_does_not_leak_into_parent_or_siblings() {
+    let (program, preds) = build_train_infer();
+    let arts = artifacts(0x5C);
+    let mut root = Executor::new(&program).unwrap();
+    bind_all(&mut root, &arts);
+    let reference = root.run().unwrap();
+    // A fork rebinds its query matrix (a different request); the parent
+    // and a sibling forked afterwards must be unaffected.
+    let mut rebound = root.fork();
+    let mut rng = HdcRng::seed_from_u64(0x5D);
+    let other: HyperMatrix<f64> = hdc_core::random::bipolar_hypermatrix(SAMPLES, DIM, &mut rng);
+    rebound.bind("queries", Value::matrix(other)).unwrap();
+    let rebound_out = rebound.run().unwrap();
+    assert_ne!(
+        rebound_out.indices(preds).unwrap(),
+        reference.indices(preds).unwrap(),
+        "rebound fork should score different queries (sanity)"
+    );
+    let mut sibling = root.fork();
+    assert_eq!(sibling.run().unwrap(), reference, "sibling saw the rebind");
+    assert_eq!(root.run().unwrap(), reference, "parent saw the rebind");
+}
+
+#[test]
+fn fork_inherits_scheduling_configuration() {
+    let (program, _) = build_train_infer();
+    let arts = artifacts(0x5E);
+    let mut root = Executor::new(&program).unwrap();
+    root.set_batched_stages(false)
+        .set_parallel_loops(false)
+        .set_class_shards(Some(2));
+    bind_all(&mut root, &arts);
+    let reference = root.run().unwrap();
+    let mut fork = root.fork();
+    let fork_out = fork.run().unwrap();
+    assert_eq!(fork_out, reference);
+    // Sequential mode performs zero batched kernel calls; the fork must
+    // have inherited that configuration rather than the defaults.
+    assert_eq!(fork.stats().batched_kernel_ops, 0);
+    assert_eq!(
+        fork.stats().instructions_executed,
+        root.stats().instructions_executed
+    );
+}

@@ -1,0 +1,168 @@
+//! Open-loop load generator for the hdc-serve micro-batching service.
+//!
+//! Builds the standard smoke classification workload, registers it with a
+//! [`Service`], fires an open-loop request stream at it, and prints a JSON
+//! report (p50/p99 latency, achieved QPS, failure/mismatch counts) to
+//! stdout. Every response is checked against the sequential per-request
+//! oracle unless `--no-check` is given.
+//!
+//! ```text
+//! load_gen [--requests N] [--qps Q] [--concurrency C]
+//!          [--window-batch B] [--window-delay-us U]
+//!          [--shards S] [--no-check] [--http]
+//! ```
+
+use hdc_apps::ClassificationApp;
+use hdc_datasets::synthetic::{isolet_like, IsoletParams};
+use hdc_serve::{
+    run_load, LoadConfig, ModelRegistry, ServableModel, Service, ServiceConfig, WindowConfig,
+};
+use std::sync::Arc;
+use std::time::Duration;
+
+struct Args {
+    requests: usize,
+    qps: f64,
+    concurrency: usize,
+    window_batch: usize,
+    window_delay_us: u64,
+    shards: Option<usize>,
+    check: bool,
+    http: bool,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            requests: 400,
+            qps: 2_000.0,
+            concurrency: 8,
+            window_batch: 32,
+            window_delay_us: 2_000,
+            shards: None,
+            check: true,
+            http: false,
+        }
+    }
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |flag: &str| it.next().ok_or_else(|| format!("missing value for {flag}"));
+        match flag.as_str() {
+            "--requests" => args.requests = parse(&value(&flag)?)?,
+            "--qps" => args.qps = parse(&value(&flag)?)?,
+            "--concurrency" => args.concurrency = parse(&value(&flag)?)?,
+            "--window-batch" => args.window_batch = parse(&value(&flag)?)?,
+            "--window-delay-us" => args.window_delay_us = parse(&value(&flag)?)?,
+            "--shards" => args.shards = Some(parse(&value(&flag)?)?),
+            "--no-check" => args.check = false,
+            "--http" => args.http = true,
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: load_gen [--requests N] [--qps Q] [--concurrency C] \
+                     [--window-batch B] [--window-delay-us U] [--shards S] \
+                     [--no-check] [--http]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn parse<T: std::str::FromStr>(s: &str) -> Result<T, String> {
+    s.parse()
+        .map_err(|_| format!("cannot parse `{s}` as {}", std::any::type_name::<T>()))
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("load_gen: {msg}");
+            std::process::exit(2);
+        }
+    };
+
+    // The same synthetic classification workload the bench smoke tier uses.
+    let dataset = isolet_like(&IsoletParams {
+        classes: 4,
+        features: 32,
+        train_per_class: 8,
+        test_per_class: 6,
+        noise: 1.2,
+        seed: 17,
+    });
+    let queries: Vec<Vec<f64>> = (0..dataset.test.len())
+        .map(|i| dataset.test.features.row(i).unwrap().to_vec())
+        .collect();
+    let app = ClassificationApp::new(dataset, 512, 2).expect("build classification app");
+    let model =
+        Arc::new(ServableModel::classifier("isolet-smoke", &app).expect("build servable model"));
+
+    let registry = Arc::new(ModelRegistry::new());
+    registry.register("isolet-smoke", Arc::clone(&model));
+    let service = Service::start(
+        registry,
+        ServiceConfig {
+            window: WindowConfig {
+                max_batch: args.window_batch,
+                max_delay: Duration::from_micros(args.window_delay_us),
+            },
+            class_shards: args.shards,
+            batched: true,
+        },
+    );
+
+    let http = if args.http {
+        match hdc_serve::serve_http(Arc::clone(&service), "127.0.0.1:0") {
+            Ok((addr, handle)) => {
+                eprintln!("load_gen: health/stats at http://{addr}/health");
+                Some(handle)
+            }
+            Err(err) => {
+                eprintln!("load_gen: http façade unavailable: {err}");
+                None
+            }
+        }
+    } else {
+        None
+    };
+
+    let report = run_load(
+        &service,
+        &model,
+        &queries,
+        &LoadConfig {
+            model: "isolet-smoke".to_string(),
+            concurrency: args.concurrency,
+            qps: args.qps,
+            requests: args.requests,
+            check: args.check,
+        },
+    );
+    let stats = service.stats_json();
+    drop(http);
+    service.shutdown();
+
+    println!("{{");
+    println!("  \"tool\": \"hdc-serve/load_gen\",");
+    println!("  \"model\": \"isolet-smoke\",");
+    println!("  \"window_batch\": {},", args.window_batch);
+    println!("  \"window_delay_us\": {},", args.window_delay_us);
+    println!("  \"report\": {},", report.to_json("  "));
+    println!("  \"service\": {stats}");
+    println!("}}");
+
+    if report.failed > 0 || report.mismatched > 0 {
+        eprintln!(
+            "load_gen: FAILED — {} failed, {} mismatched",
+            report.failed, report.mismatched
+        );
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,81 @@
+//! Clock abstraction so the coalescer's deadline logic is testable without
+//! real sleeps.
+
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// A monotonic clock the [`Coalescer`](crate::Coalescer) reads deadlines
+/// from. Production uses [`SystemClock`]; unit tests use [`MockClock`] to
+/// step time deterministically.
+pub trait Clock: Send + Sync {
+    /// The current instant.
+    fn now(&self) -> Instant;
+}
+
+/// The real monotonic clock.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SystemClock;
+
+impl Clock for SystemClock {
+    fn now(&self) -> Instant {
+        Instant::now()
+    }
+}
+
+/// A manually-stepped clock for deterministic coalescer tests: starts at an
+/// arbitrary base instant and only moves when [`MockClock::advance`] is
+/// called.
+#[derive(Debug)]
+pub struct MockClock {
+    base: Instant,
+    offset: Mutex<Duration>,
+}
+
+impl Default for MockClock {
+    fn default() -> Self {
+        MockClock::new()
+    }
+}
+
+impl MockClock {
+    /// A clock frozen at its creation instant.
+    pub fn new() -> Self {
+        MockClock {
+            base: Instant::now(),
+            offset: Mutex::new(Duration::ZERO),
+        }
+    }
+
+    /// Step the clock forward by `by`.
+    pub fn advance(&self, by: Duration) {
+        *self.offset.lock().unwrap() += by;
+    }
+}
+
+impl Clock for MockClock {
+    fn now(&self) -> Instant {
+        self.base + *self.offset.lock().unwrap()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mock_clock_only_moves_on_advance() {
+        let clock = MockClock::new();
+        let t0 = clock.now();
+        assert_eq!(clock.now(), t0);
+        clock.advance(Duration::from_millis(3));
+        assert_eq!(clock.now(), t0 + Duration::from_millis(3));
+    }
+
+    #[test]
+    fn system_clock_is_monotonic() {
+        let clock = SystemClock;
+        let a = clock.now();
+        let b = clock.now();
+        assert!(b >= a);
+    }
+}

@@ -1,0 +1,78 @@
+//! The compiled-model registry: named, `Arc`-shared, atomically swappable.
+//!
+//! The registry maps model names to `Arc<ServableModel>`. Lookups clone
+//! the `Arc` (a refcount bump), so a request that resolved its model keeps
+//! a valid handle even if the name is swapped or removed mid-flight — the
+//! COW `Value` store guarantees the old model's artifacts stay intact
+//! until the last in-flight window drops them. This is exactly the
+//! reader/swapper interplay the online-adaptation roadmap item builds on:
+//! a trainer can publish a new class memory with [`ModelRegistry::swap`]
+//! while windows against the old one are still executing.
+
+use crate::model::ServableModel;
+use crate::{Result, ServeError};
+use std::collections::HashMap;
+use std::sync::{Arc, RwLock};
+
+/// A thread-safe name → model map.
+#[derive(Debug, Default)]
+pub struct ModelRegistry {
+    models: RwLock<HashMap<String, Arc<ServableModel>>>,
+}
+
+impl ModelRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        ModelRegistry::default()
+    }
+
+    /// Register (or replace) a model under `name`, returning the previous
+    /// model if one was registered.
+    pub fn register(&self, name: &str, model: Arc<ServableModel>) -> Option<Arc<ServableModel>> {
+        self.models.write().unwrap().insert(name.to_string(), model)
+    }
+
+    /// Alias of [`ModelRegistry::register`] emphasizing the atomic
+    /// mid-flight replacement use: in-flight windows keep the `Arc` they
+    /// resolved; new submissions see the new model.
+    pub fn swap(&self, name: &str, model: Arc<ServableModel>) -> Option<Arc<ServableModel>> {
+        self.register(name, model)
+    }
+
+    /// Remove a model. In-flight windows holding its `Arc` are unaffected.
+    pub fn remove(&self, name: &str) -> Option<Arc<ServableModel>> {
+        self.models.write().unwrap().remove(name)
+    }
+
+    /// Resolve a model by name.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownModel`] if no model is registered under
+    /// `name`.
+    pub fn get(&self, name: &str) -> Result<Arc<ServableModel>> {
+        self.models
+            .read()
+            .unwrap()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| ServeError::UnknownModel(name.to_string()))
+    }
+
+    /// Registered model names, sorted (for stable health reports).
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.models.read().unwrap().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Number of registered models.
+    pub fn len(&self) -> usize {
+        self.models.read().unwrap().len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.models.read().unwrap().is_empty()
+    }
+}

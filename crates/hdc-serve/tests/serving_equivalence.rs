@@ -1,0 +1,261 @@
+//! Serving equivalence battery: a coalesced window of N mixed-client
+//! queries must be **bit-identical** to N single-query sequential-oracle
+//! runs — for every app model shape, dense and binarized pipelines, and
+//! shard counts {1, auto} — including when the queries arrive interleaved
+//! from concurrent clients through the live [`Service`].
+//!
+//! Two layers of checks:
+//!
+//! * `infer_window` (the model layer, no threads): window output ==
+//!   per-row oracle output == the app's own committed inference results.
+//! * `Service::submit` under concurrent interleaved submitters: every
+//!   response == the oracle answer for that payload regardless of
+//!   submission order or which window a request landed in.
+
+use hdc_apps::{ClassificationApp, ClusteringApp, ExecMode, MatchingApp};
+use hdc_datasets::synthetic::{hyperoms_like, isolet_like, HyperOmsParams, IsoletParams};
+use hdc_passes::CompileOptions;
+use hdc_serve::{ModelRegistry, Prediction, ServableModel, Service, ServiceConfig, WindowConfig};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// One model under test plus its query payloads and app-committed answers.
+struct Case {
+    model: Arc<ServableModel>,
+    queries: Vec<Vec<f64>>,
+    /// The app's own per-query predictions, flattened (labels, or top-k
+    /// runs of `outputs_per_query` indices).
+    expected_flat: Vec<usize>,
+}
+
+fn flatten(predictions: &[Prediction]) -> Vec<usize> {
+    predictions
+        .iter()
+        .flat_map(|p| match p {
+            Prediction::Label(l) => vec![*l],
+            Prediction::TopK(ks) => ks.clone(),
+        })
+        .collect()
+}
+
+fn classifier_case(options: &CompileOptions) -> Case {
+    let dataset = isolet_like(&IsoletParams {
+        classes: 4,
+        features: 32,
+        train_per_class: 6,
+        test_per_class: 5,
+        noise: 1.2,
+        seed: 11,
+    });
+    let queries: Vec<Vec<f64>> = (0..dataset.test.len())
+        .map(|i| dataset.test.features.row(i).unwrap().to_vec())
+        .collect();
+    let app = ClassificationApp::with_options(dataset, 256, 2, options).unwrap();
+    let expected_flat = app.run(ExecMode::Batched).unwrap().predictions;
+    Case {
+        model: Arc::new(ServableModel::classifier("cls", &app).unwrap()),
+        queries,
+        expected_flat,
+    }
+}
+
+fn cluster_case(options: &CompileOptions) -> Case {
+    let dataset = isolet_like(&IsoletParams {
+        classes: 3,
+        features: 24,
+        train_per_class: 8,
+        test_per_class: 2,
+        noise: 0.8,
+        seed: 23,
+    });
+    // Assign the training samples: the app's own final assignments are the
+    // committed ground truth for them.
+    let queries: Vec<Vec<f64>> = (0..dataset.train.len())
+        .map(|i| dataset.train.features.row(i).unwrap().to_vec())
+        .collect();
+    let app = ClusteringApp::with_options(dataset, 128, 2, options).unwrap();
+    let expected_flat = app.run(ExecMode::Batched).unwrap().assignments;
+    Case {
+        model: Arc::new(ServableModel::cluster_assigner("clu", &app).unwrap()),
+        queries,
+        expected_flat,
+    }
+}
+
+fn matcher_case(options: &CompileOptions) -> Case {
+    let dataset = hyperoms_like(&HyperOmsParams {
+        library_size: 16,
+        bins: 80,
+        peaks: 8,
+        queries_per_entry: 2,
+        ..HyperOmsParams::default()
+    });
+    let queries: Vec<Vec<f64>> = (0..dataset.test.len())
+        .map(|i| dataset.test.features.row(i).unwrap().to_vec())
+        .collect();
+    let app = MatchingApp::with_options(dataset, 256, 3, options).unwrap();
+    let expected_flat = app.run(ExecMode::Batched).unwrap().candidates;
+    Case {
+        model: Arc::new(ServableModel::matcher("match", &app).unwrap()),
+        queries,
+        expected_flat,
+    }
+}
+
+fn all_cases(options: &CompileOptions) -> Vec<(&'static str, Case)> {
+    vec![
+        ("classifier", classifier_case(options)),
+        ("cluster-assigner", cluster_case(options)),
+        ("matcher", matcher_case(options)),
+    ]
+}
+
+/// Window output must equal the per-row oracle AND the app's committed
+/// predictions, for each shard count.
+fn check_window_vs_oracle(label: &str, case: &Case, shards: Option<usize>) {
+    let window = case
+        .model
+        .infer_window(&case.queries, true, shards)
+        .unwrap();
+    for (i, row) in case.queries.iter().enumerate() {
+        let oracle = case.model.oracle_infer(row).unwrap();
+        assert_eq!(
+            window.predictions[i], oracle,
+            "{label} shards={shards:?}: window row {i} != oracle"
+        );
+    }
+    assert_eq!(
+        flatten(&window.predictions),
+        case.expected_flat,
+        "{label} shards={shards:?}: serving path != app inference"
+    );
+}
+
+#[test]
+fn coalesced_window_matches_oracle_binarized() {
+    for (label, case) in all_cases(&CompileOptions::default()) {
+        assert!(
+            case.model.binarized(),
+            "{label}: default pipeline binarizes"
+        );
+        for shards in [Some(1), None] {
+            check_window_vs_oracle(label, &case, shards);
+        }
+    }
+}
+
+#[test]
+fn coalesced_window_matches_oracle_dense() {
+    for (label, case) in all_cases(&CompileOptions::baseline()) {
+        assert!(!case.model.binarized(), "{label}: baseline stays dense");
+        for shards in [Some(1), None] {
+            check_window_vs_oracle(label, &case, shards);
+        }
+    }
+}
+
+/// Every prefix batch size (1..=N) must agree with the oracle — the
+/// coalescer can flush a window of any size up to `max_batch`.
+#[test]
+fn every_window_size_matches_oracle() {
+    let case = classifier_case(&CompileOptions::default());
+    let oracle: Vec<Prediction> = case
+        .queries
+        .iter()
+        .map(|row| case.model.oracle_infer(row).unwrap())
+        .collect();
+    for n in 1..=case.queries.len() {
+        let window = case
+            .model
+            .infer_window(&case.queries[..n], true, None)
+            .unwrap();
+        assert_eq!(window.predictions, oracle[..n], "window size {n}");
+    }
+}
+
+/// Interleaved concurrent submission through the live service: C client
+/// threads submit their slices of the query stream in round-robin
+/// interleaving; each response must equal the oracle for its payload, no
+/// matter how the coalescer grouped them.
+fn check_interleaved_service(label: &str, case: &Case, shards: Option<usize>) {
+    let registry = Arc::new(ModelRegistry::new());
+    registry.register("m", Arc::clone(&case.model));
+    let service = Service::start(
+        registry,
+        ServiceConfig {
+            window: WindowConfig {
+                max_batch: 4,
+                max_delay: Duration::from_micros(300),
+            },
+            class_shards: shards,
+            batched: true,
+        },
+    );
+    let oracle: Vec<Prediction> = case
+        .queries
+        .iter()
+        .map(|row| case.model.oracle_infer(row).unwrap())
+        .collect();
+    // Several rounds so windows mix requests from different clients in
+    // different orders.
+    for round in 0..3 {
+        let clients = 3;
+        std::thread::scope(|scope| {
+            for client in 0..clients {
+                let service = &service;
+                let case = &case;
+                let oracle = &oracle;
+                scope.spawn(move || {
+                    // Round-robin slice, rotated per round so submission
+                    // order varies between rounds.
+                    let mut i = (client + round) % clients;
+                    while i < case.queries.len() {
+                        let got = service.submit("m", case.queries[i].clone()).wait().unwrap();
+                        assert_eq!(
+                            got, oracle[i],
+                            "{label} shards={shards:?} round {round}: query {i}"
+                        );
+                        i += clients;
+                    }
+                });
+            }
+        });
+    }
+    let stats = service.stats();
+    assert_eq!(stats.failed, 0, "{label}: no request may fail");
+    assert_eq!(
+        stats.completed,
+        3 * case.queries.len() as u64,
+        "{label}: every submission answered"
+    );
+    service.shutdown();
+}
+
+#[test]
+fn interleaved_submission_matches_oracle_binarized() {
+    for (label, case) in all_cases(&CompileOptions::default()) {
+        for shards in [Some(1), None] {
+            check_interleaved_service(label, &case, shards);
+        }
+    }
+}
+
+#[test]
+fn interleaved_submission_matches_oracle_dense() {
+    for (label, case) in all_cases(&CompileOptions::baseline()) {
+        for shards in [Some(1), None] {
+            check_interleaved_service(label, &case, shards);
+        }
+    }
+}
+
+/// Sequential dispatch (batched stages off) must also be bit-identical —
+/// the batched/sequential equivalence the rest of the repo pins extends
+/// through the serving layer.
+#[test]
+fn sequential_dispatch_matches_batched() {
+    let case = classifier_case(&CompileOptions::default());
+    let batched = case.model.infer_window(&case.queries, true, None).unwrap();
+    let sequential = case.model.infer_window(&case.queries, false, None).unwrap();
+    assert_eq!(batched.predictions, sequential.predictions);
+}

@@ -23,10 +23,16 @@
 //!   HD clustering, and top-k spectral matching, each compiled through the
 //!   full pass pipeline, executable in batched or sequential mode, and —
 //!   via `run_accelerated` — through the accelerator back end.
+//! * [`serve`] — the serving layer: an `Arc`-shared compiled-model
+//!   registry with atomic mid-flight swaps, a time/size-windowed
+//!   micro-batching request coalescer dispatching through the batched
+//!   kernels (every window bit-identical to the sequential oracle),
+//!   health/stats endpoints, and an open-loop load generator.
 //!
 //! See `README.md` for the workspace layout and a quickstart,
-//! `docs/architecture.md` for the IR → passes → executor walkthrough, and
-//! `docs/accelerator-model.md` for the accelerator cost model.
+//! `docs/architecture.md` for the IR → passes → executor walkthrough,
+//! `docs/accelerator-model.md` for the accelerator cost model, and
+//! `docs/serving.md` for the serving layer.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -38,3 +44,4 @@ pub use hdc_datasets as datasets;
 pub use hdc_ir as ir;
 pub use hdc_passes as passes;
 pub use hdc_runtime as runtime;
+pub use hdc_serve as serve;
