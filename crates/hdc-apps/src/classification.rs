@@ -281,6 +281,61 @@ impl ClassificationApp {
             })
             .collect()
     }
+
+    /// Harvest the trained classifier artifacts from one run of the
+    /// compiled program: the projection matrix, the *dense* trained class
+    /// memory (`class_hvs`, the perceptron accumulator before the freeze),
+    /// and the frozen class memory (`class_bits`, bit-packed under the
+    /// binarized configuration).
+    ///
+    /// This is the re-freezing hook the serving layer builds on: a servable
+    /// model is constructed from these artifacts, and an online trainer
+    /// resumes perceptron updates from the dense accumulator, re-freezing
+    /// through the same `sign` that produced `class_bits` here.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AppError::Runtime`](crate::AppError::Runtime) if the
+    /// harvest run fails.
+    pub fn harvest_artifacts(&self) -> Result<HarvestedClassifier> {
+        let mut harvest = self.program.clone();
+        for name in ["rp_matrix", "class_hvs", "class_bits"] {
+            let id = harvest
+                .values()
+                .iter()
+                .position(|v| v.name == name)
+                .map(hdc_ir::program::ValueId::new)
+                .expect("build_program names these values");
+            harvest.value_mut(id).role = ValueRole::Output;
+        }
+        let mut exec = Executor::new(&harvest)?;
+        exec.bind("train_features", self.train_x.clone())?;
+        exec.bind("test_features", self.test_x.clone())?;
+        exec.bind("train_labels", self.train_y.clone())?;
+        let out = exec.run()?;
+        let by_name =
+            |name: &str| -> Value { out.by_name(name).expect("marked as output above").clone() };
+        Ok(HarvestedClassifier {
+            rp_matrix: by_name("rp_matrix"),
+            class_hvs: by_name("class_hvs"),
+            class_bits: by_name("class_bits"),
+        })
+    }
+}
+
+/// Trained classifier artifacts harvested by
+/// [`ClassificationApp::harvest_artifacts`]. All `Value`s are `Arc`-backed;
+/// holding or re-binding them never copies a tensor.
+#[derive(Debug, Clone)]
+pub struct HarvestedClassifier {
+    /// The random projection matrix (`dim x features`, dense `f64`).
+    pub rp_matrix: Value,
+    /// The dense trained class memory (`classes x dim`, the accumulator
+    /// perceptron updates apply to).
+    pub class_hvs: Value,
+    /// The frozen class memory `sign(class_hvs)` — bit-packed when the app
+    /// compiled with binarization, dense `±1` under the baseline.
+    pub class_bits: Value,
 }
 
 /// Build the (uncompiled) classification program. The projection matrix is

@@ -62,7 +62,7 @@ pub mod classification;
 pub mod clustering;
 pub mod matching;
 
-pub use classification::{ClassificationApp, ClassificationRun};
+pub use classification::{ClassificationApp, ClassificationRun, HarvestedClassifier};
 pub use clustering::{ClusteringApp, ClusteringRun};
 pub use matching::{MatchingApp, MatchingRun};
 

@@ -45,6 +45,10 @@ use hdc_apps::{ClassificationApp, ClusteringApp, ExecMode, MatchingApp};
 use hdc_bench::calibrate::CpuCalibration;
 use hdc_core::element::ElementKind;
 use hdc_core::prelude::*;
+use hdc_datasets::drift::{
+    concept_drift, incremental_classes, label_shift, windowed_accuracy, ConceptDriftParams,
+    DriftScenario, IncrementalClassParams, LabelShiftParams,
+};
 use hdc_datasets::synthetic::{
     emg_like, hyperoms_like, isolet_like, EmgParams, HyperOmsParams, IsoletParams,
 };
@@ -54,8 +58,8 @@ use hdc_ir::stage::ScorePolarity;
 use hdc_ir::Target;
 use hdc_runtime::{ExecStats, Executor, Value};
 use hdc_serve::{
-    run_load, LoadConfig, LoadReport, ModelRegistry, ServableModel, Service, ServiceConfig,
-    WindowConfig,
+    run_load, LoadConfig, LoadReport, ModelRegistry, OnlineTrainer, OnlineTrainerConfig,
+    Prediction, ServableModel, Service, ServiceConfig, SwapPolicy, WindowConfig,
 };
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -978,6 +982,267 @@ fn serving_json(suite: &AppSuite, records: &[ServingRecord], smoke: bool) -> Str
     )
 }
 
+/// Updates the online trainer's swap policy publishes after.
+const ONLINE_SWAP_EVERY_UPDATES: u64 = 8;
+
+/// One drift scenario replayed prequentially through the serving stack
+/// against a static and an adapting copy of the same base model.
+struct OnlineRecord {
+    scenario: &'static str,
+    classes: usize,
+    features: usize,
+    samples: usize,
+    /// Tape index where the drift switches on.
+    onset: usize,
+    /// Samples per accuracy-over-time window.
+    window: usize,
+    /// Generations the swap policy published during the replay.
+    swaps: u64,
+    /// Perceptron updates applied to the shadow.
+    updates: u64,
+    /// Feedback calls that errored (must be 0).
+    feedback_failed: u64,
+    /// Responses diverging from the live generation's sequential oracle
+    /// (must be 0 — no request may observe a torn swap).
+    mismatched: u64,
+    mean_update_latency_us: u64,
+    max_update_latency_us: u64,
+    static_accuracy: Vec<f64>,
+    adapting_accuracy: Vec<f64>,
+    static_post_accuracy: f64,
+    adapting_post_accuracy: f64,
+    /// Whether the scenario is one the adapting model should beat the
+    /// static model on after the onset (label shift is the control: the
+    /// class-conditional distributions never move, so no recovery gap is
+    /// expected there).
+    recovery_expected: bool,
+    /// Adapting post-onset accuracy beats static by a clear margin.
+    recovered: bool,
+}
+
+/// The drift scenarios the online section replays, each with whether
+/// post-onset recovery is expected (see [`OnlineRecord::recovery_expected`]).
+fn drift_scenarios(smoke: bool) -> Vec<(DriftScenario, bool)> {
+    if smoke {
+        vec![
+            (
+                label_shift(&LabelShiftParams {
+                    pre_samples: 40,
+                    post_samples: 40,
+                    ..LabelShiftParams::default()
+                }),
+                false,
+            ),
+            (
+                incremental_classes(&IncrementalClassParams {
+                    pre_samples: 30,
+                    post_samples: 60,
+                    ..IncrementalClassParams::default()
+                }),
+                true,
+            ),
+            (
+                concept_drift(&ConceptDriftParams {
+                    pre_samples: 30,
+                    post_samples: 60,
+                    ..ConceptDriftParams::default()
+                }),
+                true,
+            ),
+        ]
+    } else {
+        vec![
+            (label_shift(&LabelShiftParams::default()), false),
+            (
+                incremental_classes(&IncrementalClassParams::default()),
+                true,
+            ),
+            (concept_drift(&ConceptDriftParams::default()), true),
+        ]
+    }
+}
+
+/// Replay each drift tape prequentially (predict, then learn) through a
+/// service carrying two registry entries for the same base model: `static`
+/// never adapts, `adapting` takes every tape sample as labeled feedback
+/// through [`Service::feedback`] under an every-N-updates swap policy.
+/// Every response is checked against the live generation's sequential
+/// oracle — feedback runs on this thread, so the generation each query
+/// resolves is deterministic.
+fn measure_online(smoke: bool) -> Vec<OnlineRecord> {
+    let dim = if smoke { 128 } else { 256 };
+    let window = if smoke { 10 } else { 20 };
+    let mut records = Vec::new();
+    for (scenario, recovery_expected) in drift_scenarios(smoke) {
+        let DriftScenario { base, tape } = scenario;
+        let app = ClassificationApp::new(base, dim, 2).expect("drift base app builds");
+        let model =
+            Arc::new(ServableModel::classifier("adapting", &app).expect("servable model builds"));
+        let registry = Arc::new(ModelRegistry::new());
+        registry.register("static", Arc::clone(&model));
+        registry.register("adapting", Arc::clone(&model));
+        let service = Service::start(
+            Arc::clone(&registry),
+            ServiceConfig {
+                window: WindowConfig {
+                    max_batch: 1,
+                    max_delay: Duration::ZERO,
+                },
+                ..ServiceConfig::default()
+            },
+        );
+        let trainer = OnlineTrainer::attach(
+            Arc::clone(&registry),
+            "adapting",
+            OnlineTrainerConfig {
+                policy: SwapPolicy::every_updates(ONLINE_SWAP_EVERY_UPDATES),
+                class_shards: None,
+            },
+        )
+        .expect("trainer attaches to classifier");
+        service.attach_trainer(trainer);
+
+        let mut current = Arc::clone(&model);
+        let mut static_hits = Vec::with_capacity(tape.samples.len());
+        let mut adapting_hits = Vec::with_capacity(tape.samples.len());
+        let mut mismatched = 0u64;
+        let mut feedback_failed = 0u64;
+        let mut swaps = 0u64;
+        let mut updates = 0u64;
+        let mut latency_total_us = 0u128;
+        let mut latency_max_us = 0u64;
+        for sample in &tape.samples {
+            let p_static = service
+                .submit("static", sample.features.clone())
+                .wait()
+                .expect("static query answered");
+            let p_adapting = service
+                .submit("adapting", sample.features.clone())
+                .wait()
+                .expect("adapting query answered");
+            if p_static != model.oracle_infer(&sample.features).expect("static oracle") {
+                mismatched += 1;
+            }
+            if p_adapting
+                != current
+                    .oracle_infer(&sample.features)
+                    .expect("adapting oracle")
+            {
+                mismatched += 1;
+            }
+            static_hits.push(p_static == Prediction::Label(sample.label));
+            adapting_hits.push(p_adapting == Prediction::Label(sample.label));
+            let fed_at = Instant::now();
+            match service.feedback("adapting", &sample.features, sample.label) {
+                Ok(out) => {
+                    updates += out.updates;
+                    if let Some(published) = out.published {
+                        swaps += 1;
+                        current = published;
+                    }
+                }
+                Err(_) => feedback_failed += 1,
+            }
+            let us = fed_at.elapsed().as_micros();
+            latency_total_us += us;
+            latency_max_us = latency_max_us.max(us as u64);
+        }
+        service.shutdown();
+
+        let post_accuracy = |hits: &[bool]| {
+            let post = &hits[tape.onset..];
+            post.iter().filter(|&&h| h).count() as f64 / post.len().max(1) as f64
+        };
+        let static_post_accuracy = post_accuracy(&static_hits);
+        let adapting_post_accuracy = post_accuracy(&adapting_hits);
+        records.push(OnlineRecord {
+            scenario: tape.name,
+            classes: tape.classes,
+            features: tape.features,
+            samples: tape.samples.len(),
+            onset: tape.onset,
+            window,
+            swaps,
+            updates,
+            feedback_failed,
+            mismatched,
+            mean_update_latency_us: (latency_total_us / tape.samples.len().max(1) as u128) as u64,
+            max_update_latency_us: latency_max_us,
+            static_accuracy: windowed_accuracy(&static_hits, window),
+            adapting_accuracy: windowed_accuracy(&adapting_hits, window),
+            static_post_accuracy,
+            adapting_post_accuracy,
+            recovery_expected,
+            recovered: adapting_post_accuracy > static_post_accuracy + 0.05,
+        });
+    }
+    records
+}
+
+fn accuracy_series_json(series: &[f64]) -> String {
+    let cells: Vec<String> = series.iter().map(|a| format!("{a:.4}")).collect();
+    cells.join(", ")
+}
+
+fn online_record_json(r: &OnlineRecord) -> String {
+    format!(
+        concat!(
+            "      {{\n",
+            "        \"scenario\": \"{}\",\n",
+            "        \"classes\": {},\n",
+            "        \"features\": {},\n",
+            "        \"samples\": {},\n",
+            "        \"onset\": {},\n",
+            "        \"accuracy_window\": {},\n",
+            "        \"swaps\": {},\n",
+            "        \"updates\": {},\n",
+            "        \"feedback_failed\": {},\n",
+            "        \"mismatched\": {},\n",
+            "        \"mean_update_latency_us\": {},\n",
+            "        \"max_update_latency_us\": {},\n",
+            "        \"static_accuracy\": [{}],\n",
+            "        \"adapting_accuracy\": [{}],\n",
+            "        \"static_post_accuracy\": {:.4},\n",
+            "        \"adapting_post_accuracy\": {:.4},\n",
+            "        \"recovery_expected\": {},\n",
+            "        \"recovered\": {}\n",
+            "      }}"
+        ),
+        json_escape_free(r.scenario),
+        r.classes,
+        r.features,
+        r.samples,
+        r.onset,
+        r.window,
+        r.swaps,
+        r.updates,
+        r.feedback_failed,
+        r.mismatched,
+        r.mean_update_latency_us,
+        r.max_update_latency_us,
+        accuracy_series_json(&r.static_accuracy),
+        accuracy_series_json(&r.adapting_accuracy),
+        r.static_post_accuracy,
+        r.adapting_post_accuracy,
+        r.recovery_expected,
+        r.recovered,
+    )
+}
+
+fn online_json(records: &[OnlineRecord]) -> String {
+    let rows: Vec<String> = records.iter().map(online_record_json).collect();
+    format!(
+        concat!(
+            "  \"online\": {{\n",
+            "    \"swap_policy\": \"every_updates({})\",\n",
+            "    \"records\": [\n{}\n    ]\n",
+            "  }}"
+        ),
+        ONLINE_SWAP_EVERY_UPDATES,
+        rows.join(",\n"),
+    )
+}
+
 /// Host metadata stamped into the report's `cpu` section: what machine and
 /// kernel backend produced these numbers, so the perf trajectory separates
 /// hardware changes from algorithmic wins.
@@ -1320,6 +1585,7 @@ struct ReportSections<'a> {
     accel_apps: &'a [AccelAppRecord],
     suite: &'a AppSuite,
     serving: &'a [ServingRecord],
+    online: &'a [OnlineRecord],
 }
 
 fn emit_json(sections: &ReportSections<'_>, smoke: bool) -> String {
@@ -1334,6 +1600,7 @@ fn emit_json(sections: &ReportSections<'_>, smoke: bool) -> String {
         accel_apps,
         suite,
         serving,
+        online,
     } = sections;
     let rows: Vec<String> = records.iter().map(record_json).collect();
     let app_rows: Vec<String> = apps.iter().map(app_json).collect();
@@ -1345,7 +1612,7 @@ fn emit_json(sections: &ReportSections<'_>, smoke: bool) -> String {
     format!(
         concat!(
             "{{\n",
-            "  \"schema\": \"hdc-bench/perf_json/v7\",\n",
+            "  \"schema\": \"hdc-bench/perf_json/v8\",\n",
             "  \"workload\": \"batched_inference_vs_sequential\",\n",
             "  \"grid\": \"{}\",\n",
             "  \"cores_physical\": {},\n",
@@ -1364,6 +1631,7 @@ fn emit_json(sections: &ReportSections<'_>, smoke: bool) -> String {
             "    \"kernel_grid\": [\n{}\n    ],\n",
             "    \"apps\": [\n{}\n    ]\n",
             "  }},\n",
+            "{},\n",
             "{}\n",
             "}}\n"
         ),
@@ -1380,6 +1648,7 @@ fn emit_json(sections: &ReportSections<'_>, smoke: bool) -> String {
         accel_kernel_rows.join(",\n"),
         accel_app_rows.join(",\n"),
         serving_json(suite, serving, smoke),
+        online_json(online),
     )
 }
 
@@ -1419,6 +1688,19 @@ against the sequential per-request oracle; failed and mismatched counts
 must be zero. p50/p99/mean/max latency are measured from each request's
 scheduled arrival (coordinated-omission corrected).
 
+An `online` section replays three seeded drift scenarios (label shift,
+incremental classes, concept drift on the EMG-like stream) prequentially
+through the serving stack: each tape sample is first classified by a
+*static* and an *adapting* registry entry of the same base model, then fed
+as labeled feedback to the adapting entry's online trainer, which
+publishes re-frozen generations under an every-N-updates swap policy.
+Accuracy-over-time for both models, swap counts, and per-sample update
+latency are recorded; every response is checked against the live
+generation's sequential oracle, and the adapting model must recover
+accuracy after the drift onset on the scenarios where the
+class-conditional distributions actually move (label shift is the
+control).
+
 The `cpu` section stamps host metadata (arch, cores, detected CPU features,
 the runtime-selected SIMD kernel backend, rustc version). With --calibrate
 it additionally times the selected backend on this host (popcount
@@ -1441,9 +1723,9 @@ OPTIONS:
                    BENCH_results.json).
     -h, --help     Print this help and exit.
 
-OUTPUT (schema \"hdc-bench/perf_json/v7\"):
+OUTPUT (schema \"hdc-bench/perf_json/v8\"):
     {
-      \"schema\": \"hdc-bench/perf_json/v7\",
+      \"schema\": \"hdc-bench/perf_json/v8\",
       \"grid\": \"full\" | \"smoke\",
       \"cores_physical\": <host cores detected>,
       \"cpu\": {      // host + kernel-backend metadata
@@ -1526,7 +1808,22 @@ OUTPUT (schema \"hdc-bench/perf_json/v7\"):
             \"completed\", \"failed\", \"mismatched\",  // oracle-checked; must be 0
             \"p50_us\", \"p99_us\", \"mean_us\", \"max_us\",  // from scheduled arrival
             \"windows\", \"size_full_windows\", \"deadline_windows\",
-            \"max_window_rows\" } ] }
+            \"max_window_rows\" } ] },
+      \"online\": {   // online adaptation under drift (hdc-serve::online)
+        \"swap_policy\",            // e.g. every_updates(8)
+        \"records\": [  // one object per drift scenario
+          { \"scenario\",             // label_shift | incremental_classes | concept_drift
+            \"classes\", \"features\", \"samples\",
+            \"onset\",                // tape index where the drift switches on
+            \"accuracy_window\",      // samples per accuracy-over-time bucket
+            \"swaps\", \"updates\",     // generations published / perceptron updates
+            \"feedback_failed\",      // must be 0
+            \"mismatched\",           // responses off the live oracle; must be 0
+            \"mean_update_latency_us\", \"max_update_latency_us\",
+            \"static_accuracy\": [..], \"adapting_accuracy\": [..],  // over time
+            \"static_post_accuracy\", \"adapting_post_accuracy\",    // after onset
+            \"recovery_expected\",    // false for the label-shift control
+            \"recovered\" } ] }      // adapting beats static post-onset
     }
 
 Exit status: 0 on success, 1 if any batched or accelerated output diverged
@@ -1828,6 +2125,45 @@ fn main() {
         );
     }
 
+    // ----- online-adaptation section -----
+    println!(
+        "\n{:>20} {:>8} {:>6} {:>8} {:>12} {:>14} {:>10} {:>10}  ok",
+        "scenario",
+        "samples",
+        "swaps",
+        "updates",
+        "static_post",
+        "adapting_post",
+        "recovered",
+        "mean_us"
+    );
+    let online = measure_online(smoke);
+    for r in &online {
+        let clean =
+            r.feedback_failed == 0 && r.mismatched == 0 && (!r.recovery_expected || r.recovered);
+        all_match &= clean;
+        println!(
+            "{:>20} {:>8} {:>6} {:>8} {:>12.4} {:>14.4} {:>10} {:>10}  {}",
+            r.scenario,
+            r.samples,
+            r.swaps,
+            r.updates,
+            r.static_post_accuracy,
+            r.adapting_post_accuracy,
+            if r.recovery_expected {
+                if r.recovered {
+                    "yes"
+                } else {
+                    "NO"
+                }
+            } else {
+                "control"
+            },
+            r.mean_update_latency_us,
+            if clean { "ok" } else { "FAILED" }
+        );
+    }
+
     let json = emit_json(
         &ReportSections {
             records: &records,
@@ -1840,6 +2176,7 @@ fn main() {
             accel_apps: &accel_apps,
             suite: &suite,
             serving: &serving,
+            online: &online,
         },
         smoke,
     );

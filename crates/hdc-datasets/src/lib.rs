@@ -24,6 +24,12 @@
 //!   `test` holds noisy re-measurements; each test label names the library
 //!   entry it was derived from, which top-k matching should recover).
 //!
+//! The [`drift`] module layers *online* scenarios on top: each generator
+//! pairs a base [`Dataset`] (for offline training) with a timestamped
+//! [`drift::DriftTape`] of labeled feedback whose distribution changes at
+//! a configured onset — label shift, incremental classes, and concept
+//! drift on the EMG-like stream.
+//!
 //! # Example
 //!
 //! ```
@@ -42,6 +48,7 @@
 
 use hdc_core::HyperMatrix;
 
+pub mod drift;
 pub mod synthetic;
 
 /// One labelled split of a dataset: a feature matrix (one sample per row)

@@ -2033,7 +2033,19 @@ enum Metric {
 
 /// `matrix[row] += sign * sample`, in place, with bounds checking — the
 /// perceptron update of `training_loop`, run once per misprediction.
-fn update_row_in_place(
+///
+/// Public so out-of-crate trainers (the online-adaptation path in
+/// `hdc-serve`) apply the *same* update kernel the offline executor uses:
+/// bit-identity between an online replay and the offline training schedule
+/// hinges on the two paths sharing this accumulation, not re-implementing
+/// it.
+///
+/// # Errors
+///
+/// Returns an index error if `row` is out of bounds, or a
+/// dimension-mismatch error if the sample length differs from the matrix
+/// column count.
+pub fn update_row_in_place(
     matrix: &mut HyperMatrix<f64>,
     row: usize,
     sample: &HyperVector<f64>,

@@ -98,7 +98,7 @@ pub mod executor;
 pub mod value;
 
 pub use error::{Result, RuntimeError};
-pub use executor::{ExecStats, Executor, Outputs, StageTraceEntry};
+pub use executor::{update_row_in_place, ExecStats, Executor, Outputs, StageTraceEntry};
 pub use value::Value;
 
 #[cfg(test)]

@@ -178,6 +178,24 @@ mod tests {
     }
 
     #[test]
+    fn poll_exactly_on_the_deadline_instant_flushes() {
+        // The deadline comparison must be inclusive: a poll landing on
+        // exactly `opened_at + max_delay` flushes. A dispatcher that
+        // sleeps until the deadline and polls on wake would otherwise
+        // miss by one tick and wait a whole extra poll interval.
+        let clock = MockClock::new();
+        let mut c = Coalescer::new(config(100, 5));
+        assert_eq!(c.push(42, clock.now()), None);
+        // One nanosecond short of the deadline: still within budget.
+        clock.advance(Duration::from_millis(5) - Duration::from_nanos(1));
+        assert_eq!(c.poll(clock.now()), None);
+        // Land on the exact instant — not a tick past it.
+        clock.advance(Duration::from_nanos(1));
+        assert_eq!(c.poll(clock.now()), Some(vec![42]));
+        assert!(c.is_empty());
+    }
+
+    #[test]
     fn straggler_waits_at_most_max_delay_from_first_item() {
         let clock = MockClock::new();
         let mut c = Coalescer::new(config(100, 10));

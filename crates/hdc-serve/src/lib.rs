@@ -24,6 +24,13 @@
 //! * [`loadgen`] — open-loop load generator reporting p50/p99 latency and
 //!   QPS (the `load_gen` bin feeds the `serving` section of
 //!   `BENCH_results.json`).
+//! * [`online`] — [`OnlineTrainer`]: labeled-feedback perceptron updates
+//!   against a *shadow* class memory, re-frozen through the pass pipeline
+//!   and atomically published via [`ModelRegistry::swap`] under a
+//!   [`SwapPolicy`] (every N updates / every T elapsed / rescore-rate
+//!   threshold). Readers never see a partial update; the
+//!   `online_equivalence` suite pins the online replay bit-identical to
+//!   the offline batched trainer.
 //!
 //! The serving discipline mirrors the rest of the repo: every coalesced
 //! window must be **bit-identical** to serving each of its requests alone
@@ -38,6 +45,7 @@ pub mod clock;
 pub mod coalescer;
 pub mod loadgen;
 pub mod model;
+pub mod online;
 pub mod registry;
 pub mod service;
 
@@ -46,6 +54,7 @@ pub use coalescer::{Coalescer, WindowConfig};
 
 pub use loadgen::{run_load, LoadConfig, LoadReport};
 pub use model::{Prediction, ServableModel};
+pub use online::{FeedOutcome, OnlineStats, OnlineTrainer, OnlineTrainerConfig, SwapPolicy};
 pub use registry::ModelRegistry;
 pub use service::{
     serve_http, Health, HttpHandle, ResponseFuture, Service, ServiceConfig, ServiceStats,
@@ -77,6 +86,19 @@ pub enum ServeError {
         /// Index of the first offending element.
         index: usize,
     },
+    /// A feedback sample carried a label outside the model's class range.
+    UnknownLabel {
+        /// The submitted label.
+        label: usize,
+        /// Number of classes the model's memory holds rows for.
+        classes: usize,
+    },
+    /// The named model carries no dense training accumulator, so an
+    /// online trainer cannot attach to it (cluster assigners, matchers,
+    /// or classifiers rebuilt without their train state).
+    NotAdaptable(String),
+    /// No online trainer is attached for the named model.
+    NoTrainer(String),
     /// The service is shutting down and no longer accepts requests.
     ShuttingDown,
     /// Building a servable model failed (artifact harvest or template
@@ -98,6 +120,18 @@ impl fmt::Display for ServeError {
             ServeError::EmptyQuery => f.write_str("query is empty"),
             ServeError::NonFinitePayload { index } => {
                 write!(f, "query element {index} is not finite")
+            }
+            ServeError::UnknownLabel { label, classes } => {
+                write!(f, "feedback label {label} outside class range 0..{classes}")
+            }
+            ServeError::NotAdaptable(name) => {
+                write!(
+                    f,
+                    "model `{name}` carries no train state for online adaptation"
+                )
+            }
+            ServeError::NoTrainer(name) => {
+                write!(f, "no online trainer attached for model `{name}`")
             }
             ServeError::ShuttingDown => f.write_str("service is shutting down"),
             ServeError::ModelBuild(msg) => write!(f, "model build failed: {msg}"),

@@ -106,6 +106,9 @@ pub struct ServableModel {
     output_kind: OutputKind,
     /// Query feature count (submission-time validation).
     features: usize,
+    /// The dense training accumulator the frozen class memory was signed
+    /// from, when the model supports online adaptation (classifiers only).
+    train_state: Option<Value>,
     /// Re-rowed program cache, keyed by batch size.
     programs: Mutex<HashMap<usize, Arc<Program>>>,
 }
@@ -120,31 +123,44 @@ impl ServableModel {
     /// Returns [`ServeError::ModelBuild`] if harvesting the app's
     /// artifacts or compiling the serving template fails.
     pub fn classifier(name: &str, app: &ClassificationApp) -> Result<Self> {
-        let dataset = app.dataset();
-        let harvested = harvest(
-            app.program(),
-            &[
-                (
-                    "train_features",
-                    Value::matrix(dataset.train.features.clone()),
-                ),
-                (
-                    "test_features",
-                    Value::matrix(dataset.test.features.clone()),
-                ),
-                ("train_labels", Value::indices(dataset.train.labels.clone())),
-            ],
-            &["rp_matrix", "class_bits"],
-        )?;
-        let rp = harvested[0].clone();
-        let classes = harvested[1].clone();
+        let harvested = app
+            .harvest_artifacts()
+            .map_err(|e| ServeError::ModelBuild(e.to_string()))?;
+        Self::classifier_from_artifacts(
+            name,
+            app.dataset().meta.features,
+            harvested.rp_matrix,
+            harvested.class_bits,
+            Some(harvested.class_hvs),
+        )
+    }
+
+    /// Build a classifier model directly from harvested (or re-frozen)
+    /// artifacts: a projection matrix, a frozen class memory, and
+    /// optionally the dense training accumulator the frozen memory was
+    /// signed from. This is the publication path of the online trainer:
+    /// after shadow updates, a new generation is assembled from the same
+    /// projection `Value` (a refcount bump) plus the re-frozen memory.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::ModelBuild`] if the artifact shapes disagree
+    /// or template compilation fails.
+    pub fn classifier_from_artifacts(
+        name: &str,
+        features: usize,
+        rp: Value,
+        classes: Value,
+        train_state: Option<Value>,
+    ) -> Result<Self> {
         Self::scoring_model(
             name,
-            dataset.meta.features,
+            features,
             rp,
             classes,
             ScorePolarity::Distance,
             ScoreOp::Hamming,
+            train_state,
         )
     }
 
@@ -173,6 +189,7 @@ impl ServableModel {
             centroids,
             ScorePolarity::Similarity,
             ScoreOp::Cosine,
+            None,
         )
     }
 
@@ -239,6 +256,7 @@ impl ServableModel {
             ],
             OutputKind::TopK(k),
             features,
+            None,
         )
     }
 
@@ -252,6 +270,7 @@ impl ServableModel {
         classes: Value,
         polarity: ScorePolarity,
         score_op: ScoreOp,
+        train_state: Option<Value>,
     ) -> Result<Self> {
         let (dim, rp_cols) = matrix_shape(&rp, "rp_matrix")?;
         if rp_cols != features {
@@ -299,6 +318,7 @@ impl ServableModel {
             ],
             OutputKind::Label,
             features,
+            train_state,
         )
     }
 
@@ -311,6 +331,7 @@ impl ServableModel {
         bindings: Vec<(String, Value)>,
         output_kind: OutputKind,
         features: usize,
+        train_state: Option<Value>,
     ) -> Result<Self> {
         let template = build(SENTINEL_A)?;
         let alt = build(SENTINEL_B)?;
@@ -323,6 +344,7 @@ impl ServableModel {
             output_name: "preds".to_string(),
             output_kind,
             features,
+            train_state,
             programs: Mutex::new(HashMap::new()),
         })
     }
@@ -344,6 +366,33 @@ impl ServableModel {
             OutputKind::Label => 1,
             OutputKind::TopK(k) => k,
         }
+    }
+
+    /// The projection matrix artifact bound to every window executor.
+    pub fn projection(&self) -> &Value {
+        &self
+            .bindings
+            .iter()
+            .find(|(name, _)| name == "rp_matrix")
+            .expect("every servable model binds a projection matrix")
+            .1
+    }
+
+    /// The frozen class/centroid memory artifact, if this model scores
+    /// against one (classifiers and cluster assigners; `None` for
+    /// matchers, which bind an encoded library instead).
+    pub fn class_memory(&self) -> Option<&Value> {
+        self.bindings
+            .iter()
+            .find(|(name, _)| name == "class_memory")
+            .map(|(_, v)| v)
+    }
+
+    /// The dense training accumulator the frozen class memory was signed
+    /// from, when the model was built with one (the online trainer seeds
+    /// its shadow memory from this).
+    pub fn train_state(&self) -> Option<&Value> {
+        self.train_state.as_ref()
     }
 
     /// Whether the serving template runs the bit-packed (binarized)

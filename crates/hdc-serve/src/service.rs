@@ -24,10 +24,19 @@
 //! model its requests actually resolved — a swap never changes the answer
 //! of an already-accepted request, and the COW store keeps the old
 //! artifacts alive until the last in-flight window drops them.
+//!
+//! # Feedback
+//!
+//! With an [`OnlineTrainer`] attached ([`Service::attach_trainer`]),
+//! [`Service::feedback`] feeds labeled samples into its shadow class
+//! memory on the *calling* thread — feedback races query windows by
+//! design, and a policy-triggered publish swaps the registry entry while
+//! traffic is in flight (the `online_chaos` suite storms exactly this).
 
 use crate::clock::{Clock, SystemClock};
 use crate::coalescer::{Coalescer, WindowConfig};
 use crate::model::{Prediction, ServableModel};
+use crate::online::{FeedOutcome, OnlineTrainer};
 use crate::registry::ModelRegistry;
 use crate::{Result, ServeError};
 use hdc_runtime::StageTraceEntry;
@@ -106,6 +115,18 @@ pub struct ServiceStats {
     pub tensor_bytes_copied: u64,
     /// Sum of shard merge operations across windows.
     pub shard_merge_ops: u64,
+    /// Flushed batches that contained more than one model generation (a
+    /// mid-flight swap landed inside the window) and were therefore split
+    /// into single-generation sub-windows before execution.
+    pub partitioned_windows: u64,
+    /// Feedback samples accepted into an online trainer's shadow.
+    pub feedback_accepted: u64,
+    /// Feedback samples rejected (no trainer, validation, bad label).
+    pub feedback_rejected: u64,
+    /// Perceptron updates feedback applied across trainers.
+    pub online_updates: u64,
+    /// Model generations published by feedback-triggered swaps.
+    pub swaps_published: u64,
     /// Kernel backend the last window dispatched to.
     pub kernel_backend: &'static str,
 }
@@ -129,6 +150,10 @@ struct Inner {
     config: ServiceConfig,
     clock: Arc<dyn Clock>,
     state: Mutex<State>,
+    /// Online trainers by registry key. A separate lock from `state`:
+    /// feedback replay runs kernels and must not stall query submission
+    /// or the dispatcher's stats updates.
+    trainers: Mutex<HashMap<String, OnlineTrainer>>,
     wake: Condvar,
     stopping: AtomicBool,
     started: Instant,
@@ -228,6 +253,7 @@ impl Service {
                 stats: ServiceStats::default(),
                 last_stage_trace: Vec::new(),
             }),
+            trainers: Mutex::new(HashMap::new()),
             wake: Condvar::new(),
             stopping: AtomicBool::new(false),
             started: Instant::now(),
@@ -310,6 +336,55 @@ impl Service {
         Ok(rx)
     }
 
+    /// Attach an online trainer for its registry key. Replaces any trainer
+    /// already attached under the same key (returning it); subsequent
+    /// [`Service::feedback`] calls for that model feed this trainer.
+    pub fn attach_trainer(&self, trainer: OnlineTrainer) -> Option<OnlineTrainer> {
+        self.inner
+            .trainers
+            .lock()
+            .unwrap()
+            .insert(trainer.key().to_string(), trainer)
+    }
+
+    /// Submit one labeled feedback sample for the named model's attached
+    /// trainer. Runs synchronously on the calling thread: the sample is
+    /// encoded, replayed against the trainer's shadow class memory, and —
+    /// if the swap policy fires — a new model generation is published
+    /// into the registry before this call returns. In-flight query
+    /// windows keep the generation they resolved.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::ShuttingDown`] after shutdown began,
+    /// [`ServeError::NoTrainer`] if no trainer is attached for
+    /// `model_name`, or any validation/execution error from
+    /// [`OnlineTrainer::feed`]. Rejected samples never touch the shadow.
+    pub fn feedback(&self, model_name: &str, row: &[f64], label: usize) -> Result<FeedOutcome> {
+        let inner = &self.inner;
+        if inner.stopping.load(Ordering::SeqCst) {
+            return Err(ServeError::ShuttingDown);
+        }
+        let mut trainers = inner.trainers.lock().unwrap();
+        let outcome = match trainers.get_mut(model_name) {
+            Some(trainer) => trainer.feed_one(row, label),
+            None => Err(ServeError::NoTrainer(model_name.to_string())),
+        };
+        drop(trainers);
+        let mut state = inner.state.lock().unwrap();
+        match &outcome {
+            Ok(out) => {
+                state.stats.feedback_accepted += 1;
+                state.stats.online_updates += out.updates;
+                if out.published.is_some() {
+                    state.stats.swaps_published += 1;
+                }
+            }
+            Err(_) => state.stats.feedback_rejected += 1,
+        }
+        outcome
+    }
+
     /// A consistent stats snapshot.
     pub fn stats(&self) -> ServiceStats {
         self.inner.state.lock().unwrap().stats.clone()
@@ -380,6 +455,8 @@ impl Service {
                 "  \"drained_windows\": {},\n  \"rows_dispatched\": {},\n  \"max_window_rows\": {},\n",
                 "  \"instructions_executed\": {},\n  \"batched_kernel_ops\": {},\n",
                 "  \"bit_kernel_ops\": {},\n  \"tensor_bytes_copied\": {},\n  \"shard_merge_ops\": {},\n",
+                "  \"partitioned_windows\": {},\n  \"feedback_accepted\": {},\n",
+                "  \"feedback_rejected\": {},\n  \"online_updates\": {},\n  \"swaps_published\": {},\n",
                 "  \"kernel_backend\": \"{}\",\n  \"last_stage_trace\": [{}]\n}}"
             ),
             stats.submitted,
@@ -397,6 +474,11 @@ impl Service {
             stats.bit_kernel_ops,
             stats.tensor_bytes_copied,
             stats.shard_merge_ops,
+            stats.partitioned_windows,
+            stats.feedback_accepted,
+            stats.feedback_rejected,
+            stats.online_updates,
+            stats.swaps_published,
             stats.kernel_backend,
             trace_json
         )
@@ -498,6 +580,9 @@ fn execute_window(inner: &Arc<Inner>, batch: Vec<PendingRequest>) {
             Some((_, members)) => members.push(request),
             None => groups.push((Arc::clone(&request.model), vec![request])),
         }
+    }
+    if groups.len() > 1 {
+        inner.state.lock().unwrap().stats.partitioned_windows += 1;
     }
     for (model, members) in groups {
         let rows: Vec<Vec<f64>> = members.iter().map(|r| r.row.clone()).collect();

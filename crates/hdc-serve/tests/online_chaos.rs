@@ -1,0 +1,254 @@
+//! Online-adaptation chaos battery: concurrent labeled feedback, query
+//! traffic, and policy-triggered mid-flight generation swaps must never
+//! tear a response. Every answer matches *some* published generation's
+//! sequential oracle, the stats ledger balances
+//! (`submitted == completed + failed`, `failed == 0`), and a window that
+//! catches a swap mid-flight partitions by generation instead of mixing
+//! them. Run by CI under `HDC_NUM_THREADS={1,4}`; the storm additionally
+//! forces both worker counts in-process via the rayon compat layer.
+
+use hdc_apps::ClassificationApp;
+use hdc_datasets::synthetic::{isolet_like, IsoletParams};
+use hdc_passes::CompileOptions;
+use hdc_serve::{
+    ModelRegistry, OnlineTrainer, OnlineTrainerConfig, Prediction, ServableModel, ServeError,
+    Service, ServiceConfig, SwapPolicy, WindowConfig,
+};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+const FEATURES: usize = 24;
+const CLASSES: usize = 3;
+
+fn make_model(name: &str, seed: u64) -> Arc<ServableModel> {
+    let dataset = isolet_like(&IsoletParams {
+        classes: CLASSES,
+        features: FEATURES,
+        train_per_class: 5,
+        test_per_class: 3,
+        noise: 1.0,
+        seed,
+    });
+    let app = ClassificationApp::with_options(dataset, 128, 1, &CompileOptions::default()).unwrap();
+    Arc::new(ServableModel::classifier(name, &app).unwrap())
+}
+
+fn valid_query(i: usize) -> Vec<f64> {
+    (0..FEATURES)
+        .map(|j| ((i * 31 + j * 7) % 13) as f64 - 6.0)
+        .collect()
+}
+
+/// A feedback row that keeps the perceptron updating: deterministic
+/// features with a rotating label guarantee steady mispredictions, so the
+/// swap policy keeps firing for the whole storm.
+fn feedback_row(i: usize) -> Vec<f64> {
+    (0..FEATURES)
+        .map(|j| ((i * 17 + j * 11) % 9) as f64 - 4.0)
+        .collect()
+}
+
+/// The storm: query clients, feedback threads driving policy-triggered
+/// swaps, and malformed feedback interleaved — once pinned to one rayon
+/// worker and once on four. Post-storm, every recorded response must match
+/// the sequential oracle of one of the generations that existed during the
+/// run, and the request ledger must balance exactly.
+#[test]
+fn feedback_query_swap_storm_under_one_and_four_threads() {
+    for threads in [1_usize, 4] {
+        rayon::set_num_threads(threads);
+        let gen0 = make_model("m", 71);
+        let registry = Arc::new(ModelRegistry::new());
+        registry.register("m", Arc::clone(&gen0));
+        let service = Service::start(
+            Arc::clone(&registry),
+            ServiceConfig {
+                window: WindowConfig {
+                    max_batch: 6,
+                    max_delay: Duration::from_micros(300),
+                },
+                ..ServiceConfig::default()
+            },
+        );
+        let trainer = OnlineTrainer::attach(
+            Arc::clone(&registry),
+            "m",
+            OnlineTrainerConfig {
+                policy: SwapPolicy::every_updates(4),
+                class_shards: None,
+            },
+        )
+        .unwrap();
+        service.attach_trainer(trainer);
+
+        // Every generation that ever served: the starting model plus each
+        // one the swap policy publishes mid-storm.
+        let generations: Mutex<Vec<Arc<ServableModel>>> = Mutex::new(vec![Arc::clone(&gen0)]);
+        // (query index, answer) pairs recorded by the query clients;
+        // checked post-storm once the generation set is complete.
+        let answers: Mutex<Vec<(usize, Prediction)>> = Mutex::new(Vec::new());
+        let mut expected_feedback = 0u64;
+
+        std::thread::scope(|scope| {
+            // Query clients.
+            for client in 0..4 {
+                let service = &service;
+                let answers = &answers;
+                scope.spawn(move || {
+                    for round in 0..25 {
+                        let i = (client * 5 + round) % 8;
+                        let got = service.submit("m", valid_query(i)).wait().unwrap();
+                        answers.lock().unwrap().push((i, got));
+                    }
+                });
+            }
+            // Feedback threads: rotating labels force steady updates, so
+            // `every_updates(4)` publishes repeatedly mid-storm.
+            for worker in 0..2 {
+                let service = &service;
+                let generations = &generations;
+                scope.spawn(move || {
+                    for round in 0..30 {
+                        let i = worker * 13 + round;
+                        let label = (i + round) % CLASSES;
+                        let out = service.feedback("m", &feedback_row(i), label).unwrap();
+                        if let Some(model) = out.published {
+                            generations.lock().unwrap().push(model);
+                        }
+                    }
+                });
+            }
+            expected_feedback += 2 * 30;
+            // An abusive feedback client: typed errors, no poisoning.
+            {
+                let service = &service;
+                scope.spawn(move || {
+                    for i in 0..10 {
+                        assert!(matches!(
+                            service.feedback("m", &feedback_row(i), CLASSES + 2),
+                            Err(ServeError::UnknownLabel { label, classes })
+                                if label == CLASSES + 2 && classes == CLASSES
+                        ));
+                        assert!(matches!(
+                            service.feedback("m", &[1.0; FEATURES + 1], 0),
+                            Err(ServeError::WrongDimension { expected, got })
+                                if expected == FEATURES && got == FEATURES + 1
+                        ));
+                        assert!(matches!(
+                            service.feedback("nope", &feedback_row(i), 0),
+                            Err(ServeError::NoTrainer(_))
+                        ));
+                    }
+                });
+            }
+        });
+
+        // Post-storm: every response came from some published generation.
+        let generations = generations.into_inner().unwrap();
+        assert!(
+            generations.len() > 1,
+            "threads={threads}: the storm must publish at least one new generation"
+        );
+        let oracle: Vec<Vec<Prediction>> = generations
+            .iter()
+            .map(|g| {
+                (0..8)
+                    .map(|i| g.oracle_infer(&valid_query(i)).unwrap())
+                    .collect()
+            })
+            .collect();
+        for (i, got) in answers.into_inner().unwrap() {
+            assert!(
+                oracle.iter().any(|gen| gen[i] == got),
+                "threads={threads}: query {i} answered by no published generation"
+            );
+        }
+
+        let stats = service.stats();
+        assert_eq!(stats.completed, 4 * 25, "threads={threads}");
+        assert_eq!(stats.failed, 0, "threads={threads}");
+        assert_eq!(
+            stats.submitted,
+            stats.completed + stats.failed,
+            "threads={threads}: ledger must balance"
+        );
+        assert_eq!(
+            stats.feedback_accepted, expected_feedback,
+            "threads={threads}"
+        );
+        assert_eq!(stats.feedback_rejected, 10 * 3, "threads={threads}");
+        assert_eq!(
+            stats.swaps_published,
+            (generations.len() - 1) as u64,
+            "threads={threads}: every recorded publish counted once"
+        );
+        assert!(stats.online_updates >= stats.swaps_published * 4);
+        service.shutdown();
+    }
+}
+
+/// A window that catches a swap mid-flight never mixes generations: the
+/// batch partitions into one sub-window per resolved model, each answered
+/// by its own generation's oracle, and the `partitioned_windows` counter
+/// records the event.
+#[test]
+fn mid_flight_swap_partitions_the_window_by_generation() {
+    let gen_a = make_model("gen-a", 81);
+    let gen_b = make_model("gen-b", 82);
+    let registry = Arc::new(ModelRegistry::new());
+    registry.register("m", Arc::clone(&gen_a));
+    // A window big and slow enough that both submissions coalesce into it.
+    let service = Service::start(
+        Arc::clone(&registry),
+        ServiceConfig {
+            window: WindowConfig {
+                max_batch: 4,
+                max_delay: Duration::from_millis(50),
+            },
+            ..ServiceConfig::default()
+        },
+    );
+    let first = service.submit("m", valid_query(0));
+    // The swap lands while the first request is still coalescing.
+    registry.swap("m", Arc::clone(&gen_b));
+    let second = service.submit("m", valid_query(1));
+    assert_eq!(
+        first.wait().unwrap(),
+        gen_a.oracle_infer(&valid_query(0)).unwrap(),
+        "pre-swap request must be answered by the generation it resolved"
+    );
+    assert_eq!(
+        second.wait().unwrap(),
+        gen_b.oracle_infer(&valid_query(1)).unwrap(),
+        "post-swap request must be answered by the new generation"
+    );
+    let stats = service.stats();
+    assert_eq!(
+        stats.partitioned_windows, 1,
+        "one mixed window, partitioned"
+    );
+    assert_eq!(stats.windows, 2, "one executed sub-window per generation");
+    assert_eq!(stats.failed, 0);
+    service.shutdown();
+}
+
+/// Feedback through the service after shutdown: typed rejection, not a
+/// panic or a hang — and the rejection is not counted as accepted.
+#[test]
+fn feedback_after_shutdown_is_rejected_typed() {
+    let gen0 = make_model("m", 91);
+    let registry = Arc::new(ModelRegistry::new());
+    registry.register("m", Arc::clone(&gen0));
+    let service = Service::start(Arc::clone(&registry), ServiceConfig::default());
+    let trainer =
+        OnlineTrainer::attach(Arc::clone(&registry), "m", OnlineTrainerConfig::default()).unwrap();
+    service.attach_trainer(trainer);
+    assert!(service.feedback("m", &feedback_row(0), 0).is_ok());
+    service.shutdown();
+    assert!(matches!(
+        service.feedback("m", &feedback_row(1), 0),
+        Err(ServeError::ShuttingDown)
+    ));
+    let stats = service.stats();
+    assert_eq!(stats.feedback_accepted, 1);
+}

@@ -1,0 +1,234 @@
+//! Online/offline training equivalence: the online trainer is not allowed
+//! to be a second trainer. Feeding the offline training set through
+//! [`OnlineTrainer::feed`] in epoch order and publishing once must produce
+//! a class memory **bit-identical** to the offline batched trainer's — for
+//! the binarized pipeline and the dense baseline, and for sharded and
+//! unsharded frozen-score selection. Run by CI under
+//! `HDC_NUM_THREADS={1,4}`.
+
+use hdc_apps::ClassificationApp;
+use hdc_core::{BitMatrix, HyperMatrix};
+use hdc_datasets::synthetic::{isolet_like, IsoletParams};
+use hdc_passes::CompileOptions;
+use hdc_runtime::Value;
+use hdc_serve::service::{Service, ServiceConfig};
+use hdc_serve::{ModelRegistry, OnlineTrainer, OnlineTrainerConfig, ServableModel, SwapPolicy};
+use std::sync::Arc;
+
+const FEATURES: usize = 24;
+const DIM: usize = 128;
+const CLASSES: usize = 4;
+const EPOCHS: usize = 3;
+
+fn dataset() -> hdc_datasets::Dataset {
+    isolet_like(&IsoletParams {
+        classes: CLASSES,
+        features: FEATURES,
+        train_per_class: 6,
+        test_per_class: 3,
+        noise: 1.2,
+        seed: 0x0e11,
+    })
+}
+
+/// Register an untrained model — zero dense accumulator, frozen memory =
+/// `sign(0)` (all `+1`: clear bits when packed) — built from the offline
+/// app's own projection matrix, and attach a trainer. Starting from the
+/// zero accumulator makes the trainer's replay start exactly where the
+/// offline trainer's epoch loop starts.
+fn seed_trainer(
+    rp: Value,
+    binarized: bool,
+    class_shards: Option<usize>,
+) -> (Arc<ModelRegistry>, OnlineTrainer) {
+    let frozen = if binarized {
+        Value::bit_matrix(BitMatrix::zeros(CLASSES, DIM))
+    } else {
+        Value::matrix(HyperMatrix::<f64>::zeros(CLASSES, DIM).sign())
+    };
+    let zeros = Value::matrix(HyperMatrix::zeros(CLASSES, DIM));
+    let model =
+        ServableModel::classifier_from_artifacts("m", FEATURES, rp, frozen, Some(zeros)).unwrap();
+    let registry = Arc::new(ModelRegistry::new());
+    registry.register("m", Arc::new(model));
+    let trainer = OnlineTrainer::attach(
+        Arc::clone(&registry),
+        "m",
+        OnlineTrainerConfig {
+            policy: SwapPolicy::manual(),
+            class_shards,
+        },
+    )
+    .unwrap();
+    (registry, trainer)
+}
+
+fn train_rows(data: &hdc_datasets::Dataset) -> (Vec<Vec<f64>>, Vec<usize>) {
+    let rows = data
+        .train
+        .features
+        .iter_rows()
+        .map(|r| r.to_vec())
+        .collect();
+    (rows, data.train.labels.clone())
+}
+
+/// Feeding the whole training set once per epoch and publishing once must
+/// reproduce the offline batched trainer bit for bit: the published frozen
+/// class memory equals the offline harvest's `class_bits`, and the dense
+/// shadow equals the offline accumulator `class_hvs`. Checked for the
+/// binarized pipeline and the dense baseline, with the frozen-score
+/// selection both unsharded (`Some(1)`) and auto-sharded (`None`).
+#[test]
+fn epoch_order_feeds_reproduce_offline_training_bit_for_bit() {
+    for (options, binarized, label) in [
+        (CompileOptions::default(), true, "binarized"),
+        (CompileOptions::baseline(), false, "baseline"),
+    ] {
+        let offline = ClassificationApp::with_options(dataset(), DIM, EPOCHS, &options).unwrap();
+        let harvested = offline.harvest_artifacts().unwrap();
+        for shards in [Some(1), None] {
+            let (registry, mut trainer) =
+                seed_trainer(harvested.rp_matrix.clone(), binarized, shards);
+            let (rows, labels) = train_rows(offline.dataset());
+            for _epoch in 0..EPOCHS {
+                trainer.feed(&rows, &labels).unwrap();
+            }
+            let published = trainer.publish().unwrap();
+            assert_eq!(
+                published.class_memory().unwrap(),
+                &harvested.class_bits,
+                "{label} shards={shards:?}: published frozen memory diverged from offline",
+            );
+            assert_eq!(
+                published.train_state().unwrap(),
+                &harvested.class_hvs,
+                "{label} shards={shards:?}: published accumulator diverged from offline",
+            );
+            assert_eq!(
+                Value::matrix(trainer.shadow().clone()),
+                harvested.class_hvs,
+                "{label} shards={shards:?}: shadow diverged from offline accumulator",
+            );
+            // The registry now serves the published generation.
+            assert!(Arc::ptr_eq(&registry.get("m").unwrap(), &published));
+            assert_eq!(trainer.generation(), 1);
+        }
+    }
+}
+
+/// One epoch of per-sample feeds (mini-batch size 1) equals one offline
+/// epoch: the stale-flag replay protocol makes batch boundaries invisible
+/// to the trained result.
+#[test]
+fn per_sample_feeds_match_offline_single_epoch() {
+    let options = CompileOptions::default();
+    let offline = ClassificationApp::with_options(dataset(), DIM, 1, &options).unwrap();
+    let harvested = offline.harvest_artifacts().unwrap();
+    let (_registry, mut trainer) = seed_trainer(harvested.rp_matrix.clone(), true, None);
+    let (rows, labels) = train_rows(offline.dataset());
+    for (row, &label) in rows.iter().zip(&labels) {
+        trainer.feed_one(row, label).unwrap();
+    }
+    let published = trainer.publish().unwrap();
+    assert_eq!(published.class_memory().unwrap(), &harvested.class_bits);
+    assert_eq!(Value::matrix(trainer.shadow().clone()), harvested.class_hvs,);
+}
+
+/// Publishing with zero unpublished updates is a no-op: the registry entry
+/// is returned unchanged (`Arc::ptr_eq`), every artifact is untouched, and
+/// no generation is burned.
+#[test]
+fn zero_update_publish_is_a_noop() {
+    let offline =
+        ClassificationApp::with_options(dataset(), DIM, EPOCHS, &CompileOptions::default())
+            .unwrap();
+    let harvested = offline.harvest_artifacts().unwrap();
+    let (registry, mut trainer) = seed_trainer(harvested.rp_matrix.clone(), true, None);
+    let before = registry.get("m").unwrap();
+    let published = trainer.publish().unwrap();
+    assert!(
+        Arc::ptr_eq(&published, &before),
+        "no-op publish must return the live Arc"
+    );
+    assert!(Arc::ptr_eq(&registry.get("m").unwrap(), &before));
+    assert_eq!(trainer.generation(), 0);
+    assert_eq!(trainer.stats().publishes, 0);
+    // Same after a feed that applies no update: predict-correct samples
+    // leave the shadow untouched, so the policy never fires and an
+    // explicit publish still no-ops.
+    let (rows, labels) = train_rows(&dataset());
+    let mut trainer2 = {
+        let model = Arc::new(ServableModel::classifier("trained", &offline).unwrap());
+        registry.register("trained", model);
+        OnlineTrainer::attach(
+            Arc::clone(&registry),
+            "trained",
+            OnlineTrainerConfig::default(),
+        )
+        .unwrap()
+    };
+    // Replay the training set until an epoch applies zero updates (the
+    // perceptron converged for this separable toy set), then publish.
+    let mut converged = false;
+    for _ in 0..10 {
+        let out = trainer2.feed(&rows, &labels).unwrap();
+        if out.updates == 0 {
+            converged = true;
+            break;
+        }
+        trainer2.publish().unwrap();
+    }
+    assert!(
+        converged,
+        "toy training set failed to converge in 10 epochs"
+    );
+    let live = registry.get("trained").unwrap();
+    let republished = trainer2.publish().unwrap();
+    assert!(Arc::ptr_eq(&republished, &live));
+}
+
+/// Every published generation shares the projection matrix payload with
+/// the attach-time model: publishing is a refcount bump on `rp_matrix`,
+/// never a copy.
+#[test]
+fn generations_share_the_projection_payload() {
+    let offline =
+        ClassificationApp::with_options(dataset(), DIM, 1, &CompileOptions::default()).unwrap();
+    let harvested = offline.harvest_artifacts().unwrap();
+    let (registry, mut trainer) = seed_trainer(harvested.rp_matrix.clone(), true, None);
+    let before = registry.get("m").unwrap();
+    let (rows, labels) = train_rows(&dataset());
+    trainer.feed(&rows, &labels).unwrap();
+    let published = trainer.publish().unwrap();
+    assert!(!Arc::ptr_eq(&published, &before));
+    let (rp_before, _) = before.projection().dense_matrix("rp").unwrap();
+    let (rp_after, _) = published.projection().dense_matrix("rp").unwrap();
+    assert!(
+        Arc::ptr_eq(&rp_before, &rp_after),
+        "projection payload must be shared across generations"
+    );
+}
+
+/// The swapped-in generation answers requests through the service exactly
+/// as its own oracle does — the serving path and the publish path agree on
+/// what the new model is.
+#[test]
+fn service_answers_match_published_generation_oracle() {
+    let offline =
+        ClassificationApp::with_options(dataset(), DIM, 1, &CompileOptions::default()).unwrap();
+    let harvested = offline.harvest_artifacts().unwrap();
+    let (registry, mut trainer) = seed_trainer(harvested.rp_matrix.clone(), true, None);
+    let (rows, labels) = train_rows(&dataset());
+    for _ in 0..EPOCHS {
+        trainer.feed(&rows, &labels).unwrap();
+    }
+    let published = trainer.publish().unwrap();
+    let service = Service::start(Arc::clone(&registry), ServiceConfig::default());
+    for row in rows.iter().take(8) {
+        let expected = published.oracle_infer(row).unwrap();
+        let got = service.submit("m", row.clone()).wait().unwrap();
+        assert_eq!(got, expected);
+    }
+    service.shutdown();
+}
