@@ -1,0 +1,447 @@
+//! The exhaustive-interleaving scheduler behind [`model`].
+//!
+//! One [`Scheduler`] instance drives one *run* (one schedule). Model
+//! threads are OS threads gated by `active`: a thread only executes while
+//! `state.active == its id`, parking on the condvar otherwise. Every
+//! synchronization operation calls [`Scheduler::switch_point`], which picks
+//! the next thread to run — replaying a recorded choice during the DFS
+//! prefix, defaulting to the lowest runnable id beyond it.
+
+use std::any::Any;
+use std::cell::RefCell;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// One recorded scheduling decision: which of `options` runnable threads
+/// was chosen. `options` is kept so replays can detect nondeterminism.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Choice {
+    pub(crate) chosen: usize,
+    pub(crate) options: usize,
+}
+
+/// Why a task cannot currently be scheduled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Blocked {
+    /// Waiting for a lock keyed by the address of its `std` inner object.
+    Resource(usize),
+    /// Waiting for another task to finish.
+    Join(usize),
+}
+
+#[derive(Debug)]
+struct TaskState {
+    finished: bool,
+    blocked: Option<Blocked>,
+}
+
+struct SchedState {
+    tasks: Vec<TaskState>,
+    /// The one task allowed to execute.
+    active: usize,
+    /// Tasks not yet finished.
+    unfinished: usize,
+    /// Decisions taken so far in this run.
+    trace: Vec<Choice>,
+    /// Prefix of decisions to replay (from the previous run, with the
+    /// deepest incrementable choice advanced).
+    replay: Vec<Choice>,
+    /// Next decision index.
+    pos: usize,
+    /// First real panic payload of this run, if any.
+    failure: Option<Box<dyn Any + Send>>,
+    /// OS handles of spawned model threads, joined by the controller.
+    os_handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+/// Marker payload used to unwind bystander threads out of user code once a
+/// run has already failed; filtered out by the task wrapper.
+struct AbortRun;
+
+pub(crate) struct Scheduler {
+    state: Mutex<SchedState>,
+    cv: Condvar,
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<(Arc<Scheduler>, usize)>> = const { RefCell::new(None) };
+}
+
+/// The scheduler driving the current thread, if it is a model thread.
+pub(crate) fn current() -> Option<(Arc<Scheduler>, usize)> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+impl Scheduler {
+    /// Lock the scheduler state, tolerating poison: model-thread panics
+    /// (including the deliberate `AbortRun` unwind) legitimately poison the
+    /// state mutex while the run is being torn down.
+    fn lock_state(&self) -> std::sync::MutexGuard<'_, SchedState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn new(replay: Vec<Choice>) -> Self {
+        Scheduler {
+            state: Mutex::new(SchedState {
+                tasks: vec![TaskState {
+                    finished: false,
+                    blocked: None,
+                }],
+                active: 0,
+                unfinished: 1,
+                trace: Vec::new(),
+                replay,
+                pos: 0,
+                failure: None,
+                os_handles: Vec::new(),
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Ids of tasks that could legally run right now, in id order (the
+    /// deterministic option ordering the DFS relies on).
+    fn runnable(state: &SchedState) -> Vec<usize> {
+        state
+            .tasks
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| {
+                !t.finished
+                    && match t.blocked {
+                        None => true,
+                        Some(Blocked::Resource(_)) => false,
+                        Some(Blocked::Join(target)) => state.tasks[target].finished,
+                    }
+            })
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Record (or replay) one decision among `options`, returning the
+    /// chosen task id. Panics on a nondeterministic model (replayed
+    /// decision saw a different option count).
+    fn choose(&self, state: &mut SchedState, options: &[usize]) -> usize {
+        let pos = state.pos;
+        state.pos += 1;
+        let chosen_idx = if pos < state.replay.len() {
+            let rec = state.replay[pos];
+            assert_eq!(
+                rec.options,
+                options.len(),
+                "loom model is nondeterministic: decision {pos} had {} options on replay, {} originally",
+                options.len(),
+                rec.options,
+            );
+            rec.chosen
+        } else {
+            0
+        };
+        state.trace.push(Choice {
+            chosen: chosen_idx,
+            options: options.len(),
+        });
+        options[chosen_idx]
+    }
+
+    fn abort_if_failed(state: &SchedState) {
+        if state.failure.is_some() {
+            std::panic::panic_any(AbortRun);
+        }
+    }
+
+    /// Park until this task is granted execution (or the run failed).
+    fn wait_until_active(&self, me: usize) {
+        let mut state = self.lock_state();
+        while state.active != me {
+            Self::abort_if_failed(&state);
+            // Poison-tolerant like `lock_state`: a failing thread panics
+            // while holding the state guard, poisoning the mutex for every
+            // parked bystander.
+            state = self.cv.wait(state).unwrap_or_else(|e| e.into_inner());
+        }
+        Self::abort_if_failed(&state);
+    }
+
+    /// A decision point where the current task is itself runnable.
+    pub(crate) fn switch_point(&self, me: usize) {
+        let next = {
+            let mut state = self.lock_state();
+            Self::abort_if_failed(&state);
+            let options = Self::runnable(&state);
+            debug_assert!(options.contains(&me));
+            let next = self.choose(&mut state, &options);
+            state.active = next;
+            next
+        };
+        if next != me {
+            self.cv.notify_all();
+            self.wait_until_active(me);
+        }
+    }
+
+    /// Block the current task on the lock keyed by `key` and schedule
+    /// another. Returns once the task is granted execution again (after a
+    /// release made it runnable and a later decision picked it).
+    pub(crate) fn block_on_resource(&self, me: usize, key: usize) {
+        {
+            let mut state = self.lock_state();
+            Self::abort_if_failed(&state);
+            state.tasks[me].blocked = Some(Blocked::Resource(key));
+            self.schedule_other(&mut state, me, "all threads blocked on locks");
+        }
+        self.cv.notify_all();
+        self.wait_until_active(me);
+    }
+
+    /// Mark the lock keyed by `key` released: every task blocked on it
+    /// becomes runnable again (each retries its acquisition when next
+    /// scheduled).
+    pub(crate) fn release_resource(&self, key: usize) {
+        let mut state = self.lock_state();
+        for t in &mut state.tasks {
+            if t.blocked == Some(Blocked::Resource(key)) {
+                t.blocked = None;
+            }
+        }
+    }
+
+    /// Block the current task until `target` finishes.
+    pub(crate) fn block_on_join(&self, me: usize, target: usize) {
+        loop {
+            {
+                let mut state = self.lock_state();
+                Self::abort_if_failed(&state);
+                if state.tasks[target].finished {
+                    return;
+                }
+                state.tasks[me].blocked = Some(Blocked::Join(target));
+                self.schedule_other(&mut state, me, "join cycle: all threads waiting");
+            }
+            self.cv.notify_all();
+            self.wait_until_active(me);
+            // Granted again: the join target finished (runnable() only
+            // admits a Join-blocked task once its target is done)...
+            let mut state = self.lock_state();
+            state.tasks[me].blocked = None;
+            if state.tasks[target].finished {
+                return;
+            }
+        }
+    }
+
+    /// Pick a task other than `me` to run, failing the run with
+    /// `deadlock_msg` if none is runnable while work remains.
+    fn schedule_other(&self, state: &mut SchedState, me: usize, deadlock_msg: &str) {
+        let options = Self::runnable(state);
+        if options.is_empty() {
+            state.tasks[me].blocked = None;
+            drop(options);
+            self.fail_locked(
+                state,
+                Box::new(format!("deadlock detected: {deadlock_msg}")),
+            );
+        }
+        let next = self.choose(state, &options);
+        state.active = next;
+    }
+
+    /// Register a new task, returning its id. The caller passes a decision
+    /// point right after so the new task can be scheduled immediately.
+    pub(crate) fn register_task(&self) -> usize {
+        let mut state = self.lock_state();
+        state.tasks.push(TaskState {
+            finished: false,
+            blocked: None,
+        });
+        state.unfinished += 1;
+        state.tasks.len() - 1
+    }
+
+    pub(crate) fn adopt_os_handle(&self, handle: std::thread::JoinHandle<()>) {
+        self.lock_state().os_handles.push(handle);
+    }
+
+    /// Record a real failure (first panic wins) and wake every thread so
+    /// bystanders can unwind via `AbortRun`.
+    fn fail_locked(&self, state: &mut SchedState, payload: Box<dyn Any + Send>) -> ! {
+        if state.failure.is_none() {
+            state.failure = Some(payload);
+        }
+        self.cv.notify_all();
+        std::panic::panic_any(AbortRun);
+    }
+
+    /// Mark the current task finished and hand execution to the next
+    /// runnable task (or wake the controller when all are done).
+    fn task_done(&self, me: usize) {
+        let mut state = self.lock_state();
+        state.tasks[me].finished = true;
+        state.unfinished -= 1;
+        if state.unfinished == 0 || state.failure.is_some() {
+            self.cv.notify_all();
+            return;
+        }
+        let options = Self::runnable(&state);
+        if options.is_empty() {
+            if state.failure.is_none() {
+                state.failure = Some(Box::new(
+                    "deadlock detected: remaining threads all blocked".to_string(),
+                ));
+            }
+            self.cv.notify_all();
+            return;
+        }
+        let next = self.choose(&mut state, &options);
+        state.active = next;
+        drop(state);
+        self.cv.notify_all();
+    }
+
+    /// Run `body` as model task `me` on the current OS thread: install the
+    /// scheduler in TLS, wait for the first grant if needed, execute, and
+    /// report panics (filtering the `AbortRun` bystander unwind).
+    fn run_task(self: &Arc<Self>, me: usize, active_already: bool, body: impl FnOnce()) {
+        CURRENT.with(|c| *c.borrow_mut() = Some((Arc::clone(self), me)));
+        if !active_already {
+            let aborted = catch_unwind(AssertUnwindSafe(|| self.wait_until_active(me))).is_err();
+            if aborted {
+                CURRENT.with(|c| *c.borrow_mut() = None);
+                self.task_done(me);
+                return;
+            }
+        }
+        let result = catch_unwind(AssertUnwindSafe(body));
+        CURRENT.with(|c| *c.borrow_mut() = None);
+        if let Err(payload) = result {
+            if !payload.is::<AbortRun>() {
+                let mut state = self.lock_state();
+                if state.failure.is_none() {
+                    state.failure = Some(payload);
+                }
+            }
+        }
+        self.task_done(me);
+    }
+
+    /// Spawn `body` as a new model task (called from `thread::spawn`),
+    /// returning the new task's id.
+    pub(crate) fn spawn_task(
+        self: &Arc<Self>,
+        me: usize,
+        body: impl FnOnce() + Send + 'static,
+    ) -> usize {
+        let id = self.register_task();
+        let sched = Arc::clone(self);
+        let handle = std::thread::spawn(move || sched.run_task(id, false, body));
+        self.adopt_os_handle(handle);
+        // Decision point: the child is now schedulable.
+        self.switch_point(me);
+        id
+    }
+}
+
+fn max_branches() -> u64 {
+    std::env::var("LOOM_MAX_BRANCHES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(200_000)
+}
+
+/// Exhaustively explore every interleaving of the model closure.
+/// See the crate docs for the execution model and failure reporting.
+///
+/// # Panics
+///
+/// Re-raises the first panic of any thread in any schedule (after printing
+/// that schedule's decision trace), panics on deadlock, on a
+/// nondeterministic model, and when `LOOM_MAX_BRANCHES` is exceeded.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    model_iterations(f);
+}
+
+/// Like [`model`] but returns the number of schedules explored, so tests
+/// of the checker itself can assert real interleaving coverage.
+pub fn model_iterations<F>(f: F) -> u64
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    assert!(
+        current().is_none(),
+        "nested loom::model calls are not supported"
+    );
+    let f = Arc::new(f);
+    let limit = max_branches();
+    let mut replay: Vec<Choice> = Vec::new();
+    let mut iterations: u64 = 0;
+    loop {
+        iterations += 1;
+        assert!(
+            iterations <= limit,
+            "loom model exceeded {limit} schedules (set LOOM_MAX_BRANCHES to raise)"
+        );
+        let sched = Arc::new(Scheduler::new(std::mem::take(&mut replay)));
+        let main_sched = Arc::clone(&sched);
+        let main_f = Arc::clone(&f);
+        // Still-unjoined children keep running after the main task's body
+        // returns: task_done hands execution to the next runnable task.
+        let main = std::thread::spawn(move || main_sched.run_task(0, true, move || main_f()));
+        // Wait for every task of this run to finish.
+        {
+            let mut state = sched.lock_state();
+            while state.unfinished > 0 {
+                // Poison-tolerant: failing model threads poison the state
+                // mutex (they panic while holding its guard).
+                state = sched.cv.wait(state).unwrap_or_else(|e| e.into_inner());
+            }
+        }
+        main.join().expect("loom main task thread");
+        let (trace, failure, handles) = {
+            let mut state = sched.lock_state();
+            (
+                std::mem::take(&mut state.trace),
+                state.failure.take(),
+                std::mem::take(&mut state.os_handles),
+            )
+        };
+        for h in handles {
+            h.join().expect("loom model thread");
+        }
+        if let Some(payload) = failure {
+            let decisions: Vec<String> = trace
+                .iter()
+                .map(|c| format!("{}/{}", c.chosen, c.options))
+                .collect();
+            eprintln!(
+                "loom: schedule {} failed after {} decisions: [{}]",
+                iterations,
+                trace.len(),
+                decisions.join(", ")
+            );
+            if let Some(msg) = payload.downcast_ref::<String>() {
+                if msg.starts_with("deadlock detected") {
+                    panic!("loom: {msg} (schedule {iterations})");
+                }
+            }
+            resume_unwind(payload);
+        }
+        // Depth-first backtrack: advance the deepest incrementable choice.
+        let mut prefix = trace;
+        loop {
+            match prefix.pop() {
+                None => return iterations,
+                Some(mut last) => {
+                    if last.chosen + 1 < last.options {
+                        last.chosen += 1;
+                        prefix.push(last);
+                        break;
+                    }
+                }
+            }
+        }
+        replay = prefix;
+    }
+}

@@ -1,0 +1,434 @@
+//! Scheduler-instrumented synchronization types mirroring `std::sync`.
+//!
+//! Inside [`crate::model`] every acquisition, release, and atomic access is
+//! a scheduler decision point; outside a model the types delegate straight
+//! to `std::sync` (one thread-local lookup of overhead), so production code
+//! can use them unconditionally and the model checker explores the real
+//! code paths.
+//!
+//! Mutual exclusion is enforced by the *inner* `std` lock via `try_lock`:
+//! because the scheduler runs exactly one model thread at a time, a `try_*`
+//! acquisition never spins — it either succeeds or reports the conflict the
+//! scheduler then blocks on. No `unsafe` is needed anywhere.
+
+use crate::scheduler;
+use std::sync::{LockResult, PoisonError, TryLockError, TryLockResult};
+
+pub use std::sync::Arc;
+
+/// Key identifying a lock to the scheduler: the address of its inner `std`
+/// object (unique and stable for the object's lifetime).
+fn key_of<T>(inner: &T) -> usize {
+    inner as *const T as usize
+}
+
+/// A mutual-exclusion primitive mirroring [`std::sync::Mutex`].
+#[derive(Debug, Default)]
+pub struct Mutex<T> {
+    inner: std::sync::Mutex<T>,
+}
+
+/// Guard returned by [`Mutex::lock`]; releasing it is a scheduler decision
+/// point inside a model.
+#[derive(Debug)]
+pub struct MutexGuard<'a, T> {
+    // Option so Drop can release the std guard before notifying the
+    // scheduler (the release must be visible to whoever runs next).
+    guard: Option<std::sync::MutexGuard<'a, T>>,
+    key: usize,
+}
+
+impl<T> Mutex<T> {
+    /// Create a new mutex.
+    pub fn new(value: T) -> Self {
+        Mutex {
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// Acquire the mutex, blocking the model thread until it is free.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err` with the guard when the mutex was poisoned, exactly
+    /// like [`std::sync::Mutex::lock`].
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        let key = key_of(&self.inner);
+        if let Some((sched, me)) = scheduler::current() {
+            sched.switch_point(me);
+            loop {
+                match self.inner.try_lock() {
+                    Ok(guard) => {
+                        return Ok(MutexGuard {
+                            guard: Some(guard),
+                            key,
+                        })
+                    }
+                    Err(TryLockError::Poisoned(e)) => {
+                        return Err(PoisonError::new(MutexGuard {
+                            guard: Some(e.into_inner()),
+                            key,
+                        }))
+                    }
+                    Err(TryLockError::WouldBlock) => sched.block_on_resource(me, key),
+                }
+            }
+        } else {
+            match self.inner.lock() {
+                Ok(guard) => Ok(MutexGuard {
+                    guard: Some(guard),
+                    key,
+                }),
+                Err(e) => Err(PoisonError::new(MutexGuard {
+                    guard: Some(e.into_inner()),
+                    key,
+                })),
+            }
+        }
+    }
+
+    /// Attempt the lock without blocking, mirroring
+    /// [`std::sync::Mutex::try_lock`].
+    ///
+    /// # Errors
+    ///
+    /// [`TryLockError::WouldBlock`] when held elsewhere,
+    /// [`TryLockError::Poisoned`] when poisoned.
+    pub fn try_lock(&self) -> TryLockResult<MutexGuard<'_, T>> {
+        let key = key_of(&self.inner);
+        if let Some((sched, me)) = scheduler::current() {
+            sched.switch_point(me);
+        }
+        match self.inner.try_lock() {
+            Ok(guard) => Ok(MutexGuard {
+                guard: Some(guard),
+                key,
+            }),
+            Err(TryLockError::Poisoned(e)) => {
+                Err(TryLockError::Poisoned(PoisonError::new(MutexGuard {
+                    guard: Some(e.into_inner()),
+                    key,
+                })))
+            }
+            Err(TryLockError::WouldBlock) => Err(TryLockError::WouldBlock),
+        }
+    }
+
+    /// Consume the mutex, returning the inner value.
+    ///
+    /// # Errors
+    ///
+    /// Propagates poisoning like [`std::sync::Mutex::into_inner`].
+    pub fn into_inner(self) -> LockResult<T> {
+        self.inner.into_inner()
+    }
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.guard.as_ref().expect("guard present until drop")
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.guard.as_mut().expect("guard present until drop")
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        self.guard.take();
+        if let Some((sched, me)) = scheduler::current() {
+            sched.release_resource(self.key);
+            // A release during panic unwinding must not re-enter the
+            // scheduler: switch_point can itself panic (AbortRun), and a
+            // panic inside a destructor during cleanup aborts the process.
+            if !std::thread::panicking() {
+                sched.switch_point(me);
+            }
+        }
+    }
+}
+
+/// A reader-writer lock mirroring [`std::sync::RwLock`].
+#[derive(Debug, Default)]
+pub struct RwLock<T> {
+    inner: std::sync::RwLock<T>,
+}
+
+/// Shared-read guard returned by [`RwLock::read`].
+#[derive(Debug)]
+pub struct RwLockReadGuard<'a, T> {
+    guard: Option<std::sync::RwLockReadGuard<'a, T>>,
+    key: usize,
+}
+
+/// Exclusive-write guard returned by [`RwLock::write`].
+#[derive(Debug)]
+pub struct RwLockWriteGuard<'a, T> {
+    guard: Option<std::sync::RwLockWriteGuard<'a, T>>,
+    key: usize,
+}
+
+impl<T> RwLock<T> {
+    /// Create a new reader-writer lock.
+    pub fn new(value: T) -> Self {
+        RwLock {
+            inner: std::sync::RwLock::new(value),
+        }
+    }
+
+    /// Acquire shared read access.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err` with the guard when the lock was poisoned, like
+    /// [`std::sync::RwLock::read`].
+    pub fn read(&self) -> LockResult<RwLockReadGuard<'_, T>> {
+        let key = key_of(&self.inner);
+        if let Some((sched, me)) = scheduler::current() {
+            sched.switch_point(me);
+            loop {
+                match self.inner.try_read() {
+                    Ok(guard) => {
+                        return Ok(RwLockReadGuard {
+                            guard: Some(guard),
+                            key,
+                        })
+                    }
+                    Err(TryLockError::Poisoned(e)) => {
+                        return Err(PoisonError::new(RwLockReadGuard {
+                            guard: Some(e.into_inner()),
+                            key,
+                        }))
+                    }
+                    Err(TryLockError::WouldBlock) => sched.block_on_resource(me, key),
+                }
+            }
+        } else {
+            match self.inner.read() {
+                Ok(guard) => Ok(RwLockReadGuard {
+                    guard: Some(guard),
+                    key,
+                }),
+                Err(e) => Err(PoisonError::new(RwLockReadGuard {
+                    guard: Some(e.into_inner()),
+                    key,
+                })),
+            }
+        }
+    }
+
+    /// Acquire exclusive write access.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err` with the guard when the lock was poisoned, like
+    /// [`std::sync::RwLock::write`].
+    pub fn write(&self) -> LockResult<RwLockWriteGuard<'_, T>> {
+        let key = key_of(&self.inner);
+        if let Some((sched, me)) = scheduler::current() {
+            sched.switch_point(me);
+            loop {
+                match self.inner.try_write() {
+                    Ok(guard) => {
+                        return Ok(RwLockWriteGuard {
+                            guard: Some(guard),
+                            key,
+                        })
+                    }
+                    Err(TryLockError::Poisoned(e)) => {
+                        return Err(PoisonError::new(RwLockWriteGuard {
+                            guard: Some(e.into_inner()),
+                            key,
+                        }))
+                    }
+                    Err(TryLockError::WouldBlock) => sched.block_on_resource(me, key),
+                }
+            }
+        } else {
+            match self.inner.write() {
+                Ok(guard) => Ok(RwLockWriteGuard {
+                    guard: Some(guard),
+                    key,
+                }),
+                Err(e) => Err(PoisonError::new(RwLockWriteGuard {
+                    guard: Some(e.into_inner()),
+                    key,
+                })),
+            }
+        }
+    }
+
+    /// Consume the lock, returning the inner value.
+    ///
+    /// # Errors
+    ///
+    /// Propagates poisoning like [`std::sync::RwLock::into_inner`].
+    pub fn into_inner(self) -> LockResult<T> {
+        self.inner.into_inner()
+    }
+}
+
+impl<T> std::ops::Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.guard.as_ref().expect("guard present until drop")
+    }
+}
+
+impl<T> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        self.guard.take();
+        if let Some((sched, me)) = scheduler::current() {
+            sched.release_resource(self.key);
+            // A release during panic unwinding must not re-enter the
+            // scheduler: switch_point can itself panic (AbortRun), and a
+            // panic inside a destructor during cleanup aborts the process.
+            if !std::thread::panicking() {
+                sched.switch_point(me);
+            }
+        }
+    }
+}
+
+impl<T> std::ops::Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.guard.as_ref().expect("guard present until drop")
+    }
+}
+
+impl<T> std::ops::DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.guard.as_mut().expect("guard present until drop")
+    }
+}
+
+impl<T> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        self.guard.take();
+        if let Some((sched, me)) = scheduler::current() {
+            sched.release_resource(self.key);
+            // A release during panic unwinding must not re-enter the
+            // scheduler: switch_point can itself panic (AbortRun), and a
+            // panic inside a destructor during cleanup aborts the process.
+            if !std::thread::panicking() {
+                sched.switch_point(me);
+            }
+        }
+    }
+}
+
+/// Scheduler-instrumented atomics. All orderings are executed as `SeqCst`
+/// (see the crate docs: interleavings are explored, memory-model
+/// weakenings are not).
+pub mod atomic {
+    use crate::scheduler;
+
+    pub use std::sync::atomic::Ordering;
+
+    /// A decision point before every atomic access.
+    fn interleave() {
+        if let Some((sched, me)) = scheduler::current() {
+            sched.switch_point(me);
+        }
+    }
+
+    /// An atomic memory fence: a pure decision point in this checker.
+    pub fn fence(_order: Ordering) {
+        interleave();
+        std::sync::atomic::fence(Ordering::SeqCst);
+    }
+
+    macro_rules! atomic_type {
+        ($(#[$doc:meta])* $name:ident, $std:ty, $prim:ty) => {
+            $(#[$doc])*
+            #[derive(Debug, Default)]
+            pub struct $name {
+                inner: $std,
+            }
+
+            impl $name {
+                /// Create a new atomic with the given initial value.
+                pub fn new(value: $prim) -> Self {
+                    Self { inner: <$std>::new(value) }
+                }
+
+                /// Atomic load (decision point; executed `SeqCst`).
+                pub fn load(&self, _order: Ordering) -> $prim {
+                    interleave();
+                    self.inner.load(Ordering::SeqCst)
+                }
+
+                /// Atomic store (decision point; executed `SeqCst`).
+                pub fn store(&self, value: $prim, _order: Ordering) {
+                    interleave();
+                    self.inner.store(value, Ordering::SeqCst)
+                }
+
+                /// Atomic swap (decision point; executed `SeqCst`).
+                pub fn swap(&self, value: $prim, _order: Ordering) -> $prim {
+                    interleave();
+                    self.inner.swap(value, Ordering::SeqCst)
+                }
+
+                /// Atomic compare-exchange (decision point; executed
+                /// `SeqCst`).
+                ///
+                /// # Errors
+                ///
+                /// Returns the observed value when it differs from
+                /// `current`, like the `std` counterpart.
+                pub fn compare_exchange(
+                    &self,
+                    current: $prim,
+                    new: $prim,
+                    _success: Ordering,
+                    _failure: Ordering,
+                ) -> Result<$prim, $prim> {
+                    interleave();
+                    self.inner
+                        .compare_exchange(current, new, Ordering::SeqCst, Ordering::SeqCst)
+                }
+            }
+        };
+    }
+
+    atomic_type!(
+        /// Mirror of [`std::sync::atomic::AtomicBool`].
+        AtomicBool,
+        std::sync::atomic::AtomicBool,
+        bool
+    );
+    atomic_type!(
+        /// Mirror of [`std::sync::atomic::AtomicUsize`].
+        AtomicUsize,
+        std::sync::atomic::AtomicUsize,
+        usize
+    );
+    atomic_type!(
+        /// Mirror of [`std::sync::atomic::AtomicU64`].
+        AtomicU64,
+        std::sync::atomic::AtomicU64,
+        u64
+    );
+
+    macro_rules! atomic_arith {
+        ($name:ident, $prim:ty) => {
+            impl $name {
+                /// Atomic add returning the previous value (decision point;
+                /// executed `SeqCst`).
+                pub fn fetch_add(&self, value: $prim, _order: Ordering) -> $prim {
+                    interleave();
+                    self.inner.fetch_add(value, Ordering::SeqCst)
+                }
+            }
+        };
+    }
+
+    atomic_arith!(AtomicUsize, usize);
+    atomic_arith!(AtomicU64, u64);
+}

@@ -1,0 +1,87 @@
+//! Model-thread spawning mirroring `std::thread`.
+
+use crate::scheduler;
+use std::any::Any;
+use std::sync::{Arc, Mutex};
+
+/// Handle to a spawned model thread, mirroring [`std::thread::JoinHandle`].
+pub struct JoinHandle<T> {
+    /// Task id inside the model (`None` outside a model).
+    task: Option<usize>,
+    result: Arc<Mutex<Option<std::thread::Result<T>>>>,
+    /// OS handle when spawned outside a model.
+    os: Option<std::thread::JoinHandle<()>>,
+}
+
+impl<T> std::fmt::Debug for JoinHandle<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JoinHandle")
+            .field("task", &self.task)
+            .finish()
+    }
+}
+
+/// Spawn a thread. Inside [`crate::model`] the thread joins the schedule
+/// exploration (spawning is a decision point); outside it delegates to
+/// [`std::thread::spawn`].
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let result: Arc<Mutex<Option<std::thread::Result<T>>>> = Arc::new(Mutex::new(None));
+    let slot = Arc::clone(&result);
+    if let Some((sched, me)) = scheduler::current() {
+        let task = sched.spawn_task(me, move || {
+            let value = f();
+            *slot.lock().unwrap_or_else(|e| e.into_inner()) = Some(Ok(value));
+        });
+        JoinHandle {
+            task: Some(task),
+            result,
+            os: None,
+        }
+    } else {
+        let os = std::thread::spawn(move || {
+            let value = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+            *slot.lock().unwrap_or_else(|e| e.into_inner()) = Some(value);
+        });
+        JoinHandle {
+            task: None,
+            result,
+            os: Some(os),
+        }
+    }
+}
+
+/// A pure scheduler decision point (no-op outside a model).
+pub fn yield_now() {
+    if let Some((sched, me)) = scheduler::current() {
+        sched.switch_point(me);
+    }
+}
+
+impl<T> JoinHandle<T> {
+    /// Wait for the thread to finish and return its value.
+    ///
+    /// # Errors
+    ///
+    /// Returns the thread's panic payload if it panicked (outside a model;
+    /// inside a model a panicking thread fails the whole run first).
+    pub fn join(self) -> std::thread::Result<T> {
+        if let Some(task) = self.task {
+            let (sched, me) = scheduler::current()
+                .expect("loom JoinHandle::join called outside the model that spawned it");
+            sched.block_on_join(me, task);
+        } else if let Some(os) = self.os {
+            // Outside a model: wait for the OS thread; its panic payload is
+            // in the result slot.
+            let _ = os.join();
+        }
+        let taken = self.result.lock().unwrap_or_else(|e| e.into_inner()).take();
+        match taken {
+            Some(r) => r,
+            None => Err(Box::new("loom model thread produced no result") as Box<dyn Any + Send>),
+        }
+    }
+}

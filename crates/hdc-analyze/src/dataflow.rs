@@ -1,0 +1,319 @@
+//! Def-use chains over the IR and the worklist engine the analyses share.
+//!
+//! The IR's own [`Node::read_values`]/[`Node::written_values`] flatten a
+//! stage to "reads everything, writes everything", which is correct for
+//! scheduling but too coarse for dataflow analysis: inside a stage, data
+//! flows *structurally* — the executor copies one row of
+//! `interface.queries` into `body_query` before each body run, and the
+//! stage semantics consume `body_result` to produce `interface.output`.
+//! [`DefUse`] models those structural flows as explicit sites alongside the
+//! per-instruction ones, which is what lets liveness and taint propagate
+//! *through* stage interfaces instead of stopping at the node boundary.
+//!
+//! [`Node::read_values`]: hdc_ir::program::Node::read_values
+//! [`Node::written_values`]: hdc_ir::program::Node::written_values
+
+use hdc_ir::program::{NodeBody, NodeId, Program, ValueId};
+use std::collections::VecDeque;
+
+/// What kind of dataflow site this is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SiteKind {
+    /// One instruction inside a node body; `index` is its position there.
+    Instr {
+        /// The containing node.
+        node: NodeId,
+        /// Position within the node's instruction list.
+        index: usize,
+    },
+    /// The structural stage flow `interface.queries → body_query`: the
+    /// executor writes one query row into the body-query slot per
+    /// iteration.
+    StageQueryFlow {
+        /// The stage node.
+        node: NodeId,
+    },
+    /// The structural stage flow `body_result (+ classes/labels) →
+    /// interface.output`: the stage semantics consume the per-sample result
+    /// to build the stage output.
+    StageResultFlow {
+        /// The stage node.
+        node: NodeId,
+    },
+    /// The structural definition of a `ParallelFor` instance index.
+    ParallelForIndex {
+        /// The loop node.
+        node: NodeId,
+    },
+}
+
+/// One dataflow site: something that reads values and writes values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Site {
+    /// The site kind (and IR position).
+    pub kind: SiteKind,
+    /// Values this site reads.
+    pub reads: Vec<ValueId>,
+    /// Values this site writes.
+    pub writes: Vec<ValueId>,
+}
+
+/// Def-use chains for a whole program: every site, plus per-value indices
+/// of the sites that define and use it.
+#[derive(Debug, Clone)]
+pub struct DefUse {
+    /// All sites, in program order.
+    pub sites: Vec<Site>,
+    /// For each value (by index), the sites writing it.
+    pub defs: Vec<Vec<usize>>,
+    /// For each value (by index), the sites reading it.
+    pub uses: Vec<Vec<usize>>,
+}
+
+impl DefUse {
+    /// Build the def-use chains of `program`, including the structural
+    /// stage and parallel-for flows.
+    pub fn new(program: &Program) -> Self {
+        let mut sites = Vec::new();
+        for (ni, node) in program.nodes().iter().enumerate() {
+            let node_id = NodeId::new(ni);
+            match &node.body {
+                NodeBody::Leaf { instrs } => {
+                    for (ii, instr) in instrs.iter().enumerate() {
+                        sites.push(Site {
+                            kind: SiteKind::Instr {
+                                node: node_id,
+                                index: ii,
+                            },
+                            reads: instr.read_values().collect(),
+                            writes: instr.written_values(),
+                        });
+                    }
+                }
+                NodeBody::ParallelFor { index, body, .. } => {
+                    sites.push(Site {
+                        kind: SiteKind::ParallelForIndex { node: node_id },
+                        reads: Vec::new(),
+                        writes: vec![*index],
+                    });
+                    for (ii, instr) in body.iter().enumerate() {
+                        sites.push(Site {
+                            kind: SiteKind::Instr {
+                                node: node_id,
+                                index: ii,
+                            },
+                            reads: instr.read_values().collect(),
+                            writes: instr.written_values(),
+                        });
+                    }
+                }
+                NodeBody::Stage(stage) => {
+                    sites.push(Site {
+                        kind: SiteKind::StageQueryFlow { node: node_id },
+                        reads: vec![stage.interface.queries],
+                        writes: vec![stage.body_query],
+                    });
+                    for (ii, instr) in stage.body.iter().enumerate() {
+                        sites.push(Site {
+                            kind: SiteKind::Instr {
+                                node: node_id,
+                                index: ii,
+                            },
+                            reads: instr.read_values().collect(),
+                            writes: instr.written_values(),
+                        });
+                    }
+                    let mut result_reads = vec![stage.body_result];
+                    if let Some(c) = stage.interface.classes {
+                        result_reads.push(c);
+                    }
+                    if let Some(l) = stage.interface.labels {
+                        result_reads.push(l);
+                    }
+                    sites.push(Site {
+                        kind: SiteKind::StageResultFlow { node: node_id },
+                        reads: result_reads,
+                        writes: vec![stage.interface.output],
+                    });
+                }
+            }
+        }
+        let n = program.values().len();
+        let mut defs = vec![Vec::new(); n];
+        let mut uses = vec![Vec::new(); n];
+        for (si, site) in sites.iter().enumerate() {
+            for w in &site.writes {
+                defs[w.index()].push(si);
+            }
+            for r in &site.reads {
+                uses[r.index()].push(si);
+            }
+        }
+        DefUse { sites, defs, uses }
+    }
+}
+
+/// Which way facts flow through sites.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Reads feed writes (taint, shapes).
+    Forward,
+    /// Writes feed reads (liveness).
+    Backward,
+}
+
+/// A join-semilattice fact attached to each value.
+pub trait Fact: Clone + Default {
+    /// Join `other` into `self`, returning whether `self` changed. The
+    /// worklist engine terminates because facts only ever grow.
+    fn join(&mut self, other: &Self) -> bool;
+}
+
+impl Fact for bool {
+    fn join(&mut self, other: &bool) -> bool {
+        let changed = *other && !*self;
+        *self |= *other;
+        changed
+    }
+}
+
+/// Solve a per-value dataflow problem to fixpoint with a worklist.
+///
+/// `facts` starts from `seeds`; every site is visited at least once, and
+/// `transfer` returns `(value, fact)` updates the engine joins in. When a
+/// value's fact grows, the sites that depend on it (its uses for
+/// [`Direction::Forward`], its defs for [`Direction::Backward`]) are
+/// re-queued. Monotone transfer functions make this terminate.
+pub fn solve<F: Fact>(
+    du: &DefUse,
+    value_count: usize,
+    seeds: &[(ValueId, F)],
+    direction: Direction,
+    mut transfer: impl FnMut(&Site, &[F]) -> Vec<(ValueId, F)>,
+) -> Vec<F> {
+    let mut facts: Vec<F> = vec![F::default(); value_count];
+    let mut queue: VecDeque<usize> = VecDeque::new();
+    let mut queued = vec![false; du.sites.len()];
+    let enqueue_dependents = |v: ValueId, queue: &mut VecDeque<usize>, queued: &mut Vec<bool>| {
+        let dependents = match direction {
+            Direction::Forward => &du.uses[v.index()],
+            Direction::Backward => &du.defs[v.index()],
+        };
+        for &si in dependents {
+            if !queued[si] {
+                queued[si] = true;
+                queue.push_back(si);
+            }
+        }
+    };
+    for (v, f) in seeds {
+        if facts[v.index()].join(f) {
+            enqueue_dependents(*v, &mut queue, &mut queued);
+        }
+    }
+    // Every site runs at least once: a transfer may produce facts from
+    // site structure alone (e.g. an instruction whose op seeds taint).
+    for (si, seen) in queued.iter_mut().enumerate() {
+        if !*seen {
+            *seen = true;
+            queue.push_back(si);
+        }
+    }
+    while let Some(si) = queue.pop_front() {
+        queued[si] = false;
+        let updates = transfer(&du.sites[si], &facts);
+        for (v, f) in updates {
+            if facts[v.index()].join(&f) {
+                enqueue_dependents(v, &mut queue, &mut queued);
+            }
+        }
+    }
+    facts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdc_core::element::ElementKind;
+    use hdc_ir::builder::ProgramBuilder;
+
+    fn chain_program() -> (Program, ValueId, ValueId, ValueId) {
+        let mut b = ProgramBuilder::new("chain");
+        let a = b.input_vector("a", ElementKind::F64, 16);
+        let x = b.sign(a);
+        let y = b.sign_flip(x);
+        b.mark_output(y);
+        (b.finish(), a, x, y)
+    }
+
+    #[test]
+    fn def_use_links_instruction_chain() {
+        let (p, a, x, y) = chain_program();
+        let du = DefUse::new(&p);
+        assert_eq!(du.sites.len(), 2);
+        assert_eq!(du.defs[x.index()].len(), 1);
+        assert_eq!(du.uses[x.index()].len(), 1);
+        assert_eq!(du.uses[a.index()].len(), 1);
+        assert!(du.defs[a.index()].is_empty(), "inputs have no def site");
+        assert_eq!(du.defs[y.index()].len(), 1);
+    }
+
+    #[test]
+    fn forward_reachability_via_worklist() {
+        let (p, a, x, y) = chain_program();
+        let du = DefUse::new(&p);
+        let facts = solve(
+            &du,
+            p.values().len(),
+            &[(a, true)],
+            Direction::Forward,
+            |site, facts| {
+                let any_read = site.reads.iter().any(|r| facts[r.index()]);
+                site.writes.iter().map(|w| (*w, any_read)).collect()
+            },
+        );
+        assert!(facts[a.index()] && facts[x.index()] && facts[y.index()]);
+    }
+
+    #[test]
+    fn backward_liveness_via_worklist() {
+        let (p, a, x, y) = chain_program();
+        let du = DefUse::new(&p);
+        let facts = solve(
+            &du,
+            p.values().len(),
+            &[(y, true)],
+            Direction::Backward,
+            |site, facts| {
+                let any_write_live = site.writes.iter().any(|w| facts[w.index()]);
+                site.reads.iter().map(|r| (*r, any_write_live)).collect()
+            },
+        );
+        assert!(facts[y.index()] && facts[x.index()] && facts[a.index()]);
+    }
+
+    #[test]
+    fn stage_sites_model_structural_flow() {
+        let mut b = ProgramBuilder::new("stage");
+        let queries = b.input_matrix("q", ElementKind::F64, 4, 32);
+        let classes = b.input_matrix("c", ElementKind::F64, 3, 32);
+        b.inference_loop(
+            "infer",
+            queries,
+            classes,
+            hdc_ir::stage::ScorePolarity::Distance,
+            |body, sample| body.hamming_distance(sample, classes),
+        );
+        let p = b.finish();
+        let du = DefUse::new(&p);
+        let has_query_flow = du
+            .sites
+            .iter()
+            .any(|s| matches!(s.kind, SiteKind::StageQueryFlow { .. }));
+        let has_result_flow = du
+            .sites
+            .iter()
+            .any(|s| matches!(s.kind, SiteKind::StageResultFlow { .. }));
+        assert!(has_query_flow && has_result_flow);
+    }
+}

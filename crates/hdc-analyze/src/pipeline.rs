@@ -1,0 +1,154 @@
+//! Pass-manager integration: run the analyzer inside a compilation
+//! pipeline, and audit a whole [`hdc_passes::pipeline::compile`] run by
+//! analyzing the program before and after and diffing the diagnostics.
+
+use crate::diag::AnalysisReport;
+use hdc_ir::program::Program;
+use hdc_passes::pipeline::{
+    compile, CompileOptions, CompileReport, Pass, PassReport, PipelineError,
+};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// A [`Pass`] that runs the full analyzer and reports its summary.
+///
+/// The pass never mutates the program; schedule it first to lint the input
+/// IR or last to check what a pipeline produced. The full
+/// [`AnalysisReport`] of the most recent run is kept in a shared slot so
+/// callers can inspect individual diagnostics after the pipeline returns
+/// (the [`PassReport`] itself only carries the one-line summary).
+#[derive(Debug, Default)]
+pub struct AnalyzePass {
+    report: Rc<RefCell<Option<AnalysisReport>>>,
+}
+
+impl AnalyzePass {
+    /// A fresh analyzer pass.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A shared handle to the slot receiving each run's full report.
+    pub fn report_slot(&self) -> Rc<RefCell<Option<AnalysisReport>>> {
+        Rc::clone(&self.report)
+    }
+}
+
+impl Pass for AnalyzePass {
+    fn name(&self) -> &'static str {
+        "analyze"
+    }
+
+    fn run(&mut self, program: &mut Program) -> PassReport {
+        let report = crate::analyze(program);
+        let summary = report.summary();
+        *self.report.borrow_mut() = Some(report);
+        PassReport::Message(summary)
+    }
+}
+
+/// The result of [`compile_audited`]: the compile report plus the analyzer
+/// verdicts on the input and output IR.
+#[derive(Debug, Clone)]
+pub struct AuditedCompile {
+    /// Analyzer report on the program as submitted.
+    pub before: AnalysisReport,
+    /// The pipeline's own report.
+    pub compile: CompileReport,
+    /// Analyzer report on the compiled program.
+    pub after: AnalysisReport,
+}
+
+impl AuditedCompile {
+    /// Diagnostics present after compilation that were not present before:
+    /// `(code, message)` pairs the pipeline *introduced*. A clean compiler
+    /// keeps this empty — transformations may remove findings (DCE deletes
+    /// dead values) but must not create new ones.
+    pub fn introduced(&self) -> Vec<(crate::diag::DiagnosticCode, String)> {
+        self.after
+            .diagnostics
+            .iter()
+            .filter(|d| {
+                !self
+                    .before
+                    .diagnostics
+                    .iter()
+                    .any(|b| b.code == d.code && b.location == d.location)
+            })
+            .map(|d| (d.code, d.message.clone()))
+            .collect()
+    }
+}
+
+/// Compile `program` with the standard pipeline, analyzing the IR before
+/// and after.
+///
+/// # Errors
+///
+/// Propagates [`PipelineError`] from the underlying pipeline run.
+pub fn compile_audited(
+    program: &mut Program,
+    options: &CompileOptions,
+) -> Result<AuditedCompile, PipelineError> {
+    let before = crate::analyze(program);
+    let compile = compile(program, options)?;
+    let after = crate::analyze(program);
+    Ok(AuditedCompile {
+        before,
+        compile,
+        after,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hdc_core::element::ElementKind;
+    use hdc_ir::builder::ProgramBuilder;
+    use hdc_ir::stage::ScorePolarity;
+    use hdc_passes::pipeline::PassManager;
+
+    fn classification_like() -> Program {
+        let mut b = ProgramBuilder::new("cls");
+        let feats = b.input_matrix("feats", ElementKind::F64, 6, 8);
+        let proj = b.input_matrix("proj", ElementKind::F64, 64, 8);
+        let classes = b.input_matrix("cls", ElementKind::F64, 3, 64);
+        let enc = b.encoding_loop("encode", feats, 64, |body, sample| {
+            let e = body.matmul(sample, proj);
+            body.sign(e)
+        });
+        let labels = b.inference_loop("infer", enc, classes, ScorePolarity::Distance, |body, q| {
+            body.hamming_distance(q, classes)
+        });
+        b.mark_output(labels);
+        b.finish()
+    }
+
+    #[test]
+    fn analyze_pass_runs_in_a_pipeline() {
+        let pass = AnalyzePass::new();
+        let slot = pass.report_slot();
+        let mut program = classification_like();
+        let report = PassManager::new()
+            .with_pass(pass)
+            .run(&mut program)
+            .expect("pipeline runs");
+        let summary = report.report_for("analyze").expect("analyze ran").summary();
+        assert!(summary.contains("0 errors"), "summary: {summary}");
+        let full = slot.borrow();
+        assert!(!full.as_ref().expect("report captured").has_errors());
+    }
+
+    #[test]
+    fn audited_compile_introduces_nothing_on_clean_input() {
+        let mut program = classification_like();
+        let audit = compile_audited(&mut program, &CompileOptions::default()).expect("compiles");
+        assert!(!audit.before.has_errors(), "{}", audit.before.summary());
+        assert!(!audit.after.has_errors(), "{}", audit.after.summary());
+        assert!(
+            audit.introduced().is_empty(),
+            "pipeline introduced: {:?}",
+            audit.introduced()
+        );
+    }
+}

@@ -43,7 +43,6 @@
 //! Set `HDC_KERNEL_BACKEND=scalar` (or `avx2` / `avx512` / `neon`) to force
 //! a backend; an unsupported forced SIMD backend falls back to scalar.
 //! Tests and benchmarks can switch at runtime with [`set_backend`].
-#![allow(unsafe_code)]
 
 use crate::error::{HdcError, Result};
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
@@ -457,21 +456,25 @@ mod avx2 {
     use super::SIGN_LUT4;
     use std::arch::x86_64::*;
 
+    #[allow(unsafe_code)]
     pub(super) fn xor_popcount(a: &[u64], b: &[u64]) -> u64 {
         // SAFETY: only dispatched on hosts where avx2+popcnt are detected.
         unsafe { xor_popcount_impl(a, b) }
     }
 
+    #[allow(unsafe_code)]
     pub(super) fn xor_popcount_masked(a: &[u64], b: &[u64], mask: &[u64]) -> u64 {
         // SAFETY: only dispatched on hosts where avx2+popcnt are detected.
         unsafe { xor_popcount_masked_impl(a, b, mask) }
     }
 
+    #[allow(unsafe_code)]
     pub(super) fn add_signs(acc: &mut [f64], words: &[u64]) {
         // SAFETY: only dispatched on hosts where avx2+popcnt are detected.
         unsafe { add_signs_impl(acc, words) }
     }
 
+    #[allow(unsafe_code)]
     pub(super) fn dot_panel<const B: usize>(q: &[f64], panel: &[f64]) -> Option<[f64; B]> {
         let mut out = [0.0f64; B];
         // SAFETY: only dispatched on hosts where avx2+popcnt are detected.
@@ -493,6 +496,11 @@ mod avx2 {
     /// are compiled for the baseline target whenever the call is not
     /// inlined, and LLVM legalizes the 256-bit ops into a scalar expansion
     /// an order of magnitude slower than the plain `count_ones` loop.
+    // SAFETY: `unsafe` is solely the `target_feature` contract — callers
+    // must reach this only after runtime detection confirmed `avx2`
+    // (the dispatch tables above are the only callers). All pointer
+    // arithmetic stays within the argument slices; tails use safe indexing.
+    #[allow(unsafe_code)]
     #[inline]
     #[target_feature(enable = "avx2")]
     unsafe fn popcount_bytes(v: __m256i) -> __m256i {
@@ -507,6 +515,11 @@ mod avx2 {
         _mm256_sad_epu8(counts, _mm256_setzero_si256())
     }
 
+    // SAFETY: `unsafe` is solely the `target_feature` contract — callers
+    // must reach this only after runtime detection confirmed `avx2`
+    // (the dispatch tables above are the only callers). All pointer
+    // arithmetic stays within the argument slices; tails use safe indexing.
+    #[allow(unsafe_code)]
     #[inline]
     #[target_feature(enable = "avx2")]
     unsafe fn horizontal_sum_u64(v: __m256i) -> u64 {
@@ -515,6 +528,11 @@ mod avx2 {
         lanes.iter().sum()
     }
 
+    // SAFETY: `unsafe` is solely the `target_feature` contract — callers
+    // must reach this only after runtime detection confirmed `avx2,popcnt`
+    // (the dispatch tables above are the only callers). All pointer
+    // arithmetic stays within the argument slices; tails use safe indexing.
+    #[allow(unsafe_code)]
     #[target_feature(enable = "avx2,popcnt")]
     unsafe fn xor_popcount_impl(a: &[u64], b: &[u64]) -> u64 {
         let blocks = a.len() / 4;
@@ -531,6 +549,11 @@ mod avx2 {
         count
     }
 
+    // SAFETY: `unsafe` is solely the `target_feature` contract — callers
+    // must reach this only after runtime detection confirmed `avx2,popcnt`
+    // (the dispatch tables above are the only callers). All pointer
+    // arithmetic stays within the argument slices; tails use safe indexing.
+    #[allow(unsafe_code)]
     #[target_feature(enable = "avx2,popcnt")]
     unsafe fn xor_popcount_masked_impl(a: &[u64], b: &[u64], mask: &[u64]) -> u64 {
         let blocks = a.len() / 4;
@@ -549,6 +572,11 @@ mod avx2 {
         count
     }
 
+    // SAFETY: `unsafe` is solely the `target_feature` contract — callers
+    // must reach this only after runtime detection confirmed `avx2`
+    // (the dispatch tables above are the only callers). All pointer
+    // arithmetic stays within the argument slices; tails use safe indexing.
+    #[allow(unsafe_code)]
     #[target_feature(enable = "avx2")]
     unsafe fn add_signs_impl(acc: &mut [f64], words: &[u64]) {
         let cols = acc.len();
@@ -571,6 +599,11 @@ mod avx2 {
         }
     }
 
+    // SAFETY: `unsafe` is solely the `target_feature` contract — callers
+    // must reach this only after runtime detection confirmed `avx2`
+    // (the dispatch tables above are the only callers). All pointer
+    // arithmetic stays within the argument slices; tails use safe indexing.
+    #[allow(unsafe_code)]
     #[target_feature(enable = "avx2")]
     unsafe fn dot8_impl(q: &[f64], panel: &[f64]) -> [f64; 8] {
         let n = q.len().min(panel.len() / 8);
@@ -588,6 +621,11 @@ mod avx2 {
         out
     }
 
+    // SAFETY: `unsafe` is solely the `target_feature` contract — callers
+    // must reach this only after runtime detection confirmed `avx2`
+    // (the dispatch tables above are the only callers). All pointer
+    // arithmetic stays within the argument slices; tails use safe indexing.
+    #[allow(unsafe_code)]
     #[target_feature(enable = "avx2")]
     unsafe fn dot4_impl(q: &[f64], panel: &[f64]) -> [f64; 4] {
         let n = q.len().min(panel.len() / 4);
@@ -602,6 +640,11 @@ mod avx2 {
         out
     }
 
+    // SAFETY: `unsafe` is solely the `target_feature` contract — callers
+    // must reach this only after runtime detection confirmed `avx2`
+    // (the dispatch tables above are the only callers). All pointer
+    // arithmetic stays within the argument slices; tails use safe indexing.
+    #[allow(unsafe_code)]
     #[target_feature(enable = "avx2")]
     unsafe fn dot2_impl(q: &[f64], panel: &[f64]) -> [f64; 2] {
         let n = q.len().min(panel.len() / 2);
@@ -630,12 +673,14 @@ mod avx2 {
 mod avx512 {
     use std::arch::x86_64::*;
 
+    #[allow(unsafe_code)]
     pub(super) fn xor_popcount(a: &[u64], b: &[u64]) -> u64 {
         // SAFETY: only dispatched on hosts where avx512f+avx512vpopcntdq
         // are detected.
         unsafe { xor_popcount_impl(a, b) }
     }
 
+    #[allow(unsafe_code)]
     pub(super) fn xor_popcount_masked(a: &[u64], b: &[u64], mask: &[u64]) -> u64 {
         // SAFETY: only dispatched on hosts where avx512f+avx512vpopcntdq
         // are detected.
@@ -645,6 +690,11 @@ mod avx512 {
     /// Same `target_feature` obligation as the AVX2 helpers: without it a
     /// non-inlined call compiles the 512-bit ops for the baseline target
     /// and LLVM legalizes them into a slow scalar expansion.
+    // SAFETY: `unsafe` is solely the `target_feature` contract — callers
+    // must reach this only after runtime detection confirmed `avx512f`
+    // (the dispatch tables above are the only callers). All pointer
+    // arithmetic stays within the argument slices; tails use safe indexing.
+    #[allow(unsafe_code)]
     #[inline]
     #[target_feature(enable = "avx512f")]
     unsafe fn horizontal_sum_u64(v: __m512i) -> u64 {
@@ -653,6 +703,11 @@ mod avx512 {
         lanes.iter().sum()
     }
 
+    // SAFETY: `unsafe` is solely the `target_feature` contract — callers
+    // must reach this only after runtime detection confirmed `avx512f,avx512vpopcntdq,popcnt`
+    // (the dispatch tables above are the only callers). All pointer
+    // arithmetic stays within the argument slices; tails use safe indexing.
+    #[allow(unsafe_code)]
     #[target_feature(enable = "avx512f,avx512vpopcntdq,popcnt")]
     unsafe fn xor_popcount_impl(a: &[u64], b: &[u64]) -> u64 {
         let blocks = a.len() / 8;
@@ -669,6 +724,11 @@ mod avx512 {
         count
     }
 
+    // SAFETY: `unsafe` is solely the `target_feature` contract — callers
+    // must reach this only after runtime detection confirmed `avx512f,avx512vpopcntdq,popcnt`
+    // (the dispatch tables above are the only callers). All pointer
+    // arithmetic stays within the argument slices; tails use safe indexing.
+    #[allow(unsafe_code)]
     #[target_feature(enable = "avx512f,avx512vpopcntdq,popcnt")]
     unsafe fn xor_popcount_masked_impl(a: &[u64], b: &[u64], mask: &[u64]) -> u64 {
         let blocks = a.len() / 8;
@@ -695,21 +755,25 @@ mod neon {
     use super::SIGN_LUT4;
     use std::arch::aarch64::*;
 
+    #[allow(unsafe_code)]
     pub(super) fn xor_popcount(a: &[u64], b: &[u64]) -> u64 {
         // SAFETY: only dispatched on hosts where neon is detected.
         unsafe { xor_popcount_impl(a, b) }
     }
 
+    #[allow(unsafe_code)]
     pub(super) fn xor_popcount_masked(a: &[u64], b: &[u64], mask: &[u64]) -> u64 {
         // SAFETY: only dispatched on hosts where neon is detected.
         unsafe { xor_popcount_masked_impl(a, b, mask) }
     }
 
+    #[allow(unsafe_code)]
     pub(super) fn add_signs(acc: &mut [f64], words: &[u64]) {
         // SAFETY: only dispatched on hosts where neon is detected.
         unsafe { add_signs_impl(acc, words) }
     }
 
+    #[allow(unsafe_code)]
     pub(super) fn dot_panel<const B: usize>(q: &[f64], panel: &[f64]) -> Option<[f64; B]> {
         let mut out = [0.0f64; B];
         // SAFETY: only dispatched on hosts where neon is detected.
@@ -724,6 +788,11 @@ mod neon {
         Some(out)
     }
 
+    // SAFETY: `unsafe` is solely the `target_feature` contract — callers
+    // must reach this only after runtime detection confirmed `neon`
+    // (the dispatch tables above are the only callers). All pointer
+    // arithmetic stays within the argument slices; tails use safe indexing.
+    #[allow(unsafe_code)]
     #[target_feature(enable = "neon")]
     unsafe fn xor_popcount_impl(a: &[u64], b: &[u64]) -> u64 {
         let blocks = a.len() / 2;
@@ -741,6 +810,11 @@ mod neon {
         count
     }
 
+    // SAFETY: `unsafe` is solely the `target_feature` contract — callers
+    // must reach this only after runtime detection confirmed `neon`
+    // (the dispatch tables above are the only callers). All pointer
+    // arithmetic stays within the argument slices; tails use safe indexing.
+    #[allow(unsafe_code)]
     #[target_feature(enable = "neon")]
     unsafe fn xor_popcount_masked_impl(a: &[u64], b: &[u64], mask: &[u64]) -> u64 {
         let blocks = a.len() / 2;
@@ -758,6 +832,11 @@ mod neon {
         count
     }
 
+    // SAFETY: `unsafe` is solely the `target_feature` contract — callers
+    // must reach this only after runtime detection confirmed `neon`
+    // (the dispatch tables above are the only callers). All pointer
+    // arithmetic stays within the argument slices; tails use safe indexing.
+    #[allow(unsafe_code)]
     #[target_feature(enable = "neon")]
     unsafe fn add_signs_impl(acc: &mut [f64], words: &[u64]) {
         let cols = acc.len();
@@ -779,6 +858,11 @@ mod neon {
         }
     }
 
+    // SAFETY: `unsafe` is solely the `target_feature` contract — callers
+    // must reach this only after runtime detection confirmed `neon`
+    // (the dispatch tables above are the only callers). All pointer
+    // arithmetic stays within the argument slices; tails use safe indexing.
+    #[allow(unsafe_code)]
     #[target_feature(enable = "neon")]
     unsafe fn dot8_impl(q: &[f64], panel: &[f64]) -> [f64; 8] {
         let n = q.len().min(panel.len() / 8);
@@ -797,6 +881,11 @@ mod neon {
         out
     }
 
+    // SAFETY: `unsafe` is solely the `target_feature` contract — callers
+    // must reach this only after runtime detection confirmed `neon`
+    // (the dispatch tables above are the only callers). All pointer
+    // arithmetic stays within the argument slices; tails use safe indexing.
+    #[allow(unsafe_code)]
     #[target_feature(enable = "neon")]
     unsafe fn dot4_impl(q: &[f64], panel: &[f64]) -> [f64; 4] {
         let n = q.len().min(panel.len() / 4);
@@ -814,6 +903,11 @@ mod neon {
         out
     }
 
+    // SAFETY: `unsafe` is solely the `target_feature` contract — callers
+    // must reach this only after runtime detection confirmed `neon`
+    // (the dispatch tables above are the only callers). All pointer
+    // arithmetic stays within the argument slices; tails use safe indexing.
+    #[allow(unsafe_code)]
     #[target_feature(enable = "neon")]
     unsafe fn dot2_impl(q: &[f64], panel: &[f64]) -> [f64; 2] {
         let n = q.len().min(panel.len() / 2);

@@ -1,0 +1,127 @@
+//! Repo-wide `unsafe` audit, enforced as a test so it gates CI:
+//!
+//! 1. `unsafe` code exists **only** in `hdc-core/src/simd.rs` (the
+//!    `std::arch` intrinsics) — every other source file in the workspace is
+//!    unsafe-free.
+//! 2. No file carries a module-level `#![allow(unsafe_code)]`: allows must
+//!    be scoped to the smallest item (`#[allow(unsafe_code)]` on one
+//!    function).
+//! 3. Every `unsafe` site (block or `unsafe fn` item) is preceded by a
+//!    `// SAFETY:` comment within the few lines above it, so each site
+//!    states the contract it relies on.
+//!
+//! The walk is plain text over the committed tree; no extra dependencies.
+
+use std::path::{Path, PathBuf};
+
+/// How far above an `unsafe` site the `SAFETY:` comment may sit (the item
+/// attribute stack — `#[allow]`, `#[inline]`, `#[target_feature]` — goes in
+/// between).
+const SAFETY_WINDOW: usize = 8;
+
+fn workspace_root() -> PathBuf {
+    // crates/hdc-core -> crates -> workspace root
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("workspace root")
+        .to_path_buf()
+}
+
+fn rust_sources(dir: &Path, out: &mut Vec<PathBuf>) {
+    for entry in std::fs::read_dir(dir).expect("readable dir") {
+        let entry = entry.expect("dir entry");
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            rust_sources(&path, out);
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// `unsafe` occurrences that are code, not prose: skip doc/line comments
+/// and the `unsafe_code` lint-name token itself.
+fn is_unsafe_code_line(line: &str) -> bool {
+    let trimmed = line.trim_start();
+    if trimmed.starts_with("//") {
+        return false;
+    }
+    // Strip lint-name mentions (`#![deny(unsafe_code)]`, scoped allows).
+    let stripped = line.replace("unsafe_code", "");
+    stripped.contains("unsafe ") || stripped.contains("unsafe{") || stripped.ends_with("unsafe")
+}
+
+#[test]
+fn unsafe_is_confined_scoped_and_commented() {
+    let root = workspace_root();
+    let crates = root.join("crates");
+    assert!(crates.is_dir(), "expected workspace at {}", root.display());
+    let mut sources = Vec::new();
+    rust_sources(&crates, &mut sources);
+    assert!(
+        sources.len() > 20,
+        "suspiciously few sources found — walk broken?"
+    );
+
+    let mut violations: Vec<String> = Vec::new();
+    let mut simd_unsafe_sites = 0usize;
+    for path in &sources {
+        let text = std::fs::read_to_string(path).expect("readable source");
+        let rel = path.strip_prefix(&root).unwrap_or(path);
+        // This file's own message strings mention `unsafe`; skip self.
+        if rel.ends_with(Path::new("tests/unsafe_audit.rs")) {
+            continue;
+        }
+        let is_simd = rel.ends_with(Path::new("hdc-core/src/simd.rs"));
+        let lines: Vec<&str> = text.lines().collect();
+        for (i, line) in lines.iter().enumerate() {
+            if line.trim_start().starts_with("#![allow(unsafe_code)]") {
+                violations.push(format!(
+                    "{}:{}: module-level #![allow(unsafe_code)] — scope it to the item",
+                    rel.display(),
+                    i + 1
+                ));
+            }
+            if !is_unsafe_code_line(line) {
+                continue;
+            }
+            if !is_simd {
+                violations.push(format!(
+                    "{}:{}: unsafe outside hdc-core/src/simd.rs: `{}`",
+                    rel.display(),
+                    i + 1,
+                    line.trim()
+                ));
+                continue;
+            }
+            simd_unsafe_sites += 1;
+            let window = &lines[i.saturating_sub(SAFETY_WINDOW)..i];
+            if !window.iter().any(|l| l.contains("SAFETY:")) {
+                violations.push(format!(
+                    "{}:{}: unsafe site without a `// SAFETY:` comment within {} lines: `{}`",
+                    rel.display(),
+                    i + 1,
+                    SAFETY_WINDOW,
+                    line.trim()
+                ));
+            }
+        }
+    }
+    assert!(
+        violations.is_empty(),
+        "unsafe audit failed:\n{}",
+        violations.join("\n")
+    );
+    // The kernels genuinely use unsafe; zero sites would mean the matcher
+    // went blind, not that the code got safer.
+    assert!(
+        simd_unsafe_sites >= 20,
+        "only {simd_unsafe_sites} unsafe sites matched in simd.rs — audit matcher broken?"
+    );
+}

@@ -1,11 +1,16 @@
-//! Dead code elimination for leaf nodes.
+//! Dead code elimination over every node body.
 //!
 //! Removes instructions whose results are never read (transitively) and
-//! that have no side effects. Stage bodies and parallel-for bodies are left
-//! alone: their liveness is governed by the stage semantics.
+//! that have no side effects. Stage and parallel-for bodies are cleaned
+//! too: only the values their *semantics* consume are protected — the
+//! stage interface, the `body_query`/`body_result` slots, the persistent
+//! set populated by data-movement hoisting, and the loop index — so a
+//! dead intermediate inside an encoding body no longer survives to
+//! execution (it used to: the earlier DCE treated whole stage bodies
+//! as opaque and kept everything they wrote).
 
 use hdc_ir::ops::HdcOp;
-use hdc_ir::program::{NodeBody, Program, ValueId, ValueRole};
+use hdc_ir::program::{Node, NodeBody, Program, ValueId, ValueRole};
 use std::collections::HashSet;
 
 /// Statistics reported by [`eliminate_dead_code`].
@@ -19,44 +24,58 @@ fn has_side_effect(op: &HdcOp) -> bool {
     matches!(op, HdcOp::SetMatrixRow | HdcOp::AccumulateRow)
 }
 
-/// Remove dead instructions from leaf nodes, iterating to a fixpoint.
+/// Values a node's semantics consume regardless of instruction-level
+/// reads: removing their producers would change what the node means.
+fn protected_values(node: &Node) -> Vec<ValueId> {
+    match &node.body {
+        NodeBody::Leaf { .. } => Vec::new(),
+        NodeBody::ParallelFor { index, .. } => vec![*index],
+        NodeBody::Stage(stage) => {
+            let mut v = vec![
+                stage.interface.queries,
+                stage.interface.output,
+                stage.body_query,
+                stage.body_result,
+            ];
+            v.extend(stage.interface.classes);
+            v.extend(stage.interface.labels);
+            v.extend(stage.persistent_values.iter().copied());
+            v
+        }
+    }
+}
+
+/// Remove dead instructions from every node body, iterating to a fixpoint.
 pub fn eliminate_dead_code(program: &mut Program) -> DceReport {
     let mut report = DceReport::default();
     loop {
-        // Live set: program outputs plus everything read anywhere.
+        // Live set: program outputs, the values each node's semantics
+        // consume (stage interfaces, body_query/body_result, persistent
+        // sets, loop indices), and everything any instruction reads.
         let mut live: HashSet<ValueId> = program
             .values_with_role(ValueRole::Output)
             .into_iter()
             .collect();
         for node in program.nodes() {
-            for v in node.read_values() {
-                live.insert(v);
-            }
-        }
-        // Also keep everything stage/parallel bodies write (their outputs
-        // feed the stage semantics even when not read by later instructions).
-        for node in program.nodes() {
-            if !matches!(node.body, NodeBody::Leaf { .. }) {
-                for v in node.written_values() {
-                    live.insert(v);
-                }
+            live.extend(protected_values(node));
+            for instr in node.instrs() {
+                live.extend(instr.read_values());
             }
         }
         let mut removed_this_round = 0;
         for node in program.nodes_mut() {
-            if let NodeBody::Leaf { instrs } = &mut node.body {
-                let before = instrs.len();
-                instrs.retain(|i| {
-                    if has_side_effect(&i.op) {
-                        return true;
-                    }
-                    match i.result {
-                        Some(r) => live.contains(&r),
-                        None => true,
-                    }
-                });
-                removed_this_round += before - instrs.len();
-            }
+            let instrs = node.instrs_mut();
+            let before = instrs.len();
+            instrs.retain(|i| {
+                if has_side_effect(&i.op) {
+                    return true;
+                }
+                match i.result {
+                    Some(r) => live.contains(&r),
+                    None => true,
+                }
+            });
+            removed_this_round += before - instrs.len();
         }
         report.removed_instrs += removed_this_round;
         if removed_this_round == 0 {
@@ -136,6 +155,63 @@ mod tests {
         let report = eliminate_dead_code(&mut p);
         assert_eq!(report.removed_instrs, 0);
         assert_eq!(p, before);
+    }
+
+    #[test]
+    fn dead_value_inside_stage_body_is_removed() {
+        // The regression this PR fixes: DCE used to treat stage bodies as
+        // opaque (keeping everything they write), so a dead intermediate
+        // inside an encoding body survived to execution.
+        let mut b = ProgramBuilder::new("stage_dce");
+        let feats = b.input_matrix("feats", ElementKind::F32, 4, 8);
+        let proj = b.input_matrix("proj", ElementKind::F32, 32, 8);
+        let enc = b.encoding_loop("encode", feats, 32, |body, sample| {
+            let e = body.matmul(sample, proj);
+            let _dead = body.sign_flip(e);
+            body.sign(e)
+        });
+        b.mark_output(enc);
+        let mut p = b.finish();
+        assert_eq!(p.instr_count(), 3);
+        let report = eliminate_dead_code(&mut p);
+        assert_eq!(report.removed_instrs, 1);
+        assert_eq!(p.instr_count(), 2);
+        verify(&p).unwrap();
+    }
+
+    #[test]
+    fn stage_semantics_values_are_protected() {
+        // body_result is not read by any instruction — the stage semantics
+        // consume it. Its producer must survive.
+        let mut b = ProgramBuilder::new("stage_keep");
+        let feats = b.input_matrix("feats", ElementKind::F32, 4, 8);
+        let proj = b.input_matrix("proj", ElementKind::F32, 32, 8);
+        let enc = b.encoding_loop("encode", feats, 32, |body, sample| {
+            body.matmul(sample, proj)
+        });
+        b.mark_output(enc);
+        let mut p = b.finish();
+        let report = eliminate_dead_code(&mut p);
+        assert_eq!(report.removed_instrs, 0);
+        verify(&p).unwrap();
+    }
+
+    #[test]
+    fn parallel_for_body_dead_value_is_removed() {
+        let mut b = ProgramBuilder::new("pfor_dce");
+        let acc = b.zero_matrix(ElementKind::F32, 8, 16);
+        let rows = b.input_matrix("rows", ElementKind::F32, 8, 16);
+        b.parallel_for("scatter", 8, |b, idx| {
+            let r = b.get_matrix_row_dyn(rows, idx);
+            let _dead = b.sign_flip(r);
+            b.accumulate_row(acc, r, idx);
+        });
+        let out = b.get_matrix_row(acc, 0);
+        b.mark_output(out);
+        let mut p = b.finish();
+        let report = eliminate_dead_code(&mut p);
+        assert_eq!(report.removed_instrs, 1);
+        verify(&p).unwrap();
     }
 
     #[test]

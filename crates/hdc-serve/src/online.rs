@@ -304,6 +304,24 @@ impl OnlineTrainer {
         self.updates_since_publish
     }
 
+    /// The compiled freeze program (`sign(class_hvs)`) this trainer swaps
+    /// through on publish. Exposed read-only so the static analyzer can
+    /// lint the exact IR the serving layer executes.
+    pub fn freeze_program(&self) -> &Program {
+        &self.freeze_program
+    }
+
+    /// The compiled encode program for a batch of `rows` feedback samples
+    /// (built on first use and cached per batch size), exposed for the
+    /// same lint purpose as [`OnlineTrainer::freeze_program`].
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::ModelBuild`] if compiling the encode program fails.
+    pub fn encoding_program(&mut self, rows: usize) -> Result<Arc<Program>> {
+        self.encode_program(rows)
+    }
+
     /// Process one mini-batch of labeled feedback: encode the rows, replay
     /// them against the shadow in order (mirroring the offline batched
     /// training schedule), and publish a new generation if the swap

@@ -12,7 +12,12 @@
 use crate::model::ServableModel;
 use crate::{Result, ServeError};
 use std::collections::HashMap;
-use std::sync::{Arc, RwLock};
+use std::sync::Arc;
+// The loom RwLock delegates to `std::sync::RwLock` outside `loom::model`,
+// so production behavior is unchanged — but the concurrency models in
+// `tests/loom_models.rs` exhaustively explore the *real* registry code
+// rather than a transliterated copy.
+use loom::sync::RwLock;
 
 /// A thread-safe name → model map.
 #[derive(Debug, Default)]

@@ -28,6 +28,13 @@
 //!   micro-batching request coalescer dispatching through the batched
 //!   kernels (every window bit-identical to the sequential oracle),
 //!   health/stats endpoints, and an open-loop load generator.
+//! * [`analyze`] — the static-analysis layer: def-use chains and a
+//!   worklist engine over the IR, liveness, abstract shape/dtype and
+//!   bit-taint interpretation, perforation/`wrap_shift`/`parallel_for`
+//!   legality, and effect/alias classification of the `Arc`-backed value
+//!   store — surfaced as an `AnalysisReport` (stable `HDA0xx` codes,
+//!   JSON), the `hdc-lint` binary, and an `AnalyzePass` for the pass
+//!   manager.
 //!
 //! See `README.md` for the workspace layout and a quickstart,
 //! `docs/architecture.md` for the IR → passes → executor walkthrough,
@@ -38,6 +45,7 @@
 #![warn(missing_docs)]
 
 pub use hdc_accel as accel;
+pub use hdc_analyze as analyze;
 pub use hdc_apps as apps;
 pub use hdc_core as core;
 pub use hdc_datasets as datasets;
